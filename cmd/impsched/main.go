@@ -1,0 +1,142 @@
+// Command impsched runs one scheduling method on one task set in the
+// virtual-time simulator and reports the Table II statistics (deadline
+// violations, mean error, σ, mode counts), optionally with an ASCII Gantt
+// chart of the first hyper-periods.
+//
+// Usage:
+//
+//	impsched -case Rnd7 -method "EDF+ESR" -hp 1000
+//	impsched -case IDCT -method "ILP+Post+OA" -gantt
+//	impsched -file tasks.json -method "EDF-Imprecise"
+//	impsched -methods            # list methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nprt/internal/cli"
+	"nprt/internal/offline"
+	"nprt/internal/sim"
+	"nprt/internal/trace"
+)
+
+func main() {
+	caseName := flag.String("case", "", "built-in testcase (Rnd1..Rnd13, IDCT, Newton)")
+	file := flag.String("file", "", "JSON task-set file")
+	method := flag.String("method", "EDF+ESR", "scheduling method")
+	hp := flag.Int("hp", 1000, "hyper-periods to simulate")
+	seed := flag.Uint64("seed", 1, "random seed for execution times and errors")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart of the first entries")
+	traceCSV := flag.String("tracecsv", "", "write the executed trace as CSV to this file")
+	savePlan := flag.String("saveplan", "", "write the offline plan (ILP/Post/Flipped methods) as JSON")
+	loadPlan := flag.String("loadplan", "", "load a previously saved offline plan and run it with online adjustment")
+	droplate := flag.Bool("droplate", false, "discard jobs already past their deadline (overload shedding)")
+	listMethods := flag.Bool("methods", false, "list methods and exit")
+	flag.Parse()
+
+	if *listMethods {
+		for _, m := range cli.Methods() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	s, err := cli.LoadSet(*caseName, *file)
+	if err != nil {
+		fail(err)
+	}
+	var p sim.Policy
+	if *loadPlan != "" {
+		f, err := os.Open(*loadPlan)
+		if err != nil {
+			fail(err)
+		}
+		sc, err := offline.DecodeSchedule(f, s)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		p = offline.NewOA("loaded-plan+OA", sc)
+	} else {
+		p, err = cli.BuildPolicy(*method, s)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *savePlan != "" {
+		oa, ok := p.(*offline.OAPolicy)
+		if !ok {
+			fail(fmt.Errorf("-saveplan requires an offline method (ILP+OA, ILP+Post+OA, Flipped EDF)"))
+		}
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			fail(err)
+		}
+		if err := oa.Sched.EncodeJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("plan written:       %s (%d jobs)\n", *savePlan, len(oa.Sched.Jobs))
+	}
+
+	traceLimit := 0
+	if *gantt {
+		traceLimit = 4 * s.JobsPerHyperperiod()
+	}
+	if *traceCSV != "" {
+		traceLimit = -1
+	}
+	res, err := sim.Run(s, p, sim.Config{
+		Hyperperiods: *hp,
+		Sampler:      sim.NewRandomSampler(s, *seed),
+		TraceLimit:   traceLimit,
+		DropLate:     *droplate,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("method:             %s\n", res.Policy)
+	fmt.Printf("jobs executed:      %d over %d hyper-periods\n", res.Jobs, *hp)
+	fmt.Printf("deadline misses:    %s\n", res.Misses.String())
+	fmt.Printf("mean error:         %.4g (σ %.4g)\n", res.MeanError(), res.ErrorStdDev())
+	fmt.Printf("mode counts:        accurate=%d imprecise=%d\n", res.Accurate, res.Imprecise)
+	fmt.Printf("busy/horizon:       %d/%d (%.1f%%)\n",
+		res.Busy, res.Horizon, 100*float64(res.Busy)/float64(res.Horizon))
+	for i := 0; i < s.Len(); i++ {
+		fmt.Printf("  %-16s mean err %.4g  mean response %.4g\n",
+			s.Task(i).Name, res.PerTaskError[i].Mean(), res.PerTaskResponse[i].Mean())
+	}
+	if *traceCSV != "" && res.Trace != nil {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Trace.WriteCSV(f, s); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written:      %s (%d rows)\n", *traceCSV, res.Trace.Len())
+	}
+	if *gantt && res.Trace != nil {
+		scale := s.Hyperperiod() / 100
+		if scale < 1 {
+			scale = 1
+		}
+		fmt.Println()
+		fmt.Print(trace.Gantt(res.Trace, s, scale, 0))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "impsched:", err)
+	os.Exit(1)
+}

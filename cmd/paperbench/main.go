@@ -1,0 +1,192 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	paperbench table1
+//	paperbench table2 -hp 10000          # the paper's 10K hyper-periods
+//	paperbench fig3
+//	paperbench table3
+//	paperbench fig4
+//	paperbench table4
+//	paperbench fig5
+//	paperbench all -hp 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nprt/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("paperbench", flag.ExitOnError)
+	hp := fs.Int("hp", 300, "hyper-periods per simulation (paper: 10000)")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	csvDir := fs.String("csv", "", "also write machine-readable CSV files into this directory")
+	par := fs.Bool("parallel", false, "run per-case simulations concurrently")
+	fs.Usage = usage
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	what := os.Args[1]
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Hyperperiods: *hp, Seed: *seed, Parallel: *par}
+
+	artifacts := []string{what}
+	if what == "all" {
+		artifacts = []string{"table1", "table2", "fig3", "table3", "fig4", "table4", "fig5", "overhead", "energy"}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+	for i, a := range artifacts {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := emit(a, cfg, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench %s: %v\n", a, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV writes one artifact's CSV file when a directory was requested.
+func writeCSV(dir, name string, write func(f *os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func emit(what string, cfg experiments.Config, csvDir string) error {
+	switch what {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		return writeCSV(csvDir, "table1.csv", func(f *os.File) error {
+			return experiments.WriteTable1CSV(f, rows)
+		})
+	case "table2":
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(res))
+		return writeCSV(csvDir, "table2.csv", func(f *os.File) error {
+			return experiments.WriteTable2CSV(f, res)
+		})
+	case "fig3":
+		res, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig("FIGURE 3. MEAN ERROR VERSUS UTILIZATION", res))
+		return writeCSV(csvDir, "fig3.csv", func(f *os.File) error {
+			return experiments.WriteFigCSV(f, res)
+		})
+	case "table3":
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable3(rows))
+		return writeCSV(csvDir, "table3.csv", func(f *os.File) error {
+			return experiments.WriteTable3CSV(f, rows)
+		})
+	case "fig4":
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig4(res))
+		return writeCSV(csvDir, "fig4.csv", func(f *os.File) error {
+			return experiments.WriteFig4CSV(f, res)
+		})
+	case "table4":
+		infos, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable4(infos))
+		return writeCSV(csvDir, "table4.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, infos)
+		})
+	case "fig5":
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig("FIGURE 5. PROTOTYPE MEAN ERROR VERSUS UTILIZATION", res))
+		return writeCSV(csvDir, "fig5.csv", func(f *os.File) error {
+			return experiments.WriteFigCSV(f, res)
+		})
+	case "overhead":
+		rows, err := experiments.Overhead("Rnd9", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatOverhead("Rnd9", rows))
+		return writeCSV(csvDir, "overhead.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, rows)
+		})
+	case "robustness":
+		r, err := experiments.Robustness(cfg, []uint64{1, 2, 3, 4, 5})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRobustness(r))
+		return writeCSV(csvDir, "robustness.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, r)
+		})
+	case "energy":
+		rows, err := experiments.Energy("Rnd8", cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatEnergy("Rnd8", rows))
+		return writeCSV(csvDir, "energy.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, rows)
+		})
+	default:
+		return fmt.Errorf("unknown artifact %q", what)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `paperbench regenerates the paper's evaluation artifacts.
+
+usage: paperbench <artifact> [-hp N] [-seed S]
+
+artifacts:
+  table1   testcase characteristics and schedulability
+  table2   independent-error simulation results
+  fig3     mean error versus utilization
+  table3   cumulative-error stress tests
+  fig4     DP(C) pruning effectiveness
+  table4   Newton-Raphson task profiles
+  fig5     prototype mean error versus utilization
+  overhead measured scheduling overhead (the paper's runtime remarks)
+  energy   busy-time (energy) versus error tradeoff per method
+  robustness  Table II normalized ordering across seeds
+  all      everything above
+`)
+}

@@ -1,0 +1,52 @@
+// Command taskgen emits synthetic task sets as JSON, in the style of the
+// paper's random testcases: pick a task count, a jobs-per-hyper-period
+// target and an accurate-mode utilization, and get a deterministic set that
+// fails Theorem 1 accurately but (optionally) passes it imprecisely —
+// ready for impsched -file or schedcheck -file.
+//
+// Usage:
+//
+//	taskgen -tasks 6 -jobs 30 -util 2.0 -seed 7 > tasks.json
+//	taskgen -case Rnd7 > rnd7.json           # dump a built-in case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nprt/internal/cli"
+	"nprt/internal/task"
+	"nprt/internal/workload"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 5, "number of tasks")
+	jobs := flag.Int("jobs", 20, "jobs per hyper-period (periods divide 2520)")
+	util := flag.Float64("util", 1.5, "accurate-mode utilization target")
+	impOK := flag.Bool("imprecise-feasible", true, "require Theorem 1 to pass with imprecise WCETs")
+	seed := flag.Uint64("seed", 1, "construction seed")
+	name := flag.String("name", "gen", "task name prefix")
+	caseName := flag.String("case", "", "dump a built-in testcase instead of generating")
+	flag.Parse()
+
+	set, err := buildSet(*caseName, workload.RandomSpec{
+		Name: *name, Tasks: *tasks, JobsPerHyperperiod: *jobs,
+		UtilizationAccurate: *util, ImpreciseFeasible: *impOK, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskgen:", err)
+		os.Exit(1)
+	}
+	if err := set.EncodeJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "taskgen:", err)
+		os.Exit(1)
+	}
+}
+
+func buildSet(caseName string, spec workload.RandomSpec) (*task.Set, error) {
+	if caseName != "" {
+		return cli.LoadSet(caseName, "")
+	}
+	return workload.Generate(spec)
+}

@@ -1,0 +1,208 @@
+package nprt_test
+
+// End-to-end tests for the command-line tools: build each binary once into
+// a temp dir, then drive it the way a user would. These tests need the `go`
+// toolchain on PATH (always true under `go test`).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "nprt-bins")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(dir)
+		panic("building cmds: " + err.Error())
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runTool(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestE2ESchedcheck(t *testing.T) {
+	out, err := runTool(t, "schedcheck", "-case", "Rnd5")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"accurate mode: schedulable=false",
+		"imprecise mode: schedulable=true", "individual slacks", "preemptive EDF reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	out, err = runTool(t, "schedcheck", "-list")
+	if err != nil || !strings.Contains(out, "Rnd13") {
+		t.Errorf("-list: %v\n%s", err, out)
+	}
+	if _, err = runTool(t, "schedcheck", "-case", "nope"); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestE2EImpsched(t *testing.T) {
+	out, err := runTool(t, "impsched", "-case", "Rnd1", "-method", "EDF+ESR", "-hp", "20")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"method:", "deadline misses:", "mean error:", "mode counts:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Gantt path.
+	out, err = runTool(t, "impsched", "-case", "Rnd1", "-method", "Flipped EDF", "-hp", "5", "-gantt")
+	if err != nil || !strings.Contains(out, "|") {
+		t.Errorf("gantt: %v\n%s", err, out)
+	}
+	// Method listing and error path.
+	out, err = runTool(t, "impsched", "-methods")
+	if err != nil || !strings.Contains(out, "DP(C)") {
+		t.Errorf("-methods: %v\n%s", err, out)
+	}
+	if _, err = runTool(t, "impsched", "-case", "Rnd1", "-method", "bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestE2EImpschedTraceCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "trace.csv")
+	out, err := runTool(t, "impsched", "-case", "Rnd1", "-method", "EDF-Imprecise",
+		"-hp", "3", "-tracecsv", csvPath)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "task,index,mode") {
+		t.Errorf("trace CSV header wrong: %.80s", data)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 1+3*13 {
+		t.Errorf("trace CSV has %d lines, want %d", lines, 1+3*13)
+	}
+}
+
+func TestE2EPaperbench(t *testing.T) {
+	out, err := runTool(t, "paperbench", "table1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "IDCT") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+	csvDir := t.TempDir()
+	out, err = runTool(t, "paperbench", "table4", "-csv", csvDir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "table4.json")); err != nil {
+		t.Errorf("CSV artifact missing: %v", err)
+	}
+	if _, err = runTool(t, "paperbench", "bogus"); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}
+
+func TestE2ETaskgenRoundTrip(t *testing.T) {
+	out, err := runTool(t, "taskgen", "-tasks", "3", "-jobs", "12", "-util", "1.4", "-seed", "5")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	file := filepath.Join(t.TempDir(), "tasks.json")
+	if err := os.WriteFile(file, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check, err := runTool(t, "schedcheck", "-file", file)
+	if err != nil {
+		t.Fatalf("schedcheck on generated set: %v\n%s", err, check)
+	}
+	if !strings.Contains(check, "taskset{n=3") {
+		t.Errorf("generated set not loaded:\n%s", check)
+	}
+	// Dumping a built-in case also works.
+	out, err = runTool(t, "taskgen", "-case", "Rnd1")
+	if err != nil || !strings.Contains(out, "Rnd1-t0") {
+		t.Errorf("-case dump: %v\n%.120s", err, out)
+	}
+}
+
+// TestE2EExamples builds and runs every example end-to-end so the
+// documentation programs can never rot.
+func TestE2EExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow-ish; skipped with -short")
+	}
+	examples, err := filepath.Glob("examples/*")
+	if err != nil || len(examples) == 0 {
+		t.Fatalf("globbing examples: %v (%d found)", err, len(examples))
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), filepath.Base(dir))
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+			lower := strings.ToLower(string(out))
+			if strings.Contains(lower, "panic") || strings.Contains(lower, "violation:") {
+				t.Errorf("example output looks broken:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestE2EPlanSaveLoad(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	out, err := runTool(t, "impsched", "-case", "Rnd1", "-method", "ILP+Post+OA",
+		"-hp", "5", "-saveplan", plan)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "plan written") {
+		t.Errorf("no save confirmation:\n%s", out)
+	}
+	out, err = runTool(t, "impsched", "-case", "Rnd1", "-hp", "5", "-loadplan", plan)
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "loaded-plan+OA") {
+		t.Errorf("loaded plan not used:\n%s", out)
+	}
+	// Loading against the wrong case must fail.
+	if _, err := runTool(t, "impsched", "-case", "Rnd3", "-hp", "2", "-loadplan", plan); err == nil {
+		t.Error("plan accepted against the wrong set")
+	}
+	// -saveplan on an online method must fail.
+	if _, err := runTool(t, "impsched", "-case", "Rnd1", "-method", "EDF+ESR",
+		"-saveplan", filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("-saveplan accepted for an online method")
+	}
+}

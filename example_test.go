@@ -1,0 +1,88 @@
+package nprt_test
+
+import (
+	"fmt"
+
+	"nprt"
+)
+
+// The package-level example: build a set that accurate-only scheduling
+// cannot handle, verify the imprecise-mode guarantee, and run EDF+ESR.
+func Example() {
+	set, err := nprt.NewTaskSet([]nprt.Task{
+		{Name: "video", Period: 20, WCETAccurate: 12, WCETImprecise: 4,
+			Error: nprt.Dist{Mean: 2}},
+		{Name: "audio", Period: 40, WCETAccurate: 16, WCETImprecise: 5,
+			Error: nprt.Dist{Mean: 1}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("accurate feasible: ", nprt.Schedulable(set, nprt.Accurate))
+	fmt.Println("imprecise feasible:", nprt.Schedulable(set, nprt.Imprecise))
+
+	res, err := nprt.Simulate(set, nprt.NewEDFESR(), nprt.SimConfig{Hyperperiods: 100})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deadline misses:   ", res.Misses.Events)
+	// Output:
+	// accurate feasible:  false
+	// imprecise feasible: true
+	// deadline misses:    0
+}
+
+// CheckSchedulability exposes the γ factors behind ESR's individual slack.
+func ExampleCheckSchedulability() {
+	set, _ := nprt.NewTaskSet([]nprt.Task{
+		{Name: "a", Period: 10, WCETAccurate: 5, WCETImprecise: 2},
+		{Name: "b", Period: 30, WCETAccurate: 20, WCETImprecise: 6},
+	})
+	rep := nprt.CheckSchedulability(set, nprt.Imprecise)
+	fmt.Printf("schedulable=%v γ_min=%.3f\n", rep.Schedulable, rep.GammaMin)
+	// Output:
+	// schedulable=true γ_min=1.375
+}
+
+// The offline collaborative methods wrap an offline plan in online
+// adjustment; with worst-case execution the plan is followed verbatim.
+func ExampleNewILPOA() {
+	set, _ := nprt.NewTaskSet([]nprt.Task{
+		{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2,
+			Error: nprt.Dist{Mean: 1}},
+		{Name: "b", Period: 10, WCETAccurate: 5, WCETImprecise: 2,
+			Error: nprt.Dist{Mean: 10}},
+	})
+	p, err := nprt.NewILPOA(set)
+	if err != nil {
+		panic(err)
+	}
+	res, err := nprt.Simulate(set, p, nprt.SimConfig{Hyperperiods: 1})
+	if err != nil {
+		panic(err)
+	}
+	// The optimizer protects the error-10 task: it runs accurate, the
+	// error-1 task absorbs the imprecision.
+	fmt.Printf("mean error %.1f, misses %d\n", res.MeanError(), res.Misses.Events)
+	// Output:
+	// mean error 0.5, misses 0
+}
+
+// DP(C) plans accuracy so consecutive-imprecision budgets hold.
+func ExampleSolveCumulativeDP() {
+	set, _ := nprt.NewTaskSet([]nprt.Task{
+		{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2,
+			Error: nprt.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		{Name: "b", Period: 10, WCETAccurate: 6, WCETImprecise: 2,
+			Error: nprt.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	})
+	plan, stats, err := nprt.SolveCumulativeDP(set, nprt.CumulativeDPOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", stats.Feasible)
+	fmt.Println("jobs planned:", len(plan.Jobs))
+	// Output:
+	// feasible: true
+	// jobs planned: 4
+}

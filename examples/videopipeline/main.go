@@ -1,0 +1,77 @@
+// Video pipeline: the paper's motivating scenario (§I, §II-C). A decoder
+// runs periodic IDCT tasks over several frame streams; deadline misses
+// cause visible stutter, while a truncated (imprecise) inverse transform
+// only perturbs a few pixels — an error that does not carry over to the
+// next frame (the independent-error model).
+//
+// The example builds the paper's IDCT testcase from real measured
+// transform costs and errors, shows that accurate-only scheduling is
+// infeasible, and compares EDF-Imprecise against the collaborative
+// ILP+Post+OA method.
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nprt"
+	"nprt/internal/imprecise"
+	"nprt/internal/trace"
+	"nprt/internal/workload"
+)
+
+func main() {
+	// First, the kernel-level view: what does coefficient truncation do to
+	// one 8×8 block?
+	fmt.Println("truncated-IDCT characterization (per 8×8 block):")
+	spec := imprecise.ImageSpec{Name: "qvga", Width: 320, Height: 240, Channels: 1}
+	for _, keep := range []int{2, 4, 6, 8} {
+		ch := imprecise.CharacterizeIDCT(spec, keep, 100, 1)
+		fmt.Printf("  keep %d/8 rows: mean abs pixel error %.3f, cost %d%% of accurate\n",
+			keep, ch.MeanError, 100*imprecise.IDCTOpCount(keep)/imprecise.IDCTOpCount(8))
+	}
+
+	// The paper's IDCT case: 5 frame streams, WCETs from transform op
+	// counts, errors from measurement.
+	c, err := workload.IDCTCase()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := c.Set()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nIDCT task set (Table I row):")
+	fmt.Print(set.String())
+	fmt.Printf("schedulable accurate:  %v\n", nprt.Schedulable(set, nprt.Accurate))
+	fmt.Printf("schedulable imprecise: %v (condition-2 blocking at high truncation cost)\n",
+		nprt.Schedulable(set, nprt.Imprecise))
+
+	run := func(name string, p nprt.Policy) *nprt.SimResult {
+		res, err := nprt.Simulate(set, p, nprt.SimConfig{
+			Hyperperiods: 500,
+			Sampler:      nprt.NewRandomSampler(set, 7),
+			TraceLimit:   2 * set.JobsPerHyperperiod(),
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("  %-14s misses=%-12s mean pixel error %.4f (accurate runs: %d%%)\n",
+			name, res.Misses.String(), res.MeanError(),
+			100*res.Accurate/(res.Accurate+res.Imprecise))
+		return res
+	}
+
+	fmt.Println("\ndecoding 500 hyper-periods per method:")
+	run("EDF-Imprecise", nprt.NewEDFImprecise())
+	ilpPost, err := nprt.NewILPPostOABestEffort(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := run("ILP+Post+OA", ilpPost)
+
+	fmt.Println("\nfirst two hyper-periods under ILP+Post+OA ('#' accurate, 'o' imprecise):")
+	fmt.Print(trace.Gantt(best.Trace, set, set.Hyperperiod()/120, 0))
+}

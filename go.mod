@@ -1,0 +1,3 @@
+module nprt
+
+go 1.22

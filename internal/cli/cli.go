@@ -1,0 +1,123 @@
+// Package cli holds the plumbing shared by the command-line tools:
+// resolving task sets (built-in testcases or JSON files), the method
+// registry mapping the paper's method names to policy constructors, and
+// small formatting helpers. Keeping it out of package main makes the CLI
+// behaviour unit-testable.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"nprt/internal/cumulative"
+	"nprt/internal/esr"
+	"nprt/internal/offline"
+	"nprt/internal/policy"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/workload"
+)
+
+// Methods lists every schedulable method name, in presentation order.
+func Methods() []string {
+	return []string{
+		"EDF-Accurate", "EDF-Imprecise", "EDF+ESR",
+		"ILP+OA", "ILP+Post+OA", "Flipped EDF",
+		"EDF+ESR(C)", "DP(C)",
+	}
+}
+
+// BuildPolicy constructs a fresh policy by its method name. Offline methods
+// use the best-effort fallback so every built-in case produces a run.
+func BuildPolicy(method string, s *task.Set) (sim.Policy, error) {
+	switch method {
+	case "EDF-Accurate":
+		return policy.NewEDFAccurate(), nil
+	case "EDF-Imprecise":
+		return policy.NewEDFImprecise(), nil
+	case "EDF+ESR":
+		return esr.New(), nil
+	case "ILP+OA":
+		return offline.NewILPOABestEffort(s)
+	case "ILP+Post+OA":
+		return offline.NewILPPostOABestEffort(s)
+	case "Flipped EDF":
+		return offline.NewFlippedEDFBestEffort(s)
+	case "EDF+ESR(C)":
+		return cumulative.NewESR(), nil
+	case "DP(C)":
+		plan, stats, err := cumulative.Solve(s, cumulative.Options{SuperPeriodFactorCap: 4})
+		if err != nil {
+			return nil, err
+		}
+		if !stats.Feasible {
+			return nil, fmt.Errorf("DP(C): no feasible precision assignment (truncated=%v)", stats.Truncated)
+		}
+		return cumulative.NewReplay(plan), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (available: %v)", method, Methods())
+	}
+}
+
+// LoadSet resolves a task set from a built-in case name or a JSON file
+// (exactly one of the two must be non-empty). The JSON format is an array
+// of task.Task objects.
+func LoadSet(caseName, file string) (*task.Set, error) {
+	switch {
+	case caseName != "" && file != "":
+		return nil, fmt.Errorf("use either -case or -file, not both")
+	case caseName == "Newton":
+		c, _, err := workload.NewtonCase()
+		if err != nil {
+			return nil, err
+		}
+		return c.Set()
+	case caseName != "":
+		c, err := workload.CaseByName(caseName)
+		if err != nil {
+			return nil, err
+		}
+		return c.Set()
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return LoadSetJSON(f)
+	default:
+		return nil, fmt.Errorf("specify -case <name> or -file <tasks.json>")
+	}
+}
+
+// LoadSetJSON decodes a JSON task array from a reader.
+func LoadSetJSON(r io.Reader) (*task.Set, error) {
+	return task.DecodeJSON(r)
+}
+
+// CaseNames lists the built-in testcases, including the prototype case.
+func CaseNames() ([]string, error) {
+	cases, err := workload.CachedCases()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(cases)+1)
+	for _, c := range cases {
+		names = append(names, c.Name)
+	}
+	names = append(names, "Newton")
+	return names, nil
+}
+
+// SortedSeriesNames returns a figure's series names in stable order (used
+// by table renderers).
+func SortedSeriesNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+func TestMethodsListStable(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 8 {
+		t.Fatalf("%d methods", len(ms))
+	}
+	want := []string{"EDF-Accurate", "EDF-Imprecise", "EDF+ESR",
+		"ILP+OA", "ILP+Post+OA", "Flipped EDF", "EDF+ESR(C)", "DP(C)"}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("method[%d] = %q, want %q", i, ms[i], want[i])
+		}
+	}
+}
+
+func TestBuildPolicyAllMethods(t *testing.T) {
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 20, WCETAccurate: 8, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+		{Name: "b", Period: 40, WCETAccurate: 12, WCETImprecise: 5,
+			Error: task.Dist{Mean: 2}, MaxConsecutiveImprecise: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods() {
+		p, err := BuildPolicy(m, s)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		res, err := sim.Run(s, p, sim.Config{Hyperperiods: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Jobs == 0 {
+			t.Errorf("%s: executed nothing", m)
+		}
+	}
+	if _, err := BuildPolicy("bogus", s); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("bogus method error = %v", err)
+	}
+}
+
+func TestBuildPolicyDPInfeasible(t *testing.T) {
+	// B=1 with an impossible budget: DP(C) must refuse.
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPolicy("DP(C)", s); err == nil {
+		t.Error("DP(C) accepted an infeasible set")
+	}
+}
+
+func TestLoadSetBuiltins(t *testing.T) {
+	for _, name := range []string{"Rnd1", "IDCT", "Newton"} {
+		s, err := LoadSet(name, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty set", name)
+		}
+	}
+	if _, err := LoadSet("nope", ""); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if _, err := LoadSet("Rnd1", "also-a-file"); err == nil {
+		t.Error("both -case and -file accepted")
+	}
+	if _, err := LoadSet("", ""); err == nil {
+		t.Error("neither -case nor -file accepted")
+	}
+	if _, err := LoadSet("", "/nonexistent/tasks.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadSetJSONRoundTrip(t *testing.T) {
+	s, err := LoadSetJSON(strings.NewReader(`[
+	  {"Name":"a","Period":10,"WCETAccurate":4,"WCETImprecise":2}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.EncodeJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSetJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-decoding encoded set: %v\n%s", err, sb.String())
+	}
+	if back.Len() != s.Len() || back.Hyperperiod() != s.Hyperperiod() {
+		t.Error("round trip changed the set")
+	}
+}
+
+func TestCaseNames(t *testing.T) {
+	names, err := CaseNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 15 || names[len(names)-1] != "Newton" {
+		t.Errorf("CaseNames = %v", names)
+	}
+}
+
+func TestSortedSeriesNames(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedSeriesNames(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedSeriesNames = %v", got)
+	}
+}

@@ -1,0 +1,326 @@
+package cumulative
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+func mkSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// alternatingSet is feasible only by alternating the imprecise task between
+// the two tasks each period: both accurate (12) exceed the shared period 10,
+// one of each (8) fits, and B=1 forbids two consecutive imprecise runs of
+// the same task.
+func alternatingSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 6, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	)
+}
+
+// impossibleSet cannot satisfy both constraints: two imprecise fit a period
+// (6) but force both tasks accurate next period (18 > 10), while any
+// accurate+imprecise mix (12) already overruns.
+func impossibleSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	)
+}
+
+// maxConsecutiveImprecise returns the per-task maximum run of imprecise
+// executions in the trace (in execution order).
+func maxConsecutiveImprecise(tr *trace.Trace, n int) []int {
+	cur := make([]int, n)
+	max := make([]int, n)
+	for _, e := range tr.Entries {
+		if e.Mode == task.Imprecise {
+			cur[e.Job.TaskID]++
+			if cur[e.Job.TaskID] > max[e.Job.TaskID] {
+				max[e.Job.TaskID] = cur[e.Job.TaskID]
+			}
+		} else {
+			cur[e.Job.TaskID] = 0
+		}
+	}
+	return max
+}
+
+func TestDPFindsAlternatingSolution(t *testing.T) {
+	s := alternatingSet(t)
+	asg, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Feasible || asg == nil {
+		t.Fatal("DP(C) did not find the alternating assignment")
+	}
+	// Super period: P=10, lcm(B_i+1)=2 → 20, with 2 jobs per task.
+	if asg.SuperPeriod != 20 || len(asg.Jobs) != 4 {
+		t.Errorf("super period %d with %d jobs, want 20 with 4", asg.SuperPeriod, len(asg.Jobs))
+	}
+	// Replay it and check every invariant.
+	res, err := sim.Run(s, NewReplay(asg), sim.Config{Hyperperiods: 40, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("replay missed %d deadlines", res.Misses.Events)
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs[0])
+	}
+	for l, m := range maxConsecutiveImprecise(res.Trace, s.Len()) {
+		if b := s.Task(l).MaxConsecutiveImprecise; m > b {
+			t.Errorf("task %d ran %d consecutive imprecise, budget %d", l, m, b)
+		}
+	}
+}
+
+func TestDPProvesInfeasibility(t *testing.T) {
+	s := impossibleSet(t)
+	asg, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Feasible || asg != nil {
+		t.Error("DP(C) claimed feasibility for an impossible set")
+	}
+	if stats.Truncated {
+		t.Error("truncated search cannot prove infeasibility")
+	}
+}
+
+func TestDPPruningAblation(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 5, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 8, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		task.Task{Name: "c", Period: 20, WCETAccurate: 6, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+	)
+	full, fullStats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, noneStats, err := Solve(s, Options{DisableDominance: true, DisableUtilization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.Feasible != noneStats.Feasible {
+		t.Fatalf("pruning changed the verdict: %v vs %v", fullStats.Feasible, noneStats.Feasible)
+	}
+	if (full == nil) != (none == nil) {
+		t.Error("assignment presence differs")
+	}
+	// Pruned search must never have more candidates at any level.
+	for lvl := range fullStats.LevelCounts {
+		if fullStats.LevelCounts[lvl] > noneStats.LevelCounts[lvl] {
+			t.Errorf("level %d: pruned %d > unpruned %d",
+				lvl, fullStats.LevelCounts[lvl], noneStats.LevelCounts[lvl])
+		}
+	}
+	if fullStats.PrunedDom == 0 {
+		t.Error("dominance pruning never fired on this case")
+	}
+	// The unpruned frontier should be strictly larger somewhere.
+	larger := false
+	for lvl := range fullStats.LevelCounts {
+		if noneStats.LevelCounts[lvl] > fullStats.LevelCounts[lvl] {
+			larger = true
+		}
+	}
+	if !larger {
+		t.Error("pruning had no effect at any level")
+	}
+}
+
+func TestDPTruncationFlag(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 5, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 8, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+	)
+	_, stats, err := Solve(s, Options{DisableDominance: true, DisableUtilization: true, MaxStatesPerLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Error("cap of 2 states per level did not mark truncation")
+	}
+	for _, c := range stats.LevelCounts {
+		if c > 2 {
+			t.Errorf("level count %d exceeds cap", c)
+		}
+	}
+}
+
+func TestDPRejectsPhases(t *testing.T) {
+	s := mkSet(t, task.Task{Name: "a", Period: 10, Release: 1,
+		WCETAccurate: 5, WCETImprecise: 2, MaxConsecutiveImprecise: 1})
+	if _, _, err := Solve(s, Options{}); err == nil {
+		t.Error("phase-shifted set accepted")
+	}
+}
+
+func TestESRCNoDeadlineMissesWhenImpreciseFeasible(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 12, WCETImprecise: 4,
+			ExecAccurate:  task.Dist{Mean: 5, Sigma: 1.5, Min: 1, Max: 12},
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0.6, Min: 1, Max: 4},
+			Error:         task.Dist{Mean: 4, Sigma: 1}, MaxConsecutiveImprecise: 3},
+		task.Task{Name: "b", Period: 40, WCETAccurate: 16, WCETImprecise: 5,
+			ExecAccurate:  task.Dist{Mean: 7, Sigma: 2, Min: 1, Max: 16},
+			ExecImprecise: task.Dist{Mean: 2.5, Sigma: 0.8, Min: 1, Max: 5},
+			Error:         task.Dist{Mean: 8, Sigma: 2}, MaxConsecutiveImprecise: 2},
+	)
+	if !feasibility.Schedulable(s, task.Imprecise) {
+		t.Fatal("premise: imprecise-feasible")
+	}
+	p := NewESR()
+	res, err := sim.Run(s, p, sim.Config{Hyperperiods: 300, Sampler: sim.NewRandomSampler(s, 5), TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("EDF+ESR(C) missed %d deadlines", res.Misses.Events)
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs[0])
+	}
+	var scenarioSum int64
+	for _, c := range p.Stats.Scenario {
+		scenarioSum += c
+	}
+	if scenarioSum != p.Stats.Jobs || p.Stats.Jobs != res.Jobs {
+		t.Errorf("scenario accounting broken: sum=%d jobs=%d engine=%d",
+			scenarioSum, p.Stats.Jobs, res.Jobs)
+	}
+}
+
+func TestESRCViolationsOnStressCase(t *testing.T) {
+	// Tight imprecise utilization starves the slack check, forcing long
+	// imprecise runs past the B=1 budgets (the Table III setting).
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 5,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 18, WCETImprecise: 9,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	)
+	p := NewESR()
+	res, err := sim.Run(s, p, sim.Config{Hyperperiods: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("deadline misses: %d (deadline guarantee must hold)", res.Misses.Events)
+	}
+	if p.Stats.Violations == 0 {
+		t.Error("stress case produced no error-constraint violations")
+	}
+	if got := p.ViolationPercent(); got <= 0 || got > 100 {
+		t.Errorf("ViolationPercent = %g", got)
+	}
+}
+
+func TestESRCRespectsBudgetWhenSlackAmple(t *testing.T) {
+	// Plenty of slack: scenario 1/4 should keep every run within budget.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 100, WCETAccurate: 10, WCETImprecise: 4,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+	)
+	p := NewESR()
+	res, err := sim.Run(s, p, sim.Config{Hyperperiods: 50, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Violations != 0 {
+		t.Errorf("violations on an easy set: %d", p.Stats.Violations)
+	}
+	for l, m := range maxConsecutiveImprecise(res.Trace, s.Len()) {
+		if b := s.Task(l).MaxConsecutiveImprecise; m > b {
+			t.Errorf("task %d: %d consecutive imprecise > budget %d", l, m, b)
+		}
+	}
+}
+
+func TestThetaControlsAggressiveness(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 8, WCETImprecise: 3,
+			ExecAccurate:  task.Dist{Mean: 4, Sigma: 1, Min: 1, Max: 8},
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0.5, Min: 1, Max: 3},
+			Error:         task.Dist{Mean: 1}, MaxConsecutiveImprecise: 4},
+		task.Task{Name: "b", Period: 40, WCETAccurate: 14, WCETImprecise: 5,
+			ExecAccurate:  task.Dist{Mean: 6, Sigma: 2, Min: 1, Max: 14},
+			ExecImprecise: task.Dist{Mean: 3, Sigma: 1, Min: 1, Max: 5},
+			Error:         task.Dist{Mean: 1}, MaxConsecutiveImprecise: 4},
+	)
+	run := func(theta float64) *sim.Result {
+		p := &ESRPolicy{Theta: theta}
+		res, err := sim.Run(s, p, sim.Config{Hyperperiods: 200, Sampler: sim.NewRandomSampler(s, 9)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	low := run(0.05) // latency rarely "tighter" → lean accurate
+	high := run(10)  // latency almost always "tighter" → lean imprecise
+	if low.Accurate <= high.Accurate {
+		t.Errorf("θ sensitivity inverted: acc(θ=0.05)=%d vs acc(θ=10)=%d",
+			low.Accurate, high.Accurate)
+	}
+}
+
+func TestESRCName(t *testing.T) {
+	if NewESR().Name() != "EDF+ESR(C)" {
+		t.Errorf("name = %q", NewESR().Name())
+	}
+	if (&ESRPolicy{Label: "X"}).Name() != "X" {
+		t.Error("label override broken")
+	}
+	if NewReplay(&Assignment{}).Name() != "DP(C)" {
+		t.Error("replay name wrong")
+	}
+}
+
+func TestCyclicSafe(t *testing.T) {
+	s := alternatingSet(t)
+	asg, stats, err := Solve(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Feasible {
+		t.Fatal("premise: feasible")
+	}
+	if !asg.CyclicSafe() {
+		t.Error("alternating plan should repeat cyclically")
+	}
+	// Corrupt the plan: force every mode imprecise → budgets break.
+	bad := &Assignment{Set: asg.Set, SuperPeriod: asg.SuperPeriod, Jobs: asg.Jobs,
+		Modes: make([]task.Mode, len(asg.Modes))}
+	for i := range bad.Modes {
+		bad.Modes[i] = task.Imprecise
+	}
+	if bad.CyclicSafe() {
+		t.Error("all-imprecise plan reported cyclic-safe despite B=1 budgets")
+	}
+}

@@ -1,0 +1,395 @@
+package cumulative
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// Assignment is a feasible offline precision plan over one super period, in
+// dispatch order.
+type Assignment struct {
+	Set         *task.Set
+	SuperPeriod task.Time
+	Jobs        []task.Job
+	Modes       []task.Mode
+}
+
+// SearchStats records the DP(C) search behaviour — the data behind Figure 4
+// (candidate partial solutions per level, with and without pruning).
+type SearchStats struct {
+	LevelCounts []int // surviving candidate solutions after each job level
+	Expanded    int   // total states expanded
+	PrunedDom   int   // states removed by dominance
+	PrunedUtil  int   // states removed by the best-case-utilization bound
+	Feasible    bool
+	Truncated   bool // a level hit MaxStatesPerLevel; completeness lost
+}
+
+// Options configures the DP(C) search.
+type Options struct {
+	// DisableDominance and DisableUtilization turn the §V-B pruning rules
+	// off (the "without pruning" series of Figure 4). Hard constraint
+	// violations (deadline, error budget) always prune.
+	DisableDominance   bool
+	DisableUtilization bool
+	// MaxStatesPerLevel caps a level's surviving states (0 = 1<<20). When
+	// hit, the search continues truncated: a "feasible" answer is still
+	// sound, but "infeasible" is no longer a proof.
+	MaxStatesPerLevel int
+	// SuperPeriodFactorCap caps the super-period multiplier (0 = 64).
+	SuperPeriodFactorCap int64
+}
+
+// dpState is one candidate partial solution.
+type dpState struct {
+	t       task.Time // finish time of the processed jobs
+	nextIdx []int32   // per task: next unprocessed job index
+	consec  []int16   // φ per task
+	parent  int32     // index into the previous level's arena
+	job     task.Job  // job dispatched to reach this state
+	mode    task.Mode
+}
+
+// key identifies the dominance group: same processed-job multiset and same
+// finish time.
+func (s *dpState) key() string {
+	buf := make([]byte, 0, 8+4*len(s.nextIdx))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.t))
+	for _, v := range s.nextIdx {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return string(buf)
+}
+
+// dominates reports componentwise φ_a ≤ φ_b (a is at least as good).
+func dominates(a, b *dpState) bool {
+	for l := range a.consec {
+		if a.consec[l] > b.consec[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve runs the §V-B dynamic program over one super period. It returns a
+// feasible assignment when one exists (nil assignment + Feasible=false
+// otherwise) along with the search statistics.
+func Solve(s *task.Set, opt Options) (*Assignment, *SearchStats, error) {
+	if s.MaxRelease() != 0 {
+		return nil, nil, fmt.Errorf("cumulative: DP(C) requires all first releases at 0")
+	}
+	capFactor := opt.SuperPeriodFactorCap
+	if capFactor <= 0 {
+		capFactor = 64
+	}
+	maxStates := opt.MaxStatesPerLevel
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	sp, _, _ := s.SuperPeriod(capFactor)
+
+	n := s.Len()
+	totalJobs := make([]int32, n)
+	levels := 0
+	for l := 0; l < n; l++ {
+		totalJobs[l] = int32(sp / s.Task(l).Period)
+		levels += int(totalJobs[l])
+	}
+
+	stats := &SearchStats{}
+	root := &dpState{nextIdx: make([]int32, n), consec: make([]int16, n), parent: -1}
+	arena := [][]*dpState{{root}}
+
+	for level := 0; level < levels; level++ {
+		cur := arena[level]
+		var next []*dpState
+		for pi, ps := range cur {
+			stats.Expanded++
+			job, ok := edfNext(s, ps, totalJobs)
+			if !ok {
+				continue // should not happen before the last level
+			}
+			tk := s.Task(job.TaskID)
+			start := ps.t
+			if job.Release > start {
+				start = job.Release
+			}
+			// Accurate branch.
+			if f := start + tk.WCETAccurate; f <= job.Deadline {
+				next = append(next, childState(ps, int32(pi), job, task.Accurate, f))
+			}
+			// Imprecise branch (hard error budget).
+			b := tk.MaxConsecutiveImprecise
+			if b == 0 || int(ps.consec[job.TaskID])+1 <= b {
+				if f := start + tk.WCETImprecise; f <= job.Deadline {
+					next = append(next, childState(ps, int32(pi), job, task.Imprecise, f))
+				}
+			}
+		}
+
+		if !opt.DisableUtilization {
+			kept := next[:0]
+			for _, st := range next {
+				if utilizationFeasible(s, st, totalJobs, sp) {
+					kept = append(kept, st)
+				} else {
+					stats.PrunedUtil++
+				}
+			}
+			next = kept
+		}
+		if !opt.DisableDominance {
+			next = pruneDominated(next, stats)
+		}
+		if len(next) > maxStates {
+			next = next[:maxStates]
+			stats.Truncated = true
+		}
+		stats.LevelCounts = append(stats.LevelCounts, len(next))
+		if len(next) == 0 {
+			return nil, stats, nil
+		}
+		arena = append(arena, next)
+	}
+
+	// Reconstruct from any surviving terminal state.
+	stats.Feasible = true
+	asg := &Assignment{Set: s, SuperPeriod: sp,
+		Jobs:  make([]task.Job, levels),
+		Modes: make([]task.Mode, levels),
+	}
+	idx := int32(0)
+	for level := levels; level >= 1; level-- {
+		st := arena[level][idx]
+		asg.Jobs[level-1] = st.job
+		asg.Modes[level-1] = st.mode
+		idx = st.parent
+	}
+	return asg, stats, nil
+}
+
+func childState(ps *dpState, parent int32, job task.Job, m task.Mode, finish task.Time) *dpState {
+	nx := make([]int32, len(ps.nextIdx))
+	copy(nx, ps.nextIdx)
+	nx[job.TaskID]++
+	cs := make([]int16, len(ps.consec))
+	copy(cs, ps.consec)
+	if m == task.Imprecise {
+		cs[job.TaskID]++
+	} else {
+		cs[job.TaskID] = 0
+	}
+	return &dpState{t: finish, nextIdx: nx, consec: cs, parent: parent, job: job, mode: m}
+}
+
+// edfNext finds the next job non-preemptive EDF would dispatch from this
+// state: the earliest-deadline job among those released at the state's
+// time, advancing over idle gaps when nothing is released.
+func edfNext(s *task.Set, ps *dpState, totalJobs []int32) (task.Job, bool) {
+	t := ps.t
+	for {
+		best := task.Job{}
+		found := false
+		var minRelease task.Time
+		haveRelease := false
+		for l := 0; l < s.Len(); l++ {
+			if ps.nextIdx[l] >= totalJobs[l] {
+				continue
+			}
+			j := s.Job(l, int(ps.nextIdx[l]))
+			if j.Release <= t {
+				if !found || edfLess(j, best) {
+					best, found = j, true
+				}
+			} else if !haveRelease || j.Release < minRelease {
+				minRelease, haveRelease = j.Release, true
+			}
+		}
+		if found {
+			return best, true
+		}
+		if !haveRelease {
+			return task.Job{}, false
+		}
+		t = minRelease
+	}
+}
+
+func edfLess(a, b task.Job) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.TaskID != b.TaskID {
+		return a.TaskID < b.TaskID
+	}
+	return a.Index < b.Index
+}
+
+// utilizationFeasible is the §V-B best-case-utilization prune: with the
+// error budgets spent as aggressively as possible, the remaining jobs'
+// minimum workload must still fit between the state's time and the super
+// period's end.
+func utilizationFeasible(s *task.Set, st *dpState, totalJobs []int32, sp task.Time) bool {
+	var workMin task.Time
+	for l := 0; l < s.Len(); l++ {
+		m := int64(totalJobs[l] - st.nextIdx[l])
+		if m <= 0 {
+			continue
+		}
+		tk := s.Task(l)
+		b := int64(tk.MaxConsecutiveImprecise)
+		var accurate int64
+		if b > 0 {
+			free := b - int64(st.consec[l]) // imprecise runs available before an accurate is forced
+			if free < 0 {
+				free = 0
+			}
+			if m > free {
+				accurate = (m - free + b) / (b + 1) // ceil((m-free)/(b+1))
+			}
+		}
+		workMin += task.Time(accurate)*tk.WCETAccurate + task.Time(m-accurate)*tk.WCETImprecise
+	}
+	return st.t+workMin <= sp
+}
+
+// pruneDominated removes states dominated within their (jobs, finish-time)
+// group: S_i is dominated by S_j when every cumulative counter of S_j is no
+// larger.
+func pruneDominated(states []*dpState, stats *SearchStats) []*dpState {
+	groups := make(map[string][]*dpState, len(states))
+	for _, st := range states {
+		groups[st.key()] = append(groups[st.key()], st)
+	}
+	out := states[:0]
+	for _, group := range groups {
+		var kept []*dpState
+		for _, cand := range group {
+			dominated := false
+			for _, k := range kept {
+				if dominates(k, cand) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				stats.PrunedDom++
+				continue
+			}
+			// Remove previously kept states the candidate dominates.
+			filtered := kept[:0]
+			for _, k := range kept {
+				if dominates(cand, k) {
+					stats.PrunedDom++
+					continue
+				}
+				filtered = append(filtered, k)
+			}
+			kept = append(filtered, cand)
+		}
+		out = append(out, kept...)
+	}
+	return out
+}
+
+// ReplayPolicy executes a DP(C) assignment cyclically: planned order,
+// planned modes, ASAP starts. It satisfies sim.Policy.
+type ReplayPolicy struct {
+	Label string
+	Plan  *Assignment
+
+	pos      int
+	cycle    int64
+	perCycle []int // jobs per super period per task
+}
+
+// NewReplay wraps an assignment for simulation.
+func NewReplay(plan *Assignment) *ReplayPolicy {
+	return &ReplayPolicy{Label: "DP(C)", Plan: plan}
+}
+
+// Name implements sim.Policy.
+func (p *ReplayPolicy) Name() string { return p.Label }
+
+// Reset implements sim.Policy.
+func (p *ReplayPolicy) Reset(st *sim.State) {
+	p.pos, p.cycle = 0, 0
+	p.perCycle = make([]int, st.Set().Len())
+	for l := range p.perCycle {
+		p.perCycle[l] = int(p.Plan.SuperPeriod / st.Set().Task(l).Period)
+	}
+}
+
+// Pick replays the planned job in the current super-period cycle.
+func (p *ReplayPolicy) Pick(st *sim.State) (sim.Decision, bool) {
+	if p.pos >= len(p.Plan.Jobs) {
+		p.pos = 0
+		p.cycle++
+	}
+	j := p.Plan.Jobs[p.pos]
+	offset := p.cycle * p.Plan.SuperPeriod
+	job := task.Job{
+		TaskID:   j.TaskID,
+		Index:    j.Index + int(p.cycle)*p.perCycle[j.TaskID],
+		Release:  j.Release + offset,
+		Deadline: j.Deadline + offset,
+	}
+	if job.Deadline > st.Horizon() {
+		return sim.Decision{}, false
+	}
+	return sim.Decision{Job: job, Mode: p.Plan.Modes[p.pos]}, true
+}
+
+// JobFinished implements sim.Policy.
+func (p *ReplayPolicy) JobFinished(*sim.State, sim.Decision, task.Time, task.Time) {
+	p.pos++
+}
+
+// CyclicSafe reports whether the assignment can repeat back-to-back
+// forever: re-running the plan with the consecutive-imprecision counters
+// carried over from the end of the previous super period must still satisfy
+// every budget, and the WCET timeline must not drift (the last job must
+// finish within the super period so the next cycle starts cleanly). The
+// §V-B super period covers every *phase* of the budgets; this check closes
+// the loop for the specific plan found.
+func (a *Assignment) CyclicSafe() bool {
+	n := a.Set.Len()
+	carry := make([]int, n)
+	for cycle := 0; cycle < 2; cycle++ {
+		var clock task.Time
+		for k, j := range a.Jobs {
+			tk := a.Set.Task(j.TaskID)
+			start := clock
+			if j.Release > start {
+				start = j.Release
+			}
+			var dur task.Time
+			if a.Modes[k] == task.Imprecise {
+				carry[j.TaskID]++
+				if b := tk.MaxConsecutiveImprecise; b > 0 && carry[j.TaskID] > b {
+					return false
+				}
+				dur = tk.WCETImprecise
+			} else {
+				carry[j.TaskID] = 0
+				dur = tk.WCETAccurate
+			}
+			f := start + dur
+			if f > j.Deadline {
+				return false
+			}
+			clock = f
+		}
+		if clock > a.SuperPeriod {
+			return false
+		}
+		// carry persists into the next cycle.
+	}
+	return true
+}

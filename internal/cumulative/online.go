@@ -1,0 +1,141 @@
+// Package cumulative implements §V of the paper: scheduling periodic tasks
+// whose imprecision errors accumulate across consecutive imprecise jobs.
+// Problem 2 bounds the number of consecutive imprecise executions of task
+// τ_i by B_i (task.MaxConsecutiveImprecise; zero = unconstrained).
+//
+// Two methods are provided:
+//
+//   - ESRPolicy (§V-A): an online EDF heuristic with four dispatch
+//     scenarios, using the explicit-slack-reclamation check of §III and the
+//     error-slack/latency-slack ratio test with threshold θ;
+//   - the offline dynamic program DP(C) (§V-B) in dp.go, which searches
+//     precision assignments over a super period with dominance and
+//     best-case-utilization pruning (complete per Proposition 1).
+package cumulative
+
+import (
+	"nprt/internal/esr"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// DefaultTheta is the ratio threshold θ of §V-A: when
+// LatencySlack/ErrorSlack < θ the latency slack is considered the tighter
+// resource and the job runs imprecise.
+const DefaultTheta = 0.5
+
+// ESRPolicy is EDF+ESR(C), the §V-A online heuristic.
+type ESRPolicy struct {
+	Theta float64 // θ; 0 means DefaultTheta
+	Label string
+
+	tracker *esr.Tracker
+	consec  []int // φ per task: consecutive imprecise runs immediately before now
+
+	// Scenario and violation counters (Table III statistics).
+	Stats struct {
+		Scenario [4]int64 // dispatches decided by scenario 1..4 (index 0..3)
+		// Violations counts jobs forced imprecise beyond their budget B_i
+		// (scenario 3: imprecision would violate the error constraint AND
+		// accurate mode fails the schedulability check).
+		Violations int64
+		Jobs       int64
+	}
+}
+
+// NewESR returns EDF+ESR(C) with the default θ.
+func NewESR() *ESRPolicy { return &ESRPolicy{} }
+
+// Name implements sim.Policy.
+func (p *ESRPolicy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "EDF+ESR(C)"
+}
+
+// Reset implements sim.Policy.
+func (p *ESRPolicy) Reset(st *sim.State) {
+	p.tracker = esr.NewTracker(st.Set())
+	p.consec = make([]int, st.Set().Len())
+	p.Stats.Scenario = [4]int64{}
+	p.Stats.Violations = 0
+	p.Stats.Jobs = 0
+}
+
+// theta returns the configured θ.
+func (p *ESRPolicy) theta() float64 {
+	if p.Theta > 0 {
+		return p.Theta
+	}
+	return DefaultTheta
+}
+
+// Pick dispatches the EDF job and chooses its mode by the four scenarios of
+// §V-A.
+func (p *ESRPolicy) Pick(st *sim.State) (sim.Decision, bool) {
+	j, ok := st.EDFPick()
+	if !ok {
+		return sim.Decision{}, false
+	}
+	tk := st.Set().Task(j.TaskID)
+	slacks := p.tracker.Evaluate(st, j)
+	schedOK := esr.AccurateFits(st, j, slacks)
+
+	b := tk.MaxConsecutiveImprecise
+	errViolate := b > 0 && p.consec[j.TaskID]+1 > b
+
+	mode := task.Imprecise
+	switch {
+	case errViolate && schedOK:
+		// Scenario 1: accurate clears the accumulated error and is safe.
+		mode = task.Accurate
+		p.Stats.Scenario[0]++
+	case !errViolate && !schedOK:
+		// Scenario 2: imprecision is within budget; accurate is unsafe.
+		mode = task.Imprecise
+		p.Stats.Scenario[1]++
+	case errViolate && !schedOK:
+		// Scenario 3: both constraints conflict; keep the deadline
+		// guarantee, record the error-constraint violation.
+		mode = task.Imprecise
+		p.Stats.Scenario[2]++
+		p.Stats.Violations++
+	default:
+		// Scenario 4: both are fine — compare the normalized slacks.
+		p.Stats.Scenario[3]++
+		errorSlack := 1.0
+		if b > 0 {
+			errorSlack = float64(b-p.consec[j.TaskID]) / float64(b)
+		}
+		latencySlack := float64(j.Deadline-st.Now()-tk.WCETAccurate) / float64(tk.Period)
+		if latencySlack/errorSlack < p.theta() {
+			mode = task.Imprecise
+		} else {
+			mode = task.Accurate
+		}
+	}
+
+	p.tracker.Commit(slacks)
+	p.Stats.Jobs++
+	if mode == task.Imprecise {
+		p.consec[j.TaskID]++
+	} else {
+		p.consec[j.TaskID] = 0
+	}
+	return sim.Decision{Job: j, Mode: mode}, true
+}
+
+// JobFinished implements sim.Policy.
+func (p *ESRPolicy) JobFinished(_ *sim.State, _ sim.Decision, _, finish task.Time) {
+	p.tracker.Finished(finish)
+}
+
+// ViolationPercent returns the Table III statistic: the percentage of
+// dispatches that violated the consecutive-imprecision budget.
+func (p *ESRPolicy) ViolationPercent() float64 {
+	if p.Stats.Jobs == 0 {
+		return 0
+	}
+	return 100 * float64(p.Stats.Violations) / float64(p.Stats.Jobs)
+}

@@ -1,0 +1,198 @@
+// Package esr implements §III of the paper: online EDF scheduling with
+// Explicit Slack Reclamation for periodic tasks with independent errors.
+//
+// When a job is dispatched the policy adds up three slack sources and runs
+// the job in accurate mode iff the total covers the accurate/imprecise WCET
+// gap w_i − x_i:
+//
+//   - individual slack ψ_{i,j} = (γ_min − 1)·x_i, from the margin by which
+//     the imprecise-mode task set passes Theorem 1 (computed once, offline);
+//   - idle-time slack ψ_idle = min(d_{i,j}, r_next) − f_{i,j}, the processor
+//     idleness that would follow the job's nominal completion;
+//   - inter-job slack ψ^{k,l}_{i,j} = max(f_{k,l} − max(r_{i,j}, f'_{k,l}), 0),
+//     earliness inherited from the previous job's actual completion f'
+//     relative to its nominal completion f.
+//
+// The nominal finish time is f_{i,j} = now + x_i + ψ_inter, per the paper.
+// The accuracy check is O(1) per dispatch.
+//
+// The slack bookkeeping is exposed as Tracker so the cumulative-error
+// heuristic of §V-A (internal/cumulative) can run the same schedulability
+// check.
+package esr
+
+import (
+	"nprt/internal/feasibility"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// Slacks is the slack breakdown for one dispatch.
+type Slacks struct {
+	Individual task.Time // ψ_{i,j}
+	Idle       task.Time // ψ_idle
+	Inter      task.Time // ψ^{k,l}_{i,j}
+	Nominal    task.Time // f_{i,j} = now + x_i + ψ_inter
+}
+
+// Total returns the summed reclaimable slack.
+func (s Slacks) Total() task.Time { return s.Individual + s.Idle + s.Inter }
+
+// Tracker maintains the explicit-slack-reclamation state across dispatches:
+// per-task individual slacks and the previous job's nominal/actual finish.
+type Tracker struct {
+	slacks      []task.Time
+	prevNominal task.Time
+	prevActual  task.Time
+	curNominal  task.Time
+}
+
+// NewTracker computes the individual slacks for the set (zero for every
+// task when the imprecise-mode Theorem-1 check fails — ESR then runs purely
+// best-effort) and returns a fresh tracker.
+func NewTracker(s *task.Set) *Tracker {
+	return &Tracker{slacks: feasibility.IndividualSlacks(s)}
+}
+
+// Evaluate computes the slack breakdown for dispatching job j now. It does
+// not change tracker state; call Commit with the returned Slacks when the
+// job is actually dispatched.
+func (tr *Tracker) Evaluate(st *sim.State, j task.Job) Slacks {
+	tk := st.Set().Task(j.TaskID)
+	now := st.Now()
+
+	inter := tr.prevNominal - max64(j.Release, tr.prevActual)
+	if inter < 0 {
+		inter = 0
+	}
+	nominal := now + tk.WCET(task.Deepest) + inter
+
+	var idle task.Time
+	bound := j.Deadline
+	if rNext, ok := st.NextReleaseTime(j.Key()); ok && rNext < bound {
+		bound = rNext
+	}
+	if bound > nominal {
+		idle = bound - nominal
+	}
+
+	return Slacks{
+		Individual: tr.slacks[j.TaskID],
+		Idle:       idle,
+		Inter:      inter,
+		Nominal:    nominal,
+	}
+}
+
+// AccurateFits reports whether the slack total covers the task's mode gap
+// w−x, i.e. whether the job may run accurately without endangering the
+// imprecise-mode schedulability guarantee.
+func AccurateFits(st *sim.State, j task.Job, s Slacks) bool {
+	tk := st.Set().Task(j.TaskID)
+	return s.Total() >= tk.WCETAccurate-tk.WCET(task.Deepest)
+}
+
+// BestMode returns the most accurate level whose WCET gap over the task's
+// deepest level is covered by the slack total and whose worst case still
+// meets the job's own deadline from `now` — the multi-level generalization
+// the paper sketches in §II-C. With two levels this is the paper's
+// accurate-iff-ψ_total ≥ w−x rule; the explicit deadline guard matters once
+// individual slacks grow large relative to the level gaps.
+func BestMode(tk *task.Task, j task.Job, now task.Time, total task.Time) task.Mode {
+	deepest := tk.WCET(task.Deepest)
+	for m := task.Accurate; int(m) < tk.NumModes(); m++ {
+		if tk.WCET(m)-deepest <= total && now+tk.WCET(m) <= j.Deadline {
+			return m
+		}
+	}
+	return tk.ClampMode(task.Deepest)
+}
+
+// Commit records the dispatch of a job whose slacks were Evaluated.
+func (tr *Tracker) Commit(s Slacks) { tr.curNominal = s.Nominal }
+
+// Finished records the actual completion of the committed job; the pair
+// (nominal, actual) seeds the next dispatch's inter-job slack.
+func (tr *Tracker) Finished(actual task.Time) {
+	tr.prevNominal = tr.curNominal
+	tr.prevActual = actual
+}
+
+// IndividualSlack exposes ψ for one task (tests, diagnostics).
+func (tr *Tracker) IndividualSlack(taskID int) task.Time { return tr.slacks[taskID] }
+
+// Policy is the EDF+ESR scheduler. The Disable* switches support the slack
+// ablation study; leave them false for the paper's algorithm.
+type Policy struct {
+	DisableIndividual bool
+	DisableIdle       bool
+	DisableInter      bool
+	Label             string // defaults to "EDF+ESR"
+
+	tracker *Tracker
+
+	// Decisions counts accuracy choices for diagnostics.
+	Decisions struct {
+		Accurate, Imprecise int64
+	}
+}
+
+// New returns the paper's EDF+ESR policy.
+func New() *Policy { return &Policy{} }
+
+// Name implements sim.Policy.
+func (p *Policy) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "EDF+ESR"
+}
+
+// Reset computes the individual slacks from the Theorem-1 margin γ_min of
+// the imprecise-mode analysis.
+func (p *Policy) Reset(st *sim.State) {
+	p.tracker = NewTracker(st.Set())
+	p.Decisions.Accurate, p.Decisions.Imprecise = 0, 0
+}
+
+// Pick dispatches the EDF job and selects its mode by the slack check.
+func (p *Policy) Pick(st *sim.State) (sim.Decision, bool) {
+	j, ok := st.EDFPick()
+	if !ok {
+		return sim.Decision{}, false
+	}
+	s := p.tracker.Evaluate(st, j)
+	total := task.Time(0)
+	if !p.DisableIndividual {
+		total += s.Individual
+	}
+	if !p.DisableIdle {
+		total += s.Idle
+	}
+	if !p.DisableInter {
+		total += s.Inter
+	}
+
+	tk := st.Set().Task(j.TaskID)
+	mode := BestMode(tk, j, st.Now(), total)
+	if mode == task.Accurate {
+		p.Decisions.Accurate++
+	} else {
+		p.Decisions.Imprecise++
+	}
+	p.tracker.Commit(s)
+	return sim.Decision{Job: j, Mode: mode}, true
+}
+
+// JobFinished records the nominal/actual finish pair that seeds the next
+// job's inter-job slack.
+func (p *Policy) JobFinished(_ *sim.State, _ sim.Decision, _, finish task.Time) {
+	p.tracker.Finished(finish)
+}
+
+func max64(a, b task.Time) task.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package esr
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/policy"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+func mkSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// impreciseFeasibleSet is not schedulable accurate (U=1.35) but comfortably
+// schedulable imprecise.
+func impreciseFeasibleSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{
+			Name: "a", Period: 20, WCETAccurate: 18, WCETImprecise: 4,
+			ExecAccurate:  task.Dist{Mean: 8, Sigma: 2, Min: 2, Max: 18},
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0.5, Min: 1, Max: 4},
+			Error:         task.Dist{Mean: 3, Sigma: 1},
+		},
+		task.Task{
+			Name: "b", Period: 40, WCETAccurate: 18, WCETImprecise: 5,
+			ExecAccurate:  task.Dist{Mean: 9, Sigma: 2, Min: 2, Max: 18},
+			ExecImprecise: task.Dist{Mean: 3, Sigma: 1, Min: 1, Max: 5},
+			Error:         task.Dist{Mean: 6, Sigma: 2},
+		},
+	)
+}
+
+func TestNoDeadlineMissWhenImpreciseFeasible(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	if !feasibility.Schedulable(s, task.Imprecise) {
+		t.Fatal("premise: set must be imprecise-feasible")
+	}
+	if feasibility.Schedulable(s, task.Accurate) {
+		t.Fatal("premise: set must not be accurate-feasible")
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		res, err := sim.Run(s, New(), sim.Config{
+			Hyperperiods: 200,
+			Sampler:      sim.NewRandomSampler(s, seed),
+			TraceLimit:   -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses.Events != 0 {
+			t.Errorf("seed %d: EDF+ESR missed %d deadlines", seed, res.Misses.Events)
+		}
+		vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+		if len(vs) != 0 {
+			t.Errorf("seed %d: trace violations: %v", seed, vs[:minInt(3, len(vs))])
+		}
+	}
+}
+
+func TestESRBeatsEDFImpreciseOnError(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	cfg := func(seed uint64) sim.Config {
+		return sim.Config{Hyperperiods: 500, Sampler: sim.NewRandomSampler(s, seed)}
+	}
+	esrRes, err := sim.Run(s, New(), cfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	impRes, err := sim.Run(s, policy.NewEDFImprecise(), cfg(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esrRes.MeanError() >= impRes.MeanError() {
+		t.Errorf("EDF+ESR error %g not below EDF-Imprecise %g",
+			esrRes.MeanError(), impRes.MeanError())
+	}
+	if esrRes.Accurate == 0 {
+		t.Error("EDF+ESR never reclaimed enough slack for an accurate run")
+	}
+}
+
+func TestLowUtilizationRunsAllAccurate(t *testing.T) {
+	// γ_min is large: individual slack alone covers w−x for every job.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 100, WCETAccurate: 8, WCETImprecise: 6,
+			Error: task.Dist{Mean: 5}},
+		task.Task{Name: "b", Period: 200, WCETAccurate: 10, WCETImprecise: 8,
+			Error: task.Dist{Mean: 5}},
+	)
+	res, err := sim.Run(s, New(), sim.Config{Hyperperiods: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imprecise != 0 {
+		t.Errorf("%d imprecise executions on a trivially slack set", res.Imprecise)
+	}
+	if res.MeanError() != 0 {
+		t.Errorf("mean error %g, want 0", res.MeanError())
+	}
+}
+
+func TestTightSetStaysMostlyImprecise(t *testing.T) {
+	// Imprecise-mode utilization very close to 1 and deterministic WCET
+	// execution: no earliness, no idle, γ_min ≈ 1 → imprecise everywhere.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 5,
+			Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 18, WCETImprecise: 9,
+			Error: task.Dist{Mean: 1}},
+	)
+	// U_imp = 0.5 + 0.45 = 0.95; WorstCaseSampler: every exec at WCET.
+	res, err := sim.Run(s, New(), sim.Config{Hyperperiods: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("missed %d deadlines", res.Misses.Events)
+	}
+	if res.Accurate > res.Imprecise {
+		t.Errorf("tight set upgraded too often: acc=%d imp=%d", res.Accurate, res.Imprecise)
+	}
+}
+
+func TestInterJobSlackEnablesUpgrade(t *testing.T) {
+	// Single task, period 10, w=9, x=5; actual imprecise execution takes 1.
+	// With deterministic early finishes, the inter-job slack from job k is
+	// f_k − max(r_{k+1}, f'_k). Jobs never queue (period 10, exec ≤ 9), so
+	// r_{k+1} ≥ f_k and inter-job slack is 0 here; idle slack does the work:
+	// nominal finish = r + 5, idle = min(d, r_next) − (r+5) = 10 − 5 = 5 ≥ 4.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 5,
+			ExecAccurate:  task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+			ExecImprecise: task.Dist{Mean: 1, Sigma: 0, Min: 1, Max: 1},
+			Error:         task.Dist{Mean: 1}},
+	)
+	res, err := sim.Run(s, New(), sim.Config{Hyperperiods: 5, Sampler: sim.NewRandomSampler(s, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imprecise != 0 {
+		t.Errorf("idle slack should upgrade every job: acc=%d imp=%d",
+			res.Accurate, res.Imprecise)
+	}
+}
+
+func TestAblationsReduceUpgrades(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	full, err := sim.Run(s, New(), sim.Config{Hyperperiods: 300, Sampler: sim.NewRandomSampler(s, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := &Policy{DisableIndividual: true, DisableIdle: true, DisableInter: true, Label: "ESR-none"}
+	none, err := sim.Run(s, all, sim.Config{Hyperperiods: 300, Sampler: sim.NewRandomSampler(s, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Accurate != 0 {
+		t.Errorf("all-disabled ESR still upgraded %d jobs", none.Accurate)
+	}
+	if full.Accurate == 0 {
+		t.Error("full ESR upgraded nothing")
+	}
+	for _, ablate := range []*Policy{
+		{DisableIdle: true, Label: "ESR-noidle"},
+		{DisableInter: true, Label: "ESR-nointer"},
+		{DisableIndividual: true, Label: "ESR-noind"},
+	} {
+		r, err := sim.Run(s, ablate, sim.Config{Hyperperiods: 300, Sampler: sim.NewRandomSampler(s, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Accurate > full.Accurate {
+			t.Errorf("%s upgraded more (%d) than full ESR (%d)", ablate.Label, r.Accurate, full.Accurate)
+		}
+		if r.Misses.Events != 0 {
+			t.Errorf("%s missed deadlines", ablate.Label)
+		}
+	}
+}
+
+func TestDecisionCountsTrackModes(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	p := New()
+	res, err := sim.Run(s, p, sim.Config{Hyperperiods: 50, Sampler: sim.NewRandomSampler(s, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Decisions.Accurate != res.Accurate || p.Decisions.Imprecise != res.Imprecise {
+		t.Errorf("decision counters (%d/%d) disagree with engine (%d/%d)",
+			p.Decisions.Accurate, p.Decisions.Imprecise, res.Accurate, res.Imprecise)
+	}
+}
+
+func TestNameAndLabel(t *testing.T) {
+	if New().Name() != "EDF+ESR" {
+		t.Errorf("default name = %q", New().Name())
+	}
+	if (&Policy{Label: "X"}).Name() != "X" {
+		t.Error("label override broken")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Jeffay's conditions are sufficient for sporadic tasks too (the period is
+// the minimum inter-release separation), so EDF+ESR keeps its no-miss
+// guarantee under release jitter.
+func TestNoDeadlineMissUnderSporadicReleases(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	dists := []task.Dist{
+		{Mean: 3, Sigma: 2, Min: 0, Max: 10},
+		{Mean: 6, Sigma: 4, Min: 0, Max: 20},
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		res, err := sim.Run(s, New(), sim.Config{
+			Hyperperiods: 200,
+			Sampler:      sim.NewRandomSampler(s, seed),
+			Jitter:       sim.NewRandomJitter(s, dists, seed),
+			TraceLimit:   -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses.Events != 0 {
+			t.Errorf("seed %d: %d misses under jitter", seed, res.Misses.Events)
+		}
+		vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+		if len(vs) != 0 {
+			t.Errorf("seed %d: %v", seed, vs[0])
+		}
+	}
+}

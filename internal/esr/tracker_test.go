@@ -1,0 +1,112 @@
+package esr
+
+import (
+	"testing"
+
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// probe lets tests observe Tracker.Evaluate output at chosen engine states
+// by acting as a policy that records slack breakdowns per dispatch.
+type probe struct {
+	tracker *Tracker
+	slacks  []Slacks
+	jobs    []task.Job
+}
+
+func (p *probe) Name() string { return "probe" }
+func (p *probe) Reset(st *sim.State) {
+	p.tracker = NewTracker(st.Set())
+	p.slacks, p.jobs = nil, nil
+}
+func (p *probe) Pick(st *sim.State) (sim.Decision, bool) {
+	j, ok := st.EDFPick()
+	if !ok {
+		return sim.Decision{}, false
+	}
+	s := p.tracker.Evaluate(st, j)
+	p.tracker.Commit(s)
+	p.slacks = append(p.slacks, s)
+	p.jobs = append(p.jobs, j)
+	return sim.Decision{Job: j, Mode: task.Imprecise}, true
+}
+func (p *probe) JobFinished(_ *sim.State, _ sim.Decision, _, finish task.Time) {
+	p.tracker.Finished(finish)
+}
+
+// Deterministic single-task scenario, p=10, x=4, actual imprecise exec 2.
+//
+// Job 0 dispatched at t=0: inter = 0 (no predecessor), nominal = 0+4 = 4,
+// idle = min(d=10, r_next=10) − 4 = 6.
+// Job 0 finishes at 2. Job 1 dispatched at t=10 (release):
+// inter = max(nominal_0 − max(r_1=10, f'_0=2), 0) = max(4 − 10, 0) = 0,
+// nominal = 14, idle = min(20, 20) − 14 = 6.
+func TestTrackerIdleAndInterValues(t *testing.T) {
+	s := mkSet(t, task.Task{
+		Name: "a", Period: 10, WCETAccurate: 8, WCETImprecise: 4,
+		ExecImprecise: task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+		ExecAccurate:  task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+		Error:         task.Dist{Mean: 1},
+	})
+	p := &probe{}
+	if _, err := sim.Run(s, p, sim.Config{Hyperperiods: 2, Sampler: sim.NewRandomSampler(s, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.slacks) != 2 {
+		t.Fatalf("%d dispatches", len(p.slacks))
+	}
+	if p.slacks[0].Inter != 0 || p.slacks[0].Nominal != 4 || p.slacks[0].Idle != 6 {
+		t.Errorf("job 0 slacks = %+v, want inter 0, nominal 4, idle 6", p.slacks[0])
+	}
+	if p.slacks[1].Inter != 0 || p.slacks[1].Nominal != 14 || p.slacks[1].Idle != 6 {
+		t.Errorf("job 1 slacks = %+v, want inter 0, nominal 14, idle 6", p.slacks[1])
+	}
+}
+
+// Two tasks so a successor can be released before its predecessor's nominal
+// finish: inter-job slack must equal nominal − max(release, actual).
+//
+// a: p=20, x=6, exec 2. b: p=20, x=4, exec 2. At t=0 EDF picks a (tie by
+// task id): nominal_a = 0+6 = 6, finishes at 2. Then b (released at 0):
+// inter = max(6 − max(0, 2), 0) = 4; nominal_b = 2 + 4 + 4 = 10.
+func TestTrackerInterJobSlackFromEarlyFinish(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 10, WCETImprecise: 6,
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+			ExecAccurate:  task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+			Error:         task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 8, WCETImprecise: 4,
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+			ExecAccurate:  task.Dist{Mean: 2, Sigma: 0, Min: 2, Max: 2},
+			Error:         task.Dist{Mean: 1}},
+	)
+	p := &probe{}
+	if _, err := sim.Run(s, p, sim.Config{Hyperperiods: 1, Sampler: sim.NewRandomSampler(s, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.jobs) != 2 || p.jobs[0].TaskID != 0 || p.jobs[1].TaskID != 1 {
+		t.Fatalf("dispatch order: %v", p.jobs)
+	}
+	if p.slacks[1].Inter != 4 {
+		t.Errorf("inter-job slack = %d, want 4 (%+v)", p.slacks[1].Inter, p.slacks[1])
+	}
+	if p.slacks[1].Nominal != 10 {
+		t.Errorf("nominal = %d, want 10", p.slacks[1].Nominal)
+	}
+}
+
+// Individual slack values come straight from the γ_min analysis; the
+// tracker must expose them per task.
+func TestTrackerIndividualSlackExposure(t *testing.T) {
+	// From the feasibility tests: γ_min = 1.375 → ψ = (0.375·x).
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 5, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 30, WCETAccurate: 20, WCETImprecise: 6},
+	)
+	tr := NewTracker(s)
+	if tr.IndividualSlack(0) != 0 || tr.IndividualSlack(1) != 2 {
+		t.Errorf("individual slacks = %d/%d, want 0/2",
+			tr.IndividualSlack(0), tr.IndividualSlack(1))
+	}
+}

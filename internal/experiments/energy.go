@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nprt/internal/workload"
+)
+
+// EnergyRow quantifies the low-power angle of imprecise computing (§I of
+// the paper frames approximate computing as an energy technique): with
+// energy modelled as proportional to processor busy time, each method
+// trades mean error against the fraction of time the processor runs.
+type EnergyRow struct {
+	Method       string
+	BusyFraction float64 // busy time / horizon
+	MeanError    float64
+	MissPercent  float64
+}
+
+// Energy runs every Table II method on a case and reports the busy-time /
+// error tradeoff.
+func Energy(caseName string, cfg Config) ([]EnergyRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := workload.CaseByName(caseName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Set()
+	if err != nil {
+		return nil, err
+	}
+	methods := append([]string{"EDF-Accurate"}, Table2Methods...)
+	rows := make([]EnergyRow, 0, len(methods))
+	for _, m := range methods {
+		res, err := runMethod(m, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m, err)
+		}
+		rows = append(rows, EnergyRow{
+			Method:       m,
+			BusyFraction: float64(res.Busy) / float64(res.Horizon),
+			MeanError:    res.MeanError(),
+			MissPercent:  res.MissPercent(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatEnergy renders the energy/quality tradeoff.
+func FormatEnergy(caseName string, rows []EnergyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENERGY/QUALITY TRADEOFF (case %s; energy ∝ busy time)\n", caseName)
+	fmt.Fprintf(&b, "%-14s %12s %12s %10s\n", "Method", "busy", "mean error", "miss%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.1f%% %12.4f %9.1f%%\n",
+			r.Method, 100*r.BusyFraction, r.MeanError, r.MissPercent)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Machine-readable exports of the experiment artifacts, for plotting
+// pipelines: CSV for the tables and figure series, JSON for everything.
+
+// WriteTable1CSV emits Table I rows.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "tasks", "utilization_accurate", "jobs_per_hyperperiod",
+		"schedulable_accurate", "schedulable_imprecise"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Case,
+			strconv.Itoa(r.Tasks),
+			strconv.FormatFloat(r.UtilAcc, 'f', 4, 64),
+			strconv.Itoa(r.JobsPerP),
+			strconv.FormatBool(r.SchedulableAccurate),
+			strconv.FormatBool(r.SchedulableImprecise),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits Table II: one row per (case, method) with mean and σ,
+// plus the EDF-Accurate miss percentage per case.
+func WriteTable2CSV(w io.Writer, t *Table2Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "edf_accurate_miss_pct", "method", "mean_error", "sigma"}); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for _, m := range Table2Methods {
+			st := row.Stats[m]
+			rec := []string{
+				row.Case,
+				strconv.FormatFloat(row.EDFAccurateMissPct, 'f', 2, 64),
+				m,
+				strconv.FormatFloat(st.Mean, 'f', 6, 64),
+				strconv.FormatFloat(st.Sigma, 'f', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigCSV emits a curve family: one row per (method, point).
+func WriteFigCSV(w io.Writer, f *FigResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "method", "utilization", "mean_error"}); err != nil {
+		return err
+	}
+	for m, pts := range f.Series {
+		for _, pt := range pts {
+			rec := []string{
+				f.Case, m,
+				strconv.FormatFloat(pt.Utilization, 'f', 3, 64),
+				strconv.FormatFloat(pt.MeanError, 'f', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits Table III rows.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "esrc_violation_pct", "dp_feasible", "dp_proof_complete"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Case,
+			strconv.FormatFloat(r.ESRCViolationPct, 'f', 2, 64),
+			strconv.FormatBool(r.DPFeasible),
+			strconv.FormatBool(r.DPProofComplete),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4CSV emits the pruning comparison: one row per level.
+func WriteFig4CSV(w io.Writer, f *Fig4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "level", "with_pruning", "without_pruning"}); err != nil {
+		return err
+	}
+	n := len(f.WithPruning)
+	if len(f.WithoutPruning) > n {
+		n = len(f.WithoutPruning)
+	}
+	for i := 0; i < n; i++ {
+		wp, wo := 0, 0
+		if i < len(f.WithPruning) {
+			wp = f.WithPruning[i]
+		}
+		if i < len(f.WithoutPruning) {
+			wo = f.WithoutPruning[i]
+		}
+		rec := []string{f.Case, strconv.Itoa(i + 1), strconv.Itoa(wp), strconv.Itoa(wo)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON marshals any artifact with indentation.
+func WriteJSON(w io.Writer, artifact any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(artifact); err != nil {
+		return fmt.Errorf("experiments: encoding artifact: %w", err)
+	}
+	return nil
+}

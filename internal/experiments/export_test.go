@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing emitted CSV: %v\n%s", err, s)
+	}
+	return recs
+}
+
+func TestWriteTable1CSV(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTable1CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 15 { // header + 14 cases
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "case" || recs[1][0] != "Rnd1" || recs[14][0] != "IDCT" {
+		t.Errorf("unexpected layout: %v / %v", recs[0], recs[1])
+	}
+	for _, rec := range recs[1:] {
+		if len(rec) != 6 {
+			t.Fatalf("row width %d", len(rec))
+		}
+	}
+}
+
+func TestWriteTable2CSVAndJSON(t *testing.T) {
+	res, err := Table2(Config{Hyperperiods: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTable2CSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if want := 1 + 14*len(Table2Methods); len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+
+	var jb strings.Builder
+	if err := WriteJSON(&jb, res); err != nil {
+		t.Fatal(err)
+	}
+	var back Table2Result
+	if err := json.Unmarshal([]byte(jb.String()), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back.Rows) != len(res.Rows) {
+		t.Error("JSON lost rows")
+	}
+}
+
+func TestWriteFigCSV(t *testing.T) {
+	f := &FigResult{
+		Case: "X",
+		Series: map[string][]SeriesPoint{
+			"m1": {{Utilization: 1.1, MeanError: 2.5}},
+			"m2": {{Utilization: 1.1, MeanError: 1.5}, {Utilization: 1.3, MeanError: 1.7}},
+		},
+	}
+	var b strings.Builder
+	if err := WriteFigCSV(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 4 { // header + 3 points
+		t.Fatalf("%d records", len(recs))
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	rows := []Table3Row{
+		{Case: "A", ESRCViolationPct: 12.5, DPFeasible: true, DPProofComplete: true},
+		{Case: "B", ESRCViolationPct: 0, DPFeasible: false, DPProofComplete: false},
+	}
+	var b strings.Builder
+	if err := WriteTable3CSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 3 || recs[1][1] != "12.50" || recs[2][2] != "false" {
+		t.Errorf("layout: %v", recs)
+	}
+}
+
+func TestWriteFig4CSV(t *testing.T) {
+	f := &Fig4Result{Case: "R", WithPruning: []int{1, 2}, WithoutPruning: []int{1, 4, 9}}
+	var b strings.Builder
+	if err := WriteFig4CSV(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 4 { // header + max(2,3) levels
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[3][2] != "0" || recs[3][3] != "9" {
+		t.Errorf("padding wrong: %v", recs[3])
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nprt/internal/offline"
+	"nprt/internal/sim"
+	"nprt/internal/workload"
+)
+
+// OverheadRow reports the measured scheduling overhead of one method: the
+// paper states that "online computing usually takes a few µs and the ILP
+// runtimes range from seconds to minutes" and that the prototype's relative
+// overhead is ~0.0001%. This experiment measures the same quantities for
+// the reproduction on the host machine.
+type OverheadRow struct {
+	Method          string
+	OfflineBuild    time.Duration // offline schedule construction (0 for online-only)
+	PerDispatch     time.Duration // mean wall-clock cost of one Pick+bookkeeping
+	Dispatches      int64
+	RelativePercent float64 // dispatch overhead / simulated busy time (virtual µs ≈ wall µs)
+}
+
+// Overhead measures offline-construction and per-dispatch costs for every
+// Table II method on the given case.
+func Overhead(caseName string, cfg Config) ([]OverheadRow, error) {
+	cfg = cfg.withDefaults()
+	c, err := workload.CaseByName(caseName)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.Set()
+	if err != nil {
+		return nil, err
+	}
+	var rows []OverheadRow
+	methods := append([]string{"EDF-Accurate"}, Table2Methods...)
+	for _, m := range methods {
+		row := OverheadRow{Method: m}
+
+		// Offline construction cost (the paper's "ILP runtime").
+		switch m {
+		case "ILP+OA", "ILP+Post+OA", "Flipped EDF":
+			start := time.Now()
+			switch m {
+			case "ILP+OA":
+				_, err = offline.NewILPOABestEffort(s)
+			case "ILP+Post+OA":
+				_, err = offline.NewILPPostOABestEffort(s)
+			case "Flipped EDF":
+				_, err = offline.NewFlippedEDFBestEffort(s)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row.OfflineBuild = time.Since(start)
+		}
+
+		p, err := buildPolicy(m, s)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := sim.Run(s, p, sim.Config{
+			Hyperperiods: cfg.Hyperperiods,
+			Sampler:      sim.NewRandomSampler(s, cfg.Seed),
+			DropLate:     m == "EDF-Accurate",
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		row.Dispatches = res.Jobs
+		if res.Jobs > 0 {
+			row.PerDispatch = elapsed / time.Duration(res.Jobs)
+		}
+		// Treat one virtual µs as one wall µs (the calibration of the
+		// original testbed): overhead percent = wall-time per dispatch /
+		// virtual busy time per dispatch.
+		if res.Busy > 0 {
+			busyPerJobMicros := float64(res.Busy) / float64(res.Jobs)
+			row.RelativePercent = 100 * float64(row.PerDispatch.Microseconds()) / busyPerJobMicros
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatOverhead renders the overhead study.
+func FormatOverhead(caseName string, rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEDULING OVERHEAD (case %s; 1 virtual µs ≡ 1 wall µs)\n", caseName)
+	fmt.Fprintf(&b, "%-14s %14s %14s %12s %10s\n",
+		"Method", "offline build", "per dispatch", "dispatches", "overhead")
+	for _, r := range rows {
+		off := "-"
+		if r.OfflineBuild > 0 {
+			off = r.OfflineBuild.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-14s %14s %14s %12d %9.5f%%\n",
+			r.Method, off, r.PerDispatch.String(), r.Dispatches, r.RelativePercent)
+	}
+	return b.String()
+}

@@ -1,0 +1,319 @@
+package feasibility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nprt/internal/task"
+)
+
+func set(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatalf("task.New: %v", err)
+	}
+	return s
+}
+
+func tk(name string, p, w, x task.Time) task.Task {
+	return task.Task{Name: name, Period: p, WCETAccurate: w, WCETImprecise: x}
+}
+
+func TestUtilizationConditionOnly(t *testing.T) {
+	// Single task: condition 2 is vacuous, condition 1 decides.
+	s := set(t, tk("a", 10, 5, 2))
+	rep := Check(s, task.Accurate)
+	if !rep.Schedulable {
+		t.Errorf("single task with U=0.5 should be schedulable: %+v", rep.Violations)
+	}
+	if math.Abs(rep.Utilization-0.5) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.5", rep.Utilization)
+	}
+	if math.Abs(rep.GammaUtil-2) > 1e-12 {
+		t.Errorf("gammaUtil = %g, want 2", rep.GammaUtil)
+	}
+}
+
+func TestOverUtilizationFailsCondition1(t *testing.T) {
+	s := set(t, tk("a", 10, 6, 2), tk("b", 10, 6, 2))
+	rep := Check(s, task.Accurate)
+	if rep.Schedulable {
+		t.Fatal("U=1.2 set reported schedulable")
+	}
+	if len(rep.Violations) == 0 || rep.Violations[0].Condition != 1 {
+		t.Errorf("expected condition-1 violation, got %+v", rep.Violations)
+	}
+	// Imprecise mode (U=0.4) passes both conditions here.
+	if !Schedulable(s, task.Imprecise) {
+		t.Error("imprecise mode should be schedulable")
+	}
+}
+
+// The classic non-preemptive blocking pathology: a low-utilization set that
+// fails condition 2 because a long job of the large-period task blocks the
+// small-period task.
+func TestBlockingFailsCondition2DespiteLowUtilization(t *testing.T) {
+	s := set(t,
+		tk("fast", 10, 2, 1),
+		tk("blocker", 100, 30, 9),
+	)
+	rep := Check(s, task.Accurate)
+	if rep.Utilization >= 1 {
+		t.Fatalf("test premise broken: U=%g", rep.Utilization)
+	}
+	if rep.Schedulable {
+		t.Fatal("blocking set reported schedulable in accurate mode")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Condition == 2 {
+			found = true
+			// Demand at L must exceed L.
+			if v.Demand <= v.L {
+				t.Errorf("violation not actually violating: %+v", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("no condition-2 violation recorded")
+	}
+	if !Schedulable(s, task.Imprecise) {
+		t.Error("imprecise mode (short blocker) should be schedulable")
+	}
+}
+
+func TestCondition2BoundaryExact(t *testing.T) {
+	// Demand exactly equal to L must pass (<=, not <).
+	// tasks: (p=4, w=2), (p=9, w=3). For i=2, L in (4,9):
+	// L=5: 3 + floor(4/4)*2 = 5 <= 5 ✓ (exactly tight)
+	// L=6: 3 + floor(5/4)*2 = 5 <= 6 ✓
+	// L=7: 3 + 2 = 5; L=8: 3 + floor(7/4)*2 = 5.
+	s := set(t, tk("a", 4, 2, 1), tk("b", 9, 3, 1))
+	rep := Check(s, task.Accurate)
+	if !rep.Schedulable {
+		t.Errorf("tight-but-feasible set rejected: %+v", rep.Violations)
+	}
+	// γ_min should be exactly 1 at L=5 (demand 5).
+	if math.Abs(rep.GammaMin-1) > 1e-12 {
+		t.Errorf("GammaMin = %g, want 1 (tight at L=5)", rep.GammaMin)
+	}
+	if rep.ArgMinL != 5 {
+		t.Errorf("ArgMinL = %d, want 5", rep.ArgMinL)
+	}
+}
+
+func TestCondition2OneOverBoundaryFails(t *testing.T) {
+	// Same as above but w_2 = 4: demand at L=5 is 6 > 5 → infeasible.
+	s := set(t, tk("a", 4, 2, 1), tk("b", 9, 4, 1))
+	rep := Check(s, task.Accurate)
+	if rep.Schedulable {
+		t.Error("demand L+1 at L=5 should be infeasible")
+	}
+}
+
+func TestGammaMinMatchesManualComputation(t *testing.T) {
+	// tasks: (p=10, x=2), (p=30, x=6) in imprecise mode.
+	// Condition 1: U = 0.2 + 0.2 = 0.4 → γ = 2.5.
+	// Condition 2, i=2, L in (10,30):
+	//   γ^L = L / (6 + floor((L-1)/10)*2)
+	//   L=11: 11/(6+2)=1.375 ; L=20: 20/(6+2)=2.5 ; L=21: 21/(6+4)=2.1 ;
+	//   minimum is at L=11: 1.375.
+	s := set(t, tk("a", 10, 5, 2), tk("b", 30, 20, 6))
+	rep := Check(s, task.Imprecise)
+	if !rep.Schedulable {
+		t.Fatalf("set should be schedulable imprecise: %+v", rep.Violations)
+	}
+	if math.Abs(rep.GammaMin-1.375) > 1e-12 {
+		t.Errorf("GammaMin = %g, want 1.375", rep.GammaMin)
+	}
+	if rep.ArgMinTask != 1 || rep.ArgMinL != 11 {
+		t.Errorf("argmin = (task %d, L %d), want (1, 11)", rep.ArgMinTask, rep.ArgMinL)
+	}
+}
+
+func TestIndividualSlacks(t *testing.T) {
+	// From TestGammaMinMatchesManualComputation: γ_min = 1.375, so
+	// ψ_1 = 0.375*2 = 0.75 → 0 (integer), ψ_2 = 0.375*6 = 2.25 → 2.
+	s := set(t, tk("a", 10, 5, 2), tk("b", 30, 20, 6))
+	sl := IndividualSlacks(s)
+	if sl[0] != 0 || sl[1] != 2 {
+		t.Errorf("IndividualSlacks = %v, want [0 2]", sl)
+	}
+}
+
+func TestIndividualSlacksZeroWhenInfeasible(t *testing.T) {
+	s := set(t, tk("a", 10, 9, 6), tk("b", 10, 9, 6))
+	sl := IndividualSlacks(s)
+	for i, v := range sl {
+		if v != 0 {
+			t.Errorf("slack[%d] = %d, want 0 for infeasible set", i, v)
+		}
+	}
+}
+
+func TestViolationStringAndCap(t *testing.T) {
+	// A grossly infeasible set should cap recorded violations.
+	s := set(t,
+		tk("a", 10, 9, 8),
+		tk("b", 1000, 900, 800),
+	)
+	rep := Check(s, task.Accurate)
+	if rep.Schedulable {
+		t.Fatal("set should be infeasible")
+	}
+	if len(rep.Violations) > maxViolationsKept {
+		t.Errorf("violations not capped: %d", len(rep.Violations))
+	}
+	for _, v := range rep.Violations {
+		if v.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+}
+
+func TestDemandCurve(t *testing.T) {
+	s := set(t, tk("a", 10, 5, 2), tk("b", 30, 20, 6))
+	ls, ds := DemandCurve(s, 1, task.Imprecise)
+	if len(ls) != len(ds) || len(ls) != int(30-10-1) {
+		t.Fatalf("curve length = %d, want 19", len(ls))
+	}
+	// Spot-check L=11 → demand 8 and L=21 → demand 10.
+	for k, L := range ls {
+		switch L {
+		case 11:
+			if ds[k] != 8 {
+				t.Errorf("demand(11) = %d, want 8", ds[k])
+			}
+		case 21:
+			if ds[k] != 10 {
+				t.Errorf("demand(21) = %d, want 10", ds[k])
+			}
+		}
+	}
+	if ls, ds := DemandCurve(s, 0, task.Accurate); ls != nil || ds != nil {
+		t.Error("DemandCurve(0) should be empty")
+	}
+}
+
+// Property: scaling all WCETs down never turns a schedulable set
+// unschedulable (monotonicity of both conditions).
+func TestMonotonicityUnderWCETScaling(t *testing.T) {
+	f := func(p1, p2, w1, w2 uint8) bool {
+		pa := task.Time(p1%30) + 5
+		pb := task.Time(p2%60) + 10
+		wa := task.Time(w1%uint8(pa)) + 1
+		wb := task.Time(w2%uint8(pb)) + 1
+		if wa < 2 {
+			wa = 2
+		}
+		if wb < 2 {
+			wb = 2
+		}
+		s, err := task.New([]task.Task{
+			tk("a", pa, wa, wa/2), tk("b", pb, wb, wb/2),
+		})
+		if err != nil {
+			return true // invalid random draw; skip
+		}
+		accurate := Schedulable(s, task.Accurate)
+		imprecise := Schedulable(s, task.Imprecise)
+		// Imprecise WCETs are at most the accurate WCETs, so accurate
+		// schedulability must imply imprecise schedulability.
+		return !accurate || imprecise
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: γ_min >= 1 exactly when the imprecise-mode set is schedulable.
+func TestGammaMinConsistentWithVerdict(t *testing.T) {
+	f := func(p1, p2, x1, x2 uint8) bool {
+		pa := task.Time(p1%30) + 5
+		pb := task.Time(p2%60) + 10
+		xa := task.Time(x1)%pa/2 + 1
+		xb := task.Time(x2)%pb/2 + 1
+		s, err := task.New([]task.Task{
+			{Name: "a", Period: pa, WCETAccurate: xa * 2, WCETImprecise: xa},
+			{Name: "b", Period: pb, WCETAccurate: xb * 2, WCETImprecise: xb},
+		})
+		if err != nil {
+			return true
+		}
+		rep := Check(s, task.Imprecise)
+		if rep.Schedulable {
+			return rep.GammaMin >= 1
+		}
+		return rep.GammaMin < 1 || rep.Utilization > 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FastSchedulable must agree with the exhaustive Check on random sets.
+func TestFastSchedulableMatchesExhaustive(t *testing.T) {
+	f := func(p1, p2, p3, w1, w2, w3 uint8) bool {
+		periods := []task.Time{
+			task.Time(p1%29) + 3,
+			task.Time(p2%61) + 10,
+			task.Time(p3%97) + 20,
+		}
+		tasks := make([]task.Task, 3)
+		for i, p := range periods {
+			w := task.Time([]uint8{w1, w2, w3}[i])%p + 1
+			x := w / 2
+			if x < 1 {
+				x = 1
+			}
+			if x >= w {
+				w = x + 1
+			}
+			if w > p {
+				w = p
+				if x >= w {
+					x = w - 1
+				}
+				if x < 1 {
+					return true // degenerate draw
+				}
+			}
+			tasks[i] = task.Task{Name: "t", Period: p, WCETAccurate: w, WCETImprecise: x}
+		}
+		s, err := task.New(tasks)
+		if err != nil {
+			return true
+		}
+		for _, m := range []task.Mode{task.Accurate, task.Imprecise} {
+			if FastSchedulable(s, m) != Schedulable(s, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastSchedulableKnownCases(t *testing.T) {
+	// Condition-2 blocker from the package tests.
+	s := set(t, tk("fast", 10, 2, 1), tk("blocker", 100, 30, 9))
+	if FastSchedulable(s, task.Accurate) {
+		t.Error("blocker set accepted")
+	}
+	if !FastSchedulable(s, task.Imprecise) {
+		t.Error("imprecise blocker set rejected")
+	}
+	// Tight-but-feasible boundary case.
+	s = set(t, tk("a", 4, 2, 1), tk("b", 9, 3, 1))
+	if !FastSchedulable(s, task.Accurate) {
+		t.Error("tight feasible set rejected")
+	}
+	s = set(t, tk("a", 4, 2, 1), tk("b", 9, 4, 1))
+	if FastSchedulable(s, task.Accurate) {
+		t.Error("one-over boundary accepted")
+	}
+}

@@ -1,0 +1,255 @@
+// Package ilp is a branch-and-bound integer linear programming solver built
+// on the internal/lp simplex. It is the engine behind the paper's offline
+// ILP scheduling (§IV-A): best-first search on the LP relaxation bound,
+// most-fractional branching, and node/time budgets with incumbent return so
+// a large hyper-period can still produce a usable (if not proven-optimal)
+// schedule — mirroring the paper's "seconds to minutes" solver runs.
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"nprt/internal/lp"
+)
+
+// Problem is an LP with integrality requirements on a subset of variables.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool // len == LP.NumVars; true = must be integral
+}
+
+// NewProblem returns an ILP over n variables, none integral yet.
+func NewProblem(n int) *Problem {
+	return &Problem{LP: lp.NewProblem(n), Integer: make([]bool, n)}
+}
+
+// SetInteger marks variable j integral.
+func (p *Problem) SetInteger(j int) { p.Integer[j] = true }
+
+// Status is a solve outcome.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal: proven optimal integral solution.
+	Optimal Status = iota
+	// Feasible: an integral incumbent was found but the search hit a budget
+	// before proving optimality.
+	Feasible
+	// Infeasible: no integral solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded below.
+	Unbounded
+	// Limit: a budget was hit before any incumbent was found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return "?"
+}
+
+// Options bounds the search.
+type Options struct {
+	MaxNodes  int           // 0 = default 100000
+	TimeLimit time.Duration // 0 = none
+	// OnIncumbent, when non-nil, observes each improving integral solution.
+	OnIncumbent func(x []float64, obj float64)
+}
+
+// Solution is the branch-and-bound result.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Nodes     int     // explored branch-and-bound nodes
+	BestBound float64 // global lower bound at termination
+}
+
+const intTol = 1e-6
+
+// bound is one branching restriction x_j (sense) v.
+type boundT struct {
+	j     int
+	sense lp.Sense
+	v     float64
+}
+
+type node struct {
+	bounds []boundT
+	bound  float64 // parent relaxation objective (lower bound)
+}
+
+// Solve runs best-first branch and bound.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	sol := &Solution{Status: Limit, Objective: math.Inf(1), BestBound: math.Inf(-1)}
+
+	open := []*node{{bound: math.Inf(-1)}}
+	pop := func() *node {
+		// Best-first: smallest parent bound explored first.
+		best := 0
+		for i := 1; i < len(open); i++ {
+			if open[i].bound < open[best].bound {
+				best = i
+			}
+		}
+		n := open[best]
+		open[best] = open[len(open)-1]
+		open = open[:len(open)-1]
+		return n
+	}
+
+	relaxed := func(bounds []boundT) (*lp.Solution, error) {
+		sub := &lp.Problem{NumVars: p.LP.NumVars, C: p.LP.C, Rows: p.LP.Rows}
+		if len(bounds) > 0 {
+			rows := make([]lp.Constraint, len(p.LP.Rows), len(p.LP.Rows)+len(bounds))
+			copy(rows, p.LP.Rows)
+			for _, b := range bounds {
+				coef := make([]float64, p.LP.NumVars)
+				coef[b.j] = 1
+				rows = append(rows, lp.Constraint{Coef: coef, Sense: b.sense, RHS: b.v})
+			}
+			sub.Rows = rows
+		}
+		return lp.Solve(sub)
+	}
+
+	budgetHit := false
+	for len(open) > 0 {
+		if sol.Nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			budgetHit = true
+			break
+		}
+		nd := pop()
+		// Prune against the incumbent.
+		if nd.bound >= sol.Objective-1e-9 {
+			continue
+		}
+		rel, err := relaxed(nd.bounds)
+		if err != nil {
+			return nil, err
+		}
+		sol.Nodes++
+		switch rel.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if len(nd.bounds) == 0 {
+				// An unbounded root relaxation means the ILP itself is
+				// unbounded or pathological; scheduling models never are.
+				sol.Status = Unbounded
+				return sol, nil
+			}
+			continue
+		}
+		if rel.Objective >= sol.Objective-1e-9 {
+			continue // bound prune
+		}
+
+		// Find the most fractional integral variable.
+		branchVar, frac := -1, 0.0
+		for j := 0; j < p.LP.NumVars; j++ {
+			if !p.Integer[j] {
+				continue
+			}
+			f := math.Abs(rel.X[j] - math.Round(rel.X[j]))
+			if f > intTol && f > frac {
+				branchVar, frac = j, f
+			}
+		}
+		if branchVar == -1 {
+			// Integral solution: new incumbent.
+			obj := rel.Objective
+			if obj < sol.Objective-1e-9 {
+				sol.Objective = obj
+				sol.X = roundIntegral(p, rel.X)
+				sol.Status = Feasible
+				if opt.OnIncumbent != nil {
+					opt.OnIncumbent(sol.X, obj)
+				}
+			}
+			continue
+		}
+
+		v := rel.X[branchVar]
+		down := append(append([]boundT(nil), nd.bounds...),
+			boundT{branchVar, lp.LE, math.Floor(v)})
+		up := append(append([]boundT(nil), nd.bounds...),
+			boundT{branchVar, lp.GE, math.Ceil(v)})
+		open = append(open, &node{bounds: down, bound: rel.Objective},
+			&node{bounds: up, bound: rel.Objective})
+	}
+
+	// Compute the final global bound from the remaining open nodes.
+	sol.BestBound = sol.Objective
+	for _, nd := range open {
+		if nd.bound < sol.BestBound {
+			sol.BestBound = nd.bound
+		}
+	}
+
+	if !budgetHit && len(open) == 0 {
+		if sol.Status == Feasible {
+			sol.Status = Optimal
+			sol.BestBound = sol.Objective
+		} else {
+			// The whole tree was explored without an integral incumbent.
+			sol.Status = Infeasible
+		}
+	}
+	return sol, nil
+}
+
+// roundIntegral snaps integral variables to their nearest integers and
+// returns a copy.
+func roundIntegral(p *Problem, x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, isInt := range p.Integer {
+		if isInt {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+// SortedFractionalVars is a test helper exposing branching order logic:
+// indices of integral variables sorted by descending fractionality in x.
+func SortedFractionalVars(p *Problem, x []float64) []int {
+	var vars []int
+	for j := range p.Integer {
+		if p.Integer[j] {
+			if f := math.Abs(x[j] - math.Round(x[j])); f > intTol {
+				vars = append(vars, j)
+			}
+		}
+	}
+	sort.Slice(vars, func(a, b int) bool {
+		fa := math.Abs(x[vars[a]] - math.Round(x[vars[a]]))
+		fb := math.Abs(x[vars[b]] - math.Round(x[vars[b]]))
+		return fa > fb
+	})
+	return vars
+}

@@ -1,0 +1,96 @@
+package imprecise
+
+import (
+	"nprt/internal/rng"
+	"nprt/internal/stats"
+)
+
+// ApproxAdder models an accuracy-configurable approximate adder in the
+// spirit of the paper's reference [9] (reconfiguration-oriented approximate
+// adder design): the low `ApproxBits` bit positions skip carry propagation —
+// each low sum bit is the OR of its operand bits and no carry enters the
+// accurate upper part. Reconfiguring ApproxBits trades accuracy for
+// (modelled) delay, exactly the knob an accuracy-configurable circuit
+// exposes.
+type ApproxAdder struct {
+	Width      int // operand bit-width (≤ 62)
+	ApproxBits int // low bits computed approximately; 0 = exact
+}
+
+// Add returns the approximate sum of two non-negative operands.
+func (ad ApproxAdder) Add(a, b uint64) uint64 {
+	k := ad.ApproxBits
+	if k <= 0 {
+		return a + b
+	}
+	if k > ad.Width {
+		k = ad.Width
+	}
+	mask := (uint64(1) << uint(k)) - 1
+	low := (a | b) & mask // lower-part OR approximation, no carry out
+	high := (a >> uint(k)) + (b >> uint(k))
+	return high<<uint(k) | low
+}
+
+// Delay returns the modelled critical-path delay in gate units: a
+// ripple-carry path over the accurate upper bits plus one gate for the OR
+// stage. More approximate bits → shorter path, the speed/accuracy knob of
+// the accuracy-configurable circuit.
+func (ad ApproxAdder) Delay() int {
+	k := ad.ApproxBits
+	if k < 0 {
+		k = 0
+	}
+	if k > ad.Width {
+		k = ad.Width
+	}
+	if k == ad.Width {
+		return 1
+	}
+	return 1 + 2*(ad.Width-k)
+}
+
+// AdderCharacterization is the Monte-Carlo error profile of one adder
+// configuration — the "statistical analysis and pre-characterization" the
+// paper uses to obtain each task's mean error e_i prior to scheduling.
+type AdderCharacterization struct {
+	Width      int
+	ApproxBits int
+	MeanError  float64 // mean |approx − exact|
+	ErrStdDev  float64
+	MaxError   float64
+	ErrorRate  float64 // fraction of additions with any error
+}
+
+// CharacterizeAdder measures the error distribution over `trials` uniform
+// random operand pairs.
+func CharacterizeAdder(ad ApproxAdder, trials int, seed uint64) AdderCharacterization {
+	r := rng.New(seed)
+	var acc stats.Accumulator
+	wrong := 0
+	mask := (uint64(1) << uint(ad.Width)) - 1
+	for i := 0; i < trials; i++ {
+		a := r.Uint64() & mask
+		b := r.Uint64() & mask
+		exact := a + b
+		approx := ad.Add(a, b)
+		var diff float64
+		if approx >= exact {
+			diff = float64(approx - exact)
+		} else {
+			diff = float64(exact - approx)
+		}
+		if diff != 0 {
+			wrong++
+		}
+		acc.Add(diff)
+	}
+	return AdderCharacterization{
+		Width:      ad.Width,
+		ApproxBits: ad.ApproxBits,
+		MeanError:  acc.Mean(),
+		ErrStdDev:  acc.StdDev(),
+		MaxError:   acc.Max(),
+		ErrorRate:  float64(wrong) / float64(trials),
+	}
+}

@@ -1,0 +1,209 @@
+// Package imprecise provides the realistic imprecise-computation kernels
+// behind the paper's IDCT testcase (§VI-A) and Linux-prototype
+// Newton–Raphson testcase (§VI-B), plus an accuracy-configurable
+// approximate adder in the spirit of the paper's reference [9], used to
+// characterize per-task error statistics.
+//
+// Each kernel has an accurate and an imprecise variant; characterization
+// runs both on synthetic inputs, measures the error distribution of the
+// imprecise variant, and derives virtual-time execution costs from
+// operation counts — the data the workload generator turns into task
+// parameters.
+package imprecise
+
+import (
+	"math"
+
+	"nprt/internal/rng"
+	"nprt/internal/stats"
+)
+
+// BlockSize is the DCT block edge: classic 8×8 JPEG/MPEG blocks.
+const BlockSize = 8
+
+// Block is one 8×8 coefficient or pixel block in row-major order.
+type Block [BlockSize * BlockSize]float64
+
+// cosTable[k][n] = cos((2n+1)kπ/16), the DCT-II basis.
+var cosTable = func() [BlockSize][BlockSize]float64 {
+	var t [BlockSize][BlockSize]float64
+	for k := 0; k < BlockSize; k++ {
+		for n := 0; n < BlockSize; n++ {
+			t[k][n] = math.Cos(float64(2*n+1) * float64(k) * math.Pi / (2 * BlockSize))
+		}
+	}
+	return t
+}()
+
+func alpha(k int) float64 {
+	if k == 0 {
+		return math.Sqrt(1.0 / BlockSize)
+	}
+	return math.Sqrt(2.0 / BlockSize)
+}
+
+// DCT2D computes the forward 2-D DCT-II of a pixel block.
+func DCT2D(px *Block) *Block {
+	var tmp, out Block
+	// Rows.
+	for r := 0; r < BlockSize; r++ {
+		for k := 0; k < BlockSize; k++ {
+			s := 0.0
+			for n := 0; n < BlockSize; n++ {
+				s += px[r*BlockSize+n] * cosTable[k][n]
+			}
+			tmp[r*BlockSize+k] = alpha(k) * s
+		}
+	}
+	// Columns.
+	for c := 0; c < BlockSize; c++ {
+		for k := 0; k < BlockSize; k++ {
+			s := 0.0
+			for n := 0; n < BlockSize; n++ {
+				s += tmp[n*BlockSize+c] * cosTable[k][n]
+			}
+			out[k*BlockSize+c] = alpha(k) * s
+		}
+	}
+	return &out
+}
+
+// IDCT2D computes the accurate inverse 2-D DCT (DCT-III) of a coefficient
+// block.
+func IDCT2D(coef *Block) *Block {
+	return idctKeep(coef, BlockSize)
+}
+
+// IDCTApprox computes the imprecise inverse DCT that keeps only the
+// top-left keep×keep low-frequency coefficients — the standard
+// coefficient-truncation approximation whose cost shrinks quadratically
+// with keep. keep is clamped to [1, BlockSize].
+func IDCTApprox(coef *Block, keep int) *Block {
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > BlockSize {
+		keep = BlockSize
+	}
+	return idctKeep(coef, keep)
+}
+
+func idctKeep(coef *Block, keep int) *Block {
+	var tmp, out Block
+	// Columns first: only the first `keep` rows of coefficients matter.
+	for c := 0; c < BlockSize; c++ {
+		for n := 0; n < BlockSize; n++ {
+			s := 0.0
+			for k := 0; k < keep; k++ {
+				s += alpha(k) * coef[k*BlockSize+c] * cosTable[k][n]
+			}
+			tmp[n*BlockSize+c] = s
+		}
+	}
+	// Rows: only the first `keep` columns contribute.
+	for r := 0; r < BlockSize; r++ {
+		for n := 0; n < BlockSize; n++ {
+			s := 0.0
+			for k := 0; k < keep; k++ {
+				s += alpha(k) * tmp[r*BlockSize+k] * cosTable[k][n]
+			}
+			out[r*BlockSize+n] = s
+		}
+	}
+	return &out
+}
+
+// IDCTOpCount returns the multiply count of one block's inverse transform
+// with the given kept coefficients — the virtual cost model: accurate cost
+// is IDCTOpCount(8), imprecise IDCTOpCount(keep).
+func IDCTOpCount(keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > BlockSize {
+		keep = BlockSize
+	}
+	// Two separable passes, each BlockSize×BlockSize output values times
+	// `keep` multiply-accumulates.
+	return 2 * BlockSize * BlockSize * keep
+}
+
+// ImageSpec describes one synthetic video/image workload of the IDCT case.
+type ImageSpec struct {
+	Name     string
+	Width    int
+	Height   int
+	Channels int // 1 = grayscale, 3 = RGB
+}
+
+// Blocks returns the number of 8×8 blocks one frame decodes.
+func (im ImageSpec) Blocks() int {
+	bw := (im.Width + BlockSize - 1) / BlockSize
+	bh := (im.Height + BlockSize - 1) / BlockSize
+	return bw * bh * im.Channels
+}
+
+// IDCTCharacterization is the measured profile of the truncated IDCT on a
+// synthetic image population.
+type IDCTCharacterization struct {
+	Spec         ImageSpec
+	Keep         int
+	MeanError    float64 // mean absolute pixel error per block
+	ErrStdDev    float64
+	AccurateOps  int64 // multiplies per frame, accurate
+	ImpreciseOps int64
+}
+
+// CharacterizeIDCT runs the accurate and truncated IDCT over `blocks`
+// random pixel blocks (natural-image-like smooth content plus noise) and
+// measures the per-block mean absolute reconstruction error.
+func CharacterizeIDCT(spec ImageSpec, keep, blocks int, seed uint64) IDCTCharacterization {
+	r := rng.New(seed)
+	var acc stats.Accumulator
+	for b := 0; b < blocks; b++ {
+		px := syntheticBlock(r)
+		coef := DCT2D(px)
+		exact := IDCT2D(coef)
+		approx := IDCTApprox(coef, keep)
+		diff := 0.0
+		for i := range exact {
+			diff += math.Abs(exact[i] - approx[i])
+		}
+		acc.Add(diff / float64(len(exact)))
+	}
+	return IDCTCharacterization{
+		Spec:         spec,
+		Keep:         keep,
+		MeanError:    acc.Mean(),
+		ErrStdDev:    acc.StdDev(),
+		AccurateOps:  int64(spec.Blocks()) * int64(IDCTOpCount(BlockSize)),
+		ImpreciseOps: int64(spec.Blocks()) * int64(IDCTOpCount(keep)),
+	}
+}
+
+// syntheticBlock produces a natural-image-like block: a smooth gradient
+// plus band-limited texture plus noise, in the 0..255 pixel range.
+func syntheticBlock(r *rng.Stream) *Block {
+	var b Block
+	base := 40 + 175*r.Float64()
+	gx := (r.Float64() - 0.5) * 30
+	gy := (r.Float64() - 0.5) * 30
+	fx := 1 + r.Intn(3)
+	fy := 1 + r.Intn(3)
+	amp := r.Float64() * 25
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			v := base + gx*float64(x) + gy*float64(y) +
+				amp*math.Sin(float64(fx*x)*0.7)*math.Cos(float64(fy*y)*0.7) +
+				(r.Float64()-0.5)*8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			b[y*BlockSize+x] = v
+		}
+	}
+	return &b
+}

@@ -1,0 +1,255 @@
+package imprecise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nprt/internal/rng"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		px := syntheticBlock(r)
+		back := IDCT2D(DCT2D(px))
+		for i := range px {
+			if math.Abs(px[i]-back[i]) > 1e-9 {
+				t.Fatalf("trial %d: round trip diverged at %d: %g vs %g",
+					trial, i, px[i], back[i])
+			}
+		}
+	}
+}
+
+func TestDCTEnergyPreservation(t *testing.T) {
+	// Orthonormal DCT preserves the L2 norm (Parseval).
+	r := rng.New(2)
+	px := syntheticBlock(r)
+	coef := DCT2D(px)
+	var ep, ec float64
+	for i := range px {
+		ep += px[i] * px[i]
+		ec += coef[i] * coef[i]
+	}
+	if math.Abs(ep-ec) > 1e-6*ep {
+		t.Errorf("energy not preserved: %g vs %g", ep, ec)
+	}
+}
+
+func TestIDCTApproxFullKeepMatchesExact(t *testing.T) {
+	r := rng.New(3)
+	px := syntheticBlock(r)
+	coef := DCT2D(px)
+	exact := IDCT2D(coef)
+	approx := IDCTApprox(coef, BlockSize)
+	for i := range exact {
+		if exact[i] != approx[i] {
+			t.Fatalf("keep=8 differs from exact at %d", i)
+		}
+	}
+	// Clamping: keep out of range behaves like the edge values.
+	lo := IDCTApprox(coef, 0)
+	lo1 := IDCTApprox(coef, 1)
+	hi := IDCTApprox(coef, 99)
+	for i := range exact {
+		if lo[i] != lo1[i] || hi[i] != exact[i] {
+			t.Fatal("keep clamping wrong")
+		}
+	}
+}
+
+func TestIDCTApproxErrorDecreasesWithKeep(t *testing.T) {
+	r := rng.New(4)
+	errAt := func(keep int) float64 {
+		total := 0.0
+		rr := r.Split(uint64(keep))
+		for b := 0; b < 40; b++ {
+			px := syntheticBlock(rr)
+			coef := DCT2D(px)
+			exact := IDCT2D(coef)
+			approx := IDCTApprox(coef, keep)
+			for i := range exact {
+				total += math.Abs(exact[i] - approx[i])
+			}
+		}
+		return total
+	}
+	e2, e4, e6 := errAt(2), errAt(4), errAt(6)
+	if !(e2 > e4 && e4 > e6) {
+		t.Errorf("truncation error not monotone: keep2=%g keep4=%g keep6=%g", e2, e4, e6)
+	}
+}
+
+func TestIDCTOpCount(t *testing.T) {
+	if IDCTOpCount(8) != 2*64*8 {
+		t.Errorf("full op count = %d", IDCTOpCount(8))
+	}
+	if IDCTOpCount(4) != 2*64*4 {
+		t.Errorf("keep-4 op count = %d", IDCTOpCount(4))
+	}
+	if IDCTOpCount(0) != IDCTOpCount(1) || IDCTOpCount(99) != IDCTOpCount(8) {
+		t.Error("op count clamping wrong")
+	}
+}
+
+func TestImageSpecBlocks(t *testing.T) {
+	if got := (ImageSpec{Width: 160, Height: 120, Channels: 1}).Blocks(); got != 20*15 {
+		t.Errorf("160x120 gray blocks = %d, want 300", got)
+	}
+	if got := (ImageSpec{Width: 320, Height: 240, Channels: 3}).Blocks(); got != 40*30*3 {
+		t.Errorf("320x240 RGB blocks = %d", got)
+	}
+	// Non-multiple-of-8 dimensions round up.
+	if got := (ImageSpec{Width: 12, Height: 9, Channels: 1}).Blocks(); got != 2*2 {
+		t.Errorf("12x9 blocks = %d, want 4", got)
+	}
+}
+
+func TestCharacterizeIDCT(t *testing.T) {
+	spec := ImageSpec{Name: "qvga", Width: 320, Height: 240, Channels: 1}
+	ch := CharacterizeIDCT(spec, 4, 200, 7)
+	if ch.MeanError <= 0 {
+		t.Error("truncated IDCT has zero mean error")
+	}
+	if ch.ImpreciseOps >= ch.AccurateOps {
+		t.Errorf("imprecise ops %d not below accurate %d", ch.ImpreciseOps, ch.AccurateOps)
+	}
+	if ch.AccurateOps != int64(spec.Blocks())*int64(IDCTOpCount(8)) {
+		t.Error("accurate op count inconsistent")
+	}
+	// Determinism.
+	ch2 := CharacterizeIDCT(spec, 4, 200, 7)
+	if ch2.MeanError != ch.MeanError {
+		t.Error("characterization not deterministic")
+	}
+}
+
+func TestNewtonSolveKnownRoots(t *testing.T) {
+	eqs := NewtonEquations()
+	// tangent (double-root) family: (x−a)² = 0 → a. Tolerance on f means
+	// the root is accurate to √tol.
+	tangent := eqs[1]
+	res := tangent.Solve(49, 1e-10)
+	if !res.Converged || math.Abs(res.Root-49) > 1e-4 {
+		t.Errorf("tangent root = %+v", res)
+	}
+	// cubic: x³ − 2x − a at a=5 → ~2.0946 (classic).
+	cubic := eqs[0]
+	res = cubic.Solve(5, 1e-10)
+	if !res.Converged || math.Abs(res.Root-2.0945514815) > 1e-6 {
+		t.Errorf("cubic root = %+v", res)
+	}
+	// transcendental: x·eˣ = a at a=1 → Ω ≈ 0.5671432904.
+	trans := eqs[2]
+	res = trans.Solve(1, 1e-12)
+	if !res.Converged || math.Abs(res.Root-0.5671432904) > 1e-6 {
+		t.Errorf("omega = %+v", res)
+	}
+}
+
+func TestNewtonLooseToleranceFasterAndLessAccurate(t *testing.T) {
+	for _, eq := range NewtonEquations() {
+		tight := CharacterizeNR(eq, 1e-8, 1e-10, 300, 11)
+		loose := CharacterizeNR(eq, 1.0, 1e-10, 300, 11)
+		if loose.MeanIterations >= tight.MeanIterations {
+			t.Errorf("%s: loose iterations %g not below tight %g",
+				eq.Name, loose.MeanIterations, tight.MeanIterations)
+		}
+		if loose.MeanError <= tight.MeanError {
+			t.Errorf("%s: loose error %g not above tight %g",
+				eq.Name, loose.MeanError, tight.MeanError)
+		}
+		if tight.Unconverged > 0 || loose.Unconverged > 0 {
+			t.Errorf("%s: unconverged instances: %d/%d",
+				eq.Name, tight.Unconverged, loose.Unconverged)
+		}
+		if loose.MaxIterations > tight.MaxIterations {
+			t.Errorf("%s: loose max iterations above tight", eq.Name)
+		}
+	}
+}
+
+func TestNewtonResidualMeetsCriterion(t *testing.T) {
+	f := func(raw uint16) bool {
+		eq := NewtonEquations()[0]
+		a := eq.ParamLo + (eq.ParamHi-eq.ParamLo)*float64(raw)/65535
+		res := eq.Solve(a, 1e-6)
+		return !res.Converged || res.Residual <= 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxAdderExactWhenZeroBits(t *testing.T) {
+	ad := ApproxAdder{Width: 16, ApproxBits: 0}
+	f := func(a, b uint16) bool {
+		return ad.Add(uint64(a), uint64(b)) == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxAdderUpperBitsExact(t *testing.T) {
+	// With k approximate bits the result's upper part must equal the exact
+	// sum of the operands' upper parts (no carry from below by design).
+	ad := ApproxAdder{Width: 16, ApproxBits: 6}
+	f := func(a, b uint16) bool {
+		got := ad.Add(uint64(a), uint64(b))
+		wantHigh := (uint64(a) >> 6) + (uint64(b) >> 6)
+		return got>>6 == wantHigh
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxAdderErrorBounded(t *testing.T) {
+	// The error of the lower-part OR is below 2^(k+1): the OR overshoots or
+	// undershoots the true low sum by less than the low part's range plus
+	// the lost carry.
+	ad := ApproxAdder{Width: 20, ApproxBits: 8}
+	r := rng.New(5)
+	for i := 0; i < 10000; i++ {
+		a := r.Uint64() & ((1 << 20) - 1)
+		b := r.Uint64() & ((1 << 20) - 1)
+		exact := a + b
+		approx := ad.Add(a, b)
+		var diff uint64
+		if approx >= exact {
+			diff = approx - exact
+		} else {
+			diff = exact - approx
+		}
+		if diff >= 1<<9 {
+			t.Fatalf("error %d ≥ 2^9 for %d+%d", diff, a, b)
+		}
+	}
+}
+
+func TestAdderDelayShrinksWithApproximation(t *testing.T) {
+	prev := math.MaxInt
+	for k := 0; k <= 16; k += 4 {
+		d := ApproxAdder{Width: 16, ApproxBits: k}.Delay()
+		if d >= prev {
+			t.Errorf("delay not decreasing at k=%d: %d >= %d", k, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestCharacterizeAdderMoreBitsMoreError(t *testing.T) {
+	c4 := CharacterizeAdder(ApproxAdder{Width: 16, ApproxBits: 4}, 20000, 9)
+	c8 := CharacterizeAdder(ApproxAdder{Width: 16, ApproxBits: 8}, 20000, 9)
+	if c8.MeanError <= c4.MeanError {
+		t.Errorf("8-bit approx error %g not above 4-bit %g", c8.MeanError, c4.MeanError)
+	}
+	if c4.ErrorRate <= 0 || c4.ErrorRate > 1 {
+		t.Errorf("error rate = %g", c4.ErrorRate)
+	}
+	if c8.MaxError < c8.MeanError {
+		t.Error("max below mean")
+	}
+}

@@ -1,0 +1,128 @@
+package imprecise
+
+import (
+	"math"
+
+	"nprt/internal/rng"
+	"nprt/internal/stats"
+)
+
+// Equation is one nonlinear-equation family for the Newton–Raphson
+// testcase (§VI-B): f and its derivative, parameterized by a target value
+// drawn per job so each execution solves a fresh instance.
+type Equation struct {
+	Name string
+	// F and DF take the unknown x and the per-instance parameter a.
+	F  func(x, a float64) float64
+	DF func(x, a float64) float64
+	// X0 produces the initial guess for parameter a.
+	X0 func(a float64) float64
+	// ParamRange is the [lo, hi] range the per-job parameter is drawn from.
+	ParamLo, ParamHi float64
+}
+
+// NRResult is the outcome of one Newton–Raphson run.
+type NRResult struct {
+	Root       float64
+	Iterations int
+	Residual   float64 // |f(root)| at termination
+	Converged  bool
+}
+
+// MaxNRIterations bounds a run; hitting it marks non-convergence.
+const MaxNRIterations = 200
+
+// Solve runs Newton–Raphson on the equation instance until |f| ≤ tol or the
+// iteration cap. The convergence criterion tol is the paper's ε̂: tight for
+// accurate mode, loose for imprecise mode.
+func (eq *Equation) Solve(a, tol float64) NRResult {
+	x := eq.X0(a)
+	for it := 1; it <= MaxNRIterations; it++ {
+		fx := eq.F(x, a)
+		if math.Abs(fx) <= tol {
+			return NRResult{Root: x, Iterations: it, Residual: math.Abs(fx), Converged: true}
+		}
+		dfx := eq.DF(x, a)
+		if dfx == 0 || math.IsNaN(dfx) || math.IsInf(dfx, 0) {
+			break
+		}
+		x -= fx / dfx
+	}
+	fx := eq.F(x, a)
+	return NRResult{Root: x, Iterations: MaxNRIterations, Residual: math.Abs(fx)}
+}
+
+// NewtonEquations returns the three equation families of the prototype
+// testcase (Table IV): a cubic polynomial (τ1), a well-behaved tangency
+// (double-root) problem whose runtime collapses under a loose criterion
+// (τ2 — the paper notes exactly this behaviour for its second task), and a
+// transcendental equation (τ3).
+func NewtonEquations() []*Equation {
+	return []*Equation{
+		{
+			Name:    "cubic",
+			F:       func(x, a float64) float64 { return x*x*x - 2*x - a },
+			DF:      func(x, _ float64) float64 { return 3*x*x - 2 },
+			X0:      func(float64) float64 { return 10 },
+			ParamLo: 2, ParamHi: 60,
+		},
+		{
+			// A double root: Newton converges linearly (error halves per
+			// step), so a loose criterion cuts the iteration count sharply —
+			// the "well behaved" τ2 of Table IV whose runtime collapses when
+			// the criterion is relaxed.
+			Name:    "tangent",
+			F:       func(x, a float64) float64 { d := x - a; return d * d },
+			DF:      func(x, a float64) float64 { return 2 * (x - a) },
+			X0:      func(a float64) float64 { return a + 4 },
+			ParamLo: 1, ParamHi: 10000,
+		},
+		{
+			Name:    "transcendental",
+			F:       func(x, a float64) float64 { return x*math.Exp(x) - a },
+			DF:      func(x, _ float64) float64 { return math.Exp(x) * (1 + x) },
+			X0:      func(float64) float64 { return 1 },
+			ParamLo: 0.5, ParamHi: 50,
+		},
+	}
+}
+
+// NRCharacterization is the measured profile of one equation family under
+// a convergence criterion.
+type NRCharacterization struct {
+	Name           string
+	Tol            float64
+	MaxIterations  int // worst observed — the WCET basis
+	MeanIterations float64
+	MeanError      float64 // mean |x_loose − x_tight| over instances
+	ErrStdDev      float64
+	Unconverged    int
+}
+
+// CharacterizeNR runs `trials` random instances of the equation at the
+// given tolerance, comparing each loose root against the tight-tolerance
+// root to measure the imprecision error — the paper's procedure of deriving
+// WCETs from the longest of many random runs.
+func CharacterizeNR(eq *Equation, tol, tightTol float64, trials int, seed uint64) NRCharacterization {
+	r := rng.New(seed)
+	var iters, errs stats.Accumulator
+	out := NRCharacterization{Name: eq.Name, Tol: tol}
+	for i := 0; i < trials; i++ {
+		a := eq.ParamLo + (eq.ParamHi-eq.ParamLo)*r.Float64()
+		loose := eq.Solve(a, tol)
+		tight := eq.Solve(a, tightTol)
+		if !loose.Converged || !tight.Converged {
+			out.Unconverged++
+			continue
+		}
+		iters.Add(float64(loose.Iterations))
+		errs.Add(math.Abs(loose.Root - tight.Root))
+		if loose.Iterations > out.MaxIterations {
+			out.MaxIterations = loose.Iterations
+		}
+	}
+	out.MeanIterations = iters.Mean()
+	out.MeanError = errs.Mean()
+	out.ErrStdDev = errs.StdDev()
+	return out
+}

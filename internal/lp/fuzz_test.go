@@ -1,0 +1,162 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"nprt/internal/rng"
+)
+
+// vertexOracle solves a 2-variable LP (min c·x, a_k·x <= b_k, x >= 0) by
+// enumerating all intersections of constraint boundary pairs (including the
+// axes) and taking the best feasible vertex. For a bounded feasible region
+// the LP optimum is attained at such a vertex, so this is an exact oracle.
+func vertexOracle(c [2]float64, rows [][3]float64) (obj float64, feasible bool) {
+	// Boundary lines: each row a1 x + a2 y = b, plus x = 0 and y = 0.
+	lines := make([][3]float64, 0, len(rows)+2)
+	lines = append(lines, rows...)
+	lines = append(lines, [3]float64{1, 0, 0}, [3]float64{0, 1, 0})
+
+	best := math.Inf(1)
+	found := false
+	feasibleAt := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, r := range rows {
+			if r[0]*x+r[1]*y > r[2]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			if feasibleAt(x, y) {
+				v := c[0]*x + c[1]*y
+				if v < best {
+					best = v
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// TestSimplexMatchesVertexEnumeration fuzzes the simplex on random bounded
+// 2-variable LPs against the geometric oracle.
+func TestSimplexMatchesVertexEnumeration(t *testing.T) {
+	r := rng.New(8675309)
+	tested := 0
+	for trial := 0; trial < 500; trial++ {
+		nRows := 1 + r.Intn(5)
+		rows := make([][3]float64, 0, nRows+2)
+		for k := 0; k < nRows; k++ {
+			rows = append(rows, [3]float64{
+				r.Float64()*4 - 1, // allow some negative coefficients
+				r.Float64()*4 - 1,
+				r.Float64() * 10,
+			})
+		}
+		// Bounding box keeps every instance bounded.
+		rows = append(rows, [3]float64{1, 0, 5 + r.Float64()*10})
+		rows = append(rows, [3]float64{0, 1, 5 + r.Float64()*10})
+		c := [2]float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+
+		want, feasible := vertexOracle(c, rows)
+
+		p := NewProblem(2)
+		p.C = []float64{c[0], c[1]}
+		for _, row := range rows {
+			p.AddConstraint([]float64{row[0], row[1]}, LE, row[2], "")
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if sol.Status == Optimal {
+				t.Fatalf("trial %d: simplex found %g on oracle-infeasible LP", trial, sol.Objective)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: simplex says %v, oracle found %g", trial, sol.Status, want)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %g != oracle %g", trial, sol.Objective, want)
+		}
+		// The reported point must satisfy every constraint.
+		for k, row := range rows {
+			if row[0]*sol.X[0]+row[1]*sol.X[1] > row[2]+1e-6 {
+				t.Fatalf("trial %d: solution violates row %d", trial, k)
+			}
+		}
+		tested++
+	}
+	if tested < 300 {
+		t.Fatalf("only %d feasible instances exercised", tested)
+	}
+}
+
+// TestSimplexRandomEqualities fuzzes mixed LE/GE/EQ systems where a known
+// feasible point is planted, so feasibility is guaranteed and the optimum
+// must not exceed the planted point's objective.
+func TestSimplexRandomEqualities(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(3)
+		point := make([]float64, n)
+		for i := range point {
+			point[i] = r.Float64() * 5
+		}
+		p := NewProblem(n)
+		for i := range p.C {
+			p.C[i] = r.Float64()*4 - 2
+		}
+		nRows := 1 + r.Intn(4)
+		for k := 0; k < nRows; k++ {
+			coef := make([]float64, n)
+			v := 0.0
+			for i := range coef {
+				coef[i] = r.Float64()*2 - 0.5
+				v += coef[i] * point[i]
+			}
+			switch r.Intn(3) {
+			case 0:
+				p.AddConstraint(coef, LE, v+r.Float64(), "")
+			case 1:
+				p.AddConstraint(coef, GE, v-r.Float64(), "")
+			default:
+				p.AddConstraint(coef, EQ, v, "")
+			}
+		}
+		// Bound the box so minimization is never unbounded.
+		for i := 0; i < n; i++ {
+			p.AddBound(i, LE, 20, "")
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v with a planted feasible point", trial, sol.Status)
+		}
+		plantedObj := 0.0
+		for i := range point {
+			plantedObj += p.C[i] * point[i]
+		}
+		if sol.Objective > plantedObj+1e-6 {
+			t.Fatalf("trial %d: optimum %g worse than planted point %g", trial, sol.Objective, plantedObj)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package lp is a from-scratch dense linear-programming solver: a two-phase
+// primal simplex with Bland's anti-cycling rule. It is the substrate under
+// internal/ilp, which the paper's offline ILP scheduling (§IV) runs on.
+//
+// Problems are stated over non-negative variables:
+//
+//	minimize   c·x
+//	subject to a_k·x (≤ | = | ≥) b_k,  x ≥ 0.
+//
+// The implementation favours clarity and numerical robustness over speed:
+// the scheduling models it solves have a few hundred rows and columns, where
+// dense tableaus are perfectly adequate.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x ≤ b
+	EQ              // a·x = b
+	GE              // a·x ≥ b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Constraint is one row a·x (sense) b. Coef must have the problem's variable
+// count; missing trailing zeros are allowed.
+type Constraint struct {
+	Coef  []float64
+	Sense Sense
+	RHS   float64
+	Name  string // optional, for diagnostics
+}
+
+// Problem is an LP over n non-negative variables.
+type Problem struct {
+	NumVars int
+	C       []float64 // minimize C·x; len == NumVars
+	Rows    []Constraint
+}
+
+// NewProblem returns an empty minimization problem over n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, C: make([]float64, n)}
+}
+
+// AddConstraint appends a row; coef may be shorter than NumVars.
+func (p *Problem) AddConstraint(coef []float64, s Sense, rhs float64, name string) {
+	row := make([]float64, p.NumVars)
+	copy(row, coef)
+	p.Rows = append(p.Rows, Constraint{Coef: row, Sense: s, RHS: rhs, Name: name})
+}
+
+// AddBound appends the single-variable constraint x_j (sense) v.
+func (p *Problem) AddBound(j int, s Sense, v float64, name string) {
+	row := make([]float64, p.NumVars)
+	row[j] = 1
+	p.Rows = append(p.Rows, Constraint{Coef: row, Sense: s, RHS: v, Name: name})
+}
+
+// Status is a solve outcome.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values (valid when Optimal)
+	Objective float64   // c·x (valid when Optimal)
+	Pivots    int       // simplex iterations used
+}
+
+const (
+	eps       = 1e-9
+	maxPivots = 200000
+)
+
+// ErrPivotLimit is returned when the simplex exceeds its iteration budget,
+// which on these models indicates a modelling bug rather than a hard LP.
+var ErrPivotLimit = errors.New("lp: pivot limit exceeded")
+
+// tableau is the dense simplex tableau.
+//
+// Layout: rows 0..m-1 are constraints, each ending with the RHS in column
+// ncols-1; row m is the objective (reduced costs, with the negated objective
+// value in the RHS cell).
+type tableau struct {
+	m, n  int // constraint rows, total structural+slack+artificial columns
+	a     [][]float64
+	basis []int // basis[i] = column basic in row i
+	obj   []float64
+}
+
+// Solve runs the two-phase simplex.
+func Solve(p *Problem) (*Solution, error) {
+	if len(p.C) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.C), p.NumVars)
+	}
+	m := len(p.Rows)
+	n := p.NumVars
+
+	// Normalize rows to b >= 0.
+	type rowT struct {
+		coef  []float64
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]rowT, m)
+	for i, r := range p.Rows {
+		coef := make([]float64, n)
+		copy(coef, r.Coef)
+		sense, rhs := r.Sense, r.RHS
+		if rhs < 0 {
+			for j := range coef {
+				coef[j] = -coef[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = rowT{coef, sense, rhs}
+	}
+
+	// Column layout: [structural | slacks/surplus | artificials | RHS].
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	t := &tableau{m: m, n: total, basis: make([]int, m)}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, total+1)
+	}
+
+	slackAt, artAt := n, n+nSlack
+	artCols := make([]int, 0, nArt)
+	for i, r := range rows {
+		copy(t.a[i], r.coef)
+		t.a[i][total] = r.rhs
+		switch r.sense {
+		case LE:
+			t.a[i][slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			slackAt++
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			t.basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+	}
+
+	sol := &Solution{}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		phase1 := t.a[m]
+		for j := range phase1 {
+			phase1[j] = 0
+		}
+		for _, c := range artCols {
+			phase1[c] = 1
+		}
+		// Price out the basic artificials.
+		for i := 0; i < m; i++ {
+			if t.a[m][t.basis[i]] != 0 {
+				t.subtractRow(m, i, t.a[m][t.basis[i]])
+			}
+		}
+		status, err := t.iterate(&sol.Pivots)
+		if err != nil {
+			return nil, err
+		}
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded means a bug.
+			return nil, errors.New("lp: phase-1 reported unbounded")
+		}
+		if -t.a[m][total] > 1e-7 {
+			sol.Status = Infeasible
+			return sol, nil
+		}
+		// Drive any lingering artificials out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless, artificial stays basic at 0.
+				_ = pivoted
+			}
+		}
+		// Blank artificial columns so they can never re-enter.
+		for _, c := range artCols {
+			for i := 0; i <= m; i++ {
+				t.a[i][c] = 0
+			}
+		}
+	}
+
+	// Phase 2: restore the real objective and price out the basis.
+	objRow := t.a[m]
+	for j := range objRow {
+		objRow[j] = 0
+	}
+	copy(objRow, p.C)
+	for i := 0; i < m; i++ {
+		if c := t.a[m][t.basis[i]]; c != 0 {
+			t.subtractRow(m, i, c)
+		}
+	}
+	status, err := t.iterate(&sol.Pivots)
+	if err != nil {
+		return nil, err
+	}
+	if status == Unbounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+
+	sol.Status = Optimal
+	sol.X = make([]float64, p.NumVars)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < p.NumVars {
+			sol.X[t.basis[i]] = t.a[i][total]
+		}
+	}
+	sol.Objective = -t.a[m][total]
+	return sol, nil
+}
+
+// subtractRow does a[target] -= factor * a[row], including the RHS.
+func (t *tableau) subtractRow(target, row int, factor float64) {
+	tr, sr := t.a[target], t.a[row]
+	for j := 0; j <= t.n; j++ {
+		tr[j] -= factor * sr[j]
+	}
+}
+
+// pivot makes column col basic in row row.
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	for j := 0; j <= t.n; j++ {
+		pr[j] /= pv
+	}
+	pr[col] = 1 // exact
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		if f := t.a[i][col]; math.Abs(f) > 0 {
+			t.subtractRow(i, row, f)
+			t.a[i][col] = 0 // exact
+		}
+	}
+	t.basis[row] = col
+}
+
+// iterate runs primal simplex to optimality, unboundedness or the pivot cap.
+// Dantzig pricing with a fallback to Bland's rule after a stall threshold
+// prevents cycling on degenerate schedules.
+func (t *tableau) iterate(pivots *int) (Status, error) {
+	stall := 0
+	lastObj := math.Inf(1)
+	for {
+		if *pivots >= maxPivots {
+			return Optimal, ErrPivotLimit
+		}
+		bland := stall > 2*(t.m+t.n)
+
+		// Entering column: most negative reduced cost (Dantzig) or first
+		// negative (Bland).
+		col := -1
+		best := -eps
+		for j := 0; j < t.n; j++ {
+			rc := t.a[t.m][j]
+			if rc < -eps {
+				if bland {
+					col = j
+					break
+				}
+				if rc < best {
+					best, col = rc, j
+				}
+			}
+		}
+		if col == -1 {
+			return Optimal, nil
+		}
+
+		// Leaving row: ratio test; Bland tie-break on basis index.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][col]
+			if aij > eps {
+				ratio := t.a[i][t.n] / aij
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (row == -1 || t.basis[i] < t.basis[row])) {
+					bestRatio, row = ratio, i
+				}
+			}
+		}
+		if row == -1 {
+			return Unbounded, nil
+		}
+
+		t.pivot(row, col)
+		*pivots++
+
+		obj := -t.a[t.m][t.n]
+		if obj < lastObj-eps {
+			stall = 0
+			lastObj = obj
+		} else {
+			stall++
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/rng"
+	"nprt/internal/task"
+)
+
+// bruteForceOptimum enumerates every 2^m mode assignment for the fixed
+// order and returns the minimum total mean error over feasible ones
+// (math.Inf(1) when none is feasible). It is the oracle for OptimizeModes.
+func bruteForceOptimum(s *task.Set, order []task.Job) float64 {
+	m := len(order)
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<m; mask++ {
+		var t task.Time
+		err := 0.0
+		feasible := true
+		for k, j := range order {
+			tk := s.Task(j.TaskID)
+			start := t
+			if j.Release > start {
+				start = j.Release
+			}
+			var dur task.Time
+			if mask>>k&1 == 1 {
+				dur = tk.WCETImprecise
+				err += tk.MeanError()
+			} else {
+				dur = tk.WCETAccurate
+			}
+			f := start + dur
+			if f > j.Deadline {
+				feasible = false
+				break
+			}
+			t = f
+		}
+		if feasible && err < best {
+			best = err
+		}
+	}
+	return best
+}
+
+// randomSmallSet draws a 2–3 task set with a small hyper-period so the
+// brute force stays under ~2^12 assignments.
+func randomSmallSet(r *rng.Stream) *task.Set {
+	periods := [][]task.Time{
+		{6, 12}, {8, 16}, {10, 20}, {6, 18}, {10, 10},
+		{6, 12, 12}, {8, 8, 16}, {10, 20, 20},
+	}
+	ps := periods[r.Intn(len(periods))]
+	tasks := make([]task.Task, len(ps))
+	for i, p := range ps {
+		w := task.Time(2 + r.Intn(int(p)-2))
+		x := task.Time(1 + r.Intn(int(w)-1))
+		if x >= w {
+			x = w - 1
+		}
+		tasks[i] = task.Task{
+			Name: "t", Period: p, WCETAccurate: w, WCETImprecise: x,
+			Error: task.Dist{Mean: 0.5 + 4*r.Float64()},
+		}
+	}
+	s, err := task.New(tasks)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// TestOptimizeModesMatchesBruteForce fuzzes the exact Pareto DP against
+// exhaustive enumeration on hundreds of random small instances.
+func TestOptimizeModesMatchesBruteForce(t *testing.T) {
+	r := rng.New(20240704)
+	tested := 0
+	for trial := 0; trial < 400; trial++ {
+		s := randomSmallSet(r)
+		if s == nil {
+			continue
+		}
+		order, err := EDFOrder(s, task.Imprecise)
+		if err != nil || len(order) > 12 {
+			continue
+		}
+		want := bruteForceOptimum(s, order)
+		modes, got, err := OptimizeModes(s, order)
+		if math.IsInf(want, 1) {
+			if err == nil {
+				t.Fatalf("trial %d: DP found %g on a brute-force-infeasible instance\n%s",
+					trial, got, s)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: DP infeasible but brute force found %g\n%s", trial, want, s)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: DP=%g brute=%g\n%s", trial, got, want, s)
+		}
+		// The returned assignment must itself be feasible and consistent.
+		if _, err := ScheduleWithModes(s, order, modes); err != nil {
+			t.Fatalf("trial %d: returned modes infeasible: %v", trial, err)
+		}
+		tested++
+	}
+	if tested < 100 {
+		t.Fatalf("only %d instances exercised", tested)
+	}
+}
+
+// TestModeILPMatchesBruteForce fuzzes the branch-and-bound MILP the same
+// way (fewer trials; each solve is pricier).
+func TestModeILPMatchesBruteForce(t *testing.T) {
+	r := rng.New(77)
+	tested := 0
+	for trial := 0; trial < 60; trial++ {
+		s := randomSmallSet(r)
+		if s == nil {
+			continue
+		}
+		order, err := EDFOrder(s, task.Imprecise)
+		if err != nil || len(order) > 8 {
+			continue
+		}
+		want := bruteForceOptimum(s, order)
+		sc, err := SolveModeILP(s, order, 0, 0)
+		if math.IsInf(want, 1) {
+			if err == nil {
+				t.Fatalf("trial %d: MILP found a schedule on an infeasible instance\n%s", trial, s)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: MILP failed but brute force found %g: %v\n%s", trial, want, err, s)
+		}
+		if math.Abs(sc.TotalMeanError()-want) > 1e-6 {
+			t.Fatalf("trial %d: MILP=%g brute=%g\n%s", trial, sc.TotalMeanError(), want, s)
+		}
+		tested++
+	}
+	if tested < 20 {
+		t.Fatalf("only %d instances exercised", tested)
+	}
+}
+
+// TestFlippedEDFFeasibleWheneverTheoremHolds fuzzes the Jeffay guarantee:
+// when Theorem 1 passes with imprecise WCETs, flipped EDF must place every
+// job (it inherits EDF's feasibility guarantee on the reversed axis).
+func TestFlippedEDFFeasibleWheneverTheoremHolds(t *testing.T) {
+	r := rng.New(99)
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		s := randomSmallSet(r)
+		if s == nil {
+			continue
+		}
+		if !schedulableImprecise(s) {
+			continue
+		}
+		sc, err := FlippedEDF(s)
+		if err != nil {
+			t.Fatalf("trial %d: flipped EDF failed on a Theorem-1-feasible set: %v\n%s",
+				trial, err, s)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, s)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d feasible instances exercised", checked)
+	}
+}
+
+func schedulableImprecise(s *task.Set) bool {
+	return feasibility.Schedulable(s, task.Imprecise)
+}

@@ -1,0 +1,135 @@
+package offline
+
+import (
+	"math"
+	"sort"
+
+	"nprt/internal/task"
+)
+
+// OptimizeModes solves the order-fixed offline problem exactly: given the
+// job order (normally EDFOrder in imprecise mode), choose each job's mode to
+// minimize the total pre-characterized error Σ e_i·y_{i,j} subject to ASAP
+// chain feasibility — the same model as the §IV-A ILP with the execution
+// order fixed. It runs a dynamic program over Pareto-optimal
+// (finish time, error) states and is exact: internal/offline tests
+// cross-check it against the branch-and-bound MILP.
+//
+// Returned modes are parallel to order. ErrInfeasible is returned when even
+// the all-imprecise assignment misses a deadline.
+func OptimizeModes(s *task.Set, order []task.Job) ([]task.Mode, float64, error) {
+	type state struct {
+		finish task.Time
+		err    float64
+		parent int32 // index into previous level
+		mode   task.Mode
+	}
+	levels := make([][]state, len(order)+1)
+	levels[0] = []state{{finish: 0, err: 0, parent: -1}}
+
+	for k, j := range order {
+		tk := s.Task(j.TaskID)
+		prev := levels[k]
+		next := make([]state, 0, 2*len(prev))
+		for pi, ps := range prev {
+			start := ps.finish
+			if j.Release > start {
+				start = j.Release
+			}
+			// One branch per declared accuracy level (two in the paper's
+			// standard model).
+			for m := task.Accurate; int(m) < tk.NumModes(); m++ {
+				if f := start + tk.WCET(m); f <= j.Deadline {
+					next = append(next, state{
+						finish: f,
+						err:    ps.err + tk.ErrorDist(m).Mean,
+						parent: int32(pi),
+						mode:   m,
+					})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, 0, ErrInfeasible
+		}
+		// Pareto prune: sort by finish asc then err asc; keep states whose
+		// error strictly improves on every earlier (smaller-finish) state.
+		sort.Slice(next, func(a, b int) bool {
+			if next[a].finish != next[b].finish {
+				return next[a].finish < next[b].finish
+			}
+			return next[a].err < next[b].err
+		})
+		pruned := next[:0]
+		bestErr := math.Inf(1)
+		for _, st := range next {
+			if st.err < bestErr-1e-12 {
+				pruned = append(pruned, st)
+				bestErr = st.err
+			}
+		}
+		levels[k+1] = append([]state(nil), pruned...)
+	}
+
+	// Best terminal state = minimum error (ties: earliest finish, which the
+	// Pareto front orders first).
+	last := levels[len(order)]
+	best := 0
+	for i := 1; i < len(last); i++ {
+		if last[i].err < last[best].err-1e-12 {
+			best = i
+		}
+	}
+
+	modes := make([]task.Mode, len(order))
+	idx := int32(best)
+	for k := len(order); k >= 1; k-- {
+		st := levels[k][idx]
+		modes[k-1] = st.mode
+		idx = st.parent
+	}
+	return modes, last[best].err, nil
+}
+
+// BuildILPSchedule runs the §IV-A pipeline: fix the EDF order (imprecise
+// WCETs), optimize the mode assignment exactly, and lay the result out at
+// ASAP starts. The resulting schedule's Start/Finish columns are the s and
+// f̂ values the online adjustment compares against.
+func BuildILPSchedule(s *task.Set) (*Schedule, error) {
+	order, err := EDFOrder(s, task.Deepest)
+	if err != nil {
+		return nil, err
+	}
+	modes, _, err := OptimizeModes(s, order)
+	if err != nil {
+		return nil, err
+	}
+	return ScheduleWithModes(s, order, modes)
+}
+
+// BuildBestEffort lays out the EDF order with every job imprecise at ASAP
+// starts without deadline validation. It is the fallback plan for sets that
+// fail even the imprecise-mode feasibility (Rnd2- and IDCT-class cases in
+// Table I): the paper's methods still run on such sets, best-effort — the
+// WCET plan overruns deadlines on paper, but actual execution times are far
+// below WCET and the online adjustment still applies.
+func BuildBestEffort(s *task.Set) (*Schedule, error) {
+	order, err := EDFOrder(s, task.Deepest)
+	if err != nil {
+		return nil, err
+	}
+	sc := &Schedule{Set: s, Jobs: make([]ScheduledJob, len(order))}
+	var t task.Time
+	for k, j := range order {
+		start := j.Release
+		if t > start {
+			start = t
+		}
+		tk := s.Task(j.TaskID)
+		mode := tk.ClampMode(task.Deepest)
+		x := tk.WCET(mode)
+		sc.Jobs[k] = ScheduledJob{Job: j, Mode: mode, Start: start, Finish: start + x}
+		t = start + x
+	}
+	return sc, nil
+}

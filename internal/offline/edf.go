@@ -1,0 +1,176 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"nprt/internal/task"
+)
+
+// EDFOrder simulates non-preemptive EDF over one hyper-period with every
+// job's WCET in the given mode and returns the dispatch order. This is the
+// canonical order the order-fixed optimizers (Pareto DP, mode ILP) work on;
+// the paper fixes the execution order to the ILP output in the same way.
+// By Jeffay et al., when Theorem 1 holds for the mode's WCETs this order is
+// deadline-feasible.
+func EDFOrder(s *task.Set, m task.Mode) ([]task.Job, error) {
+	if err := checkZeroRelease(s); err != nil {
+		return nil, err
+	}
+	jobs := s.JobsWithin(0, s.Hyperperiod())
+	order := make([]task.Job, 0, len(jobs))
+
+	// Released jobs, pending execution.
+	var pending []task.Job
+	next := 0 // next unreleased job in release-sorted jobs
+	var t task.Time
+	for len(order) < len(jobs) {
+		for next < len(jobs) && jobs[next].Release <= t {
+			pending = append(pending, jobs[next])
+			next++
+		}
+		if len(pending) == 0 {
+			t = jobs[next].Release
+			continue
+		}
+		best := 0
+		for i := 1; i < len(pending); i++ {
+			if jobLess(pending[i], pending[best]) {
+				best = i
+			}
+		}
+		j := pending[best]
+		pending[best] = pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		order = append(order, j)
+		start := j.Release
+		if t > start {
+			start = t
+		}
+		t = start + s.Task(j.TaskID).WCET(m)
+	}
+	return order, nil
+}
+
+// jobLess is the deterministic EDF tie-break: deadline, then release, then
+// task id, then index.
+func jobLess(a, b task.Job) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.TaskID != b.TaskID {
+		return a.TaskID < b.TaskID
+	}
+	return a.Index < b.Index
+}
+
+// ScheduleWithModes lays out the given job order with the given per-job
+// modes (parallel to order) at ASAP starts and validates feasibility.
+func ScheduleWithModes(s *task.Set, order []task.Job, modes []task.Mode) (*Schedule, error) {
+	if len(order) != len(modes) {
+		return nil, fmt.Errorf("offline: %d jobs but %d modes", len(order), len(modes))
+	}
+	sc := &Schedule{Set: s, Jobs: make([]ScheduledJob, len(order))}
+	for k, j := range order {
+		sc.Jobs[k] = ScheduledJob{Job: j, Mode: modes[k]}
+	}
+	if err := sc.respace(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// FlippedEDF builds the §IV-C offline schedule: every job imprecise,
+// scheduled as late as possible by EDF on the reversed time axis (release
+// and deadline exchange roles). Among unscheduled jobs whose deadline has
+// been "reached" by the backward frontier it always places the one with the
+// latest release time, ending at the frontier.
+func FlippedEDF(s *task.Set) (*Schedule, error) {
+	if err := checkZeroRelease(s); err != nil {
+		return nil, err
+	}
+	jobs := s.JobsWithin(0, s.Hyperperiod())
+	type placed struct {
+		job        task.Job
+		start, end task.Time
+	}
+	out := make([]placed, 0, len(jobs))
+
+	// Sort by deadline descending so "advance the backward frontier" is a
+	// linear scan.
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Deadline > jobs[b].Deadline })
+
+	frontier := s.Hyperperiod()
+	var eligible []task.Job
+	next := 0
+	for len(out) < cap(out) {
+		for next < len(jobs) && jobs[next].Deadline >= frontier {
+			eligible = append(eligible, jobs[next])
+			next++
+		}
+		if len(eligible) == 0 {
+			if next >= len(jobs) {
+				break
+			}
+			frontier = jobs[next].Deadline
+			continue
+		}
+		// Latest release first; tie-break mirrors jobLess in reverse.
+		best := 0
+		for i := 1; i < len(eligible); i++ {
+			if flippedLess(eligible[i], eligible[best]) {
+				best = i
+			}
+		}
+		j := eligible[best]
+		eligible[best] = eligible[len(eligible)-1]
+		eligible = eligible[:len(eligible)-1]
+
+		end := frontier
+		if j.Deadline < end {
+			end = j.Deadline
+		}
+		start := end - s.Task(j.TaskID).WCET(task.Deepest)
+		if start < j.Release {
+			return nil, fmt.Errorf("%w: flipped EDF cannot place %v (start %d < release %d)",
+				ErrInfeasible, j, start, j.Release)
+		}
+		out = append(out, placed{job: j, start: start, end: end})
+		frontier = start
+	}
+
+	if len(out) != len(jobs) {
+		return nil, fmt.Errorf("%w: flipped EDF placed %d of %d jobs", ErrInfeasible, len(out), len(jobs))
+	}
+
+	// out is in reverse execution order.
+	sc := &Schedule{Set: s, Jobs: make([]ScheduledJob, len(out))}
+	for i, p := range out {
+		sc.Jobs[len(out)-1-i] = ScheduledJob{
+			Job:    p.job,
+			Mode:   s.Task(p.job.TaskID).ClampMode(task.Deepest),
+			Start:  p.start,
+			Finish: p.end,
+		}
+	}
+	return sc, nil
+}
+
+// flippedLess orders eligible jobs in the reversed-time EDF: the reversed
+// deadline of a job is P − r, so the earliest reversed deadline is the
+// largest release time.
+func flippedLess(a, b task.Job) bool {
+	if a.Release != b.Release {
+		return a.Release > b.Release
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline > b.Deadline
+	}
+	if a.TaskID != b.TaskID {
+		return a.TaskID > b.TaskID
+	}
+	return a.Index > b.Index
+}

@@ -1,0 +1,209 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"nprt/internal/esr"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// multiLevelSet declares three accuracy levels per task (the §II-C
+// generalization): accurate, imprecise, and a deeper "rough" level.
+func multiLevelSet(t *testing.T) *task.Set {
+	t.Helper()
+	s, err := task.New([]task.Task{
+		{
+			Name: "a", Period: 20, WCETAccurate: 14, WCETImprecise: 8,
+			Error:       task.Dist{Mean: 2},
+			ExtraLevels: []task.Level{{WCET: 3, Error: task.Dist{Mean: 6}}},
+		},
+		{
+			Name: "b", Period: 40, WCETAccurate: 20, WCETImprecise: 10,
+			Error:       task.Dist{Mean: 3},
+			ExtraLevels: []task.Level{{WCET: 4, Error: task.Dist{Mean: 9}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMultiLevelTaskModel(t *testing.T) {
+	s := multiLevelSet(t)
+	tk := s.Task(0)
+	if tk.NumModes() != 3 {
+		t.Fatalf("NumModes = %d", tk.NumModes())
+	}
+	if tk.WCET(task.Mode(2)) != 3 || tk.WCET(task.Deepest) != 3 {
+		t.Errorf("level-2 WCET lookup wrong: %d/%d", tk.WCET(task.Mode(2)), tk.WCET(task.Deepest))
+	}
+	if tk.ErrorDist(task.Mode(2)).Mean != 6 {
+		t.Errorf("level-2 error lookup wrong")
+	}
+	if tk.ClampMode(task.Mode(9)) != task.Mode(2) {
+		t.Errorf("clamp wrong: %v", tk.ClampMode(task.Mode(9)))
+	}
+	// Validation: a level must strictly undercut the previous WCET.
+	bad := *tk
+	bad.ExtraLevels = []task.Level{{WCET: 8}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-decreasing extra level accepted")
+	}
+	bad.ExtraLevels = []task.Level{{WCET: 3, Error: task.Dist{Mean: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative level error accepted")
+	}
+}
+
+// The deepest levels make the set feasible where two-level imprecision
+// would not be: Σ x/p = 8/20 + 10/40 = 0.65, but accurate is 1.2 and the
+// deepest is 3/20 + 4/40 = 0.25.
+func TestMultiLevelOptimizeModesUsesMiddleLevels(t *testing.T) {
+	s := multiLevelSet(t)
+	order, err := EDFOrder(s, task.Deepest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes, errSum, err := OptimizeModes(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScheduleWithModes(s, order, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over 3 levels per job for the optimum.
+	want := bruteForceOptimumMulti(s, order)
+	if math.Abs(errSum-want) > 1e-9 {
+		t.Errorf("multi-level DP = %g, brute force = %g", errSum, want)
+	}
+}
+
+func bruteForceOptimumMulti(s *task.Set, order []task.Job) float64 {
+	m := len(order)
+	best := math.Inf(1)
+	var walk func(k int, t task.Time, err float64)
+	walk = func(k int, t task.Time, err float64) {
+		if err >= best {
+			return
+		}
+		if k == m {
+			best = err
+			return
+		}
+		j := order[k]
+		tk := s.Task(j.TaskID)
+		start := t
+		if j.Release > start {
+			start = j.Release
+		}
+		for mode := task.Accurate; int(mode) < tk.NumModes(); mode++ {
+			f := start + tk.WCET(mode)
+			if f <= j.Deadline {
+				walk(k+1, f, err+tk.ErrorDist(mode).Mean)
+			}
+		}
+	}
+	walk(0, 0, 0)
+	return best
+}
+
+func TestMultiLevelESRPicksIntermediateLevels(t *testing.T) {
+	s := multiLevelSet(t)
+	p := esr.New()
+	res, err := sim.Run(s, p, sim.Config{Hyperperiods: 100, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Fatalf("%d misses", res.Misses.Events)
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+	// Count levels actually used.
+	levels := map[task.Mode]int{}
+	for _, e := range res.Trace.Entries {
+		levels[e.Mode]++
+	}
+	// With WCET execution the slack is moderate: the middle level should
+	// appear (slack covers x−deepest but not w−deepest for some jobs).
+	if levels[task.Imprecise] == 0 && levels[task.Accurate] == 0 {
+		t.Errorf("ESR never rose above the deepest level: %v", levels)
+	}
+}
+
+func TestMultiLevelFlippedEDFUsesDeepest(t *testing.T) {
+	s := multiLevelSet(t)
+	sc, err := FlippedEDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sj := range sc.Jobs {
+		if sj.Mode != task.Mode(2) {
+			t.Errorf("flipped EDF planned %v, want deepest level", sj.Mode)
+		}
+	}
+}
+
+func TestMultiLevelOAUpgradesStepwise(t *testing.T) {
+	s := multiLevelSet(t)
+	p, err := NewILPPostOA(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(s, p, sim.Config{
+		Hyperperiods: 200,
+		Sampler:      sim.NewRandomSampler(s, 5),
+		TraceLimit:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Fatalf("%d misses", res.Misses.Events)
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Fatalf("violations: %v", vs[0])
+	}
+}
+
+func TestBestModeSelection(t *testing.T) {
+	s := multiLevelSet(t)
+	tk := s.Task(0)  // w=14, x=8, deepest=3
+	j := s.Job(0, 0) // deadline 20
+	cases := []struct {
+		slack task.Time
+		now   task.Time
+		want  task.Mode
+	}{
+		{0, 0, task.Mode(2)},        // no slack → deepest
+		{4, 0, task.Mode(2)},        // below x−deepest = 5
+		{5, 0, task.Imprecise},      // covers the middle gap
+		{10, 0, task.Imprecise},     // below w−deepest = 11
+		{11, 0, task.Accurate},      // full upgrade
+		{1 << 30, 0, task.Accurate}, // plenty
+		// Deadline guard: with now=10 the accurate WCET (14) cannot finish
+		// by d=20 no matter how much slack was reclaimed.
+		{1 << 30, 10, task.Imprecise},
+		// now=15: even the imprecise level (8) would overrun; deepest fits.
+		{1 << 30, 15, task.Mode(2)},
+	}
+	for _, c := range cases {
+		if got := esr.BestMode(tk, j, c.now, c.slack); got != c.want {
+			t.Errorf("BestMode(now=%d, slack=%d) = %v, want %v", c.now, c.slack, got, c.want)
+		}
+	}
+}

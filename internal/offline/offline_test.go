@@ -1,0 +1,430 @@
+package offline
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/task"
+)
+
+func mkSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// twoJobSet: both accurate does not fit in the shared period; the optimum
+// runs the cheap-error task imprecise.
+// a: w=6 x=2 e=1; b: w=5 x=2 e=10; p=10 both. Optimal: a imprecise, b
+// accurate → error 1 (finishes 2+5=7 ≤ 10).
+func twoJobSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 5, WCETImprecise: 2, Error: task.Dist{Mean: 10}},
+	)
+}
+
+func TestEDFOrderSimple(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "fast", Period: 10, WCETAccurate: 3, WCETImprecise: 1},
+		task.Task{Name: "slow", Period: 20, WCETAccurate: 8, WCETImprecise: 3},
+	)
+	order, err := EDFOrder(s, task.Imprecise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order has %d jobs", len(order))
+	}
+	// At t=0 both released; fast (deadline 10) before slow (deadline 20),
+	// then fast's second job.
+	if order[0].TaskID != 0 || order[1].TaskID != 1 || order[2].TaskID != 0 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEDFOrderRejectsPhases(t *testing.T) {
+	s := mkSet(t, task.Task{Name: "a", Period: 10, Release: 2, WCETAccurate: 3, WCETImprecise: 1})
+	if _, err := EDFOrder(s, task.Imprecise); !errors.Is(err, ErrNotZeroRelease) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOptimizeModesHandExample(t *testing.T) {
+	s := twoJobSet(t)
+	order, err := EDFOrder(s, task.Imprecise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes, errSum, err := OptimizeModes(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errSum != 1 {
+		t.Errorf("optimal error = %g, want 1", errSum)
+	}
+	// Order is a then b (task IDs 0,1); a imprecise, b accurate.
+	for k, j := range order {
+		want := task.Accurate
+		if j.TaskID == 0 {
+			want = task.Imprecise
+		}
+		if modes[k] != want {
+			t.Errorf("job %v mode = %v, want %v", j, modes[k], want)
+		}
+	}
+}
+
+func TestOptimizeModesInfeasible(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 8, WCETImprecise: 6},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 8, WCETImprecise: 6},
+	)
+	order, err := EDFOrder(s, task.Imprecise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OptimizeModes(s, order); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBuildILPScheduleValidAndOptimal(t *testing.T) {
+	s := twoJobSet(t)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalMeanError() != 1 {
+		t.Errorf("planned error = %g, want 1", sc.TotalMeanError())
+	}
+	acc, imp := sc.ModeCounts()
+	if acc != 1 || imp != 1 {
+		t.Errorf("mode counts = %d/%d", acc, imp)
+	}
+}
+
+// Cross-check: the exact Pareto DP and the branch-and-bound MILP agree on
+// the optimal objective for a spread of generated sets.
+func TestDPMatchesMILP(t *testing.T) {
+	cases := []*task.Set{
+		twoJobSet(t),
+		mkSet(t,
+			task.Task{Name: "a", Period: 6, WCETAccurate: 4, WCETImprecise: 1, Error: task.Dist{Mean: 2}},
+			task.Task{Name: "b", Period: 12, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 3}},
+		),
+		mkSet(t,
+			task.Task{Name: "a", Period: 8, WCETAccurate: 5, WCETImprecise: 2, Error: task.Dist{Mean: 7}},
+			task.Task{Name: "b", Period: 16, WCETAccurate: 9, WCETImprecise: 3, Error: task.Dist{Mean: 1}},
+			task.Task{Name: "c", Period: 16, WCETAccurate: 4, WCETImprecise: 2, Error: task.Dist{Mean: 4}},
+		),
+	}
+	for ci, s := range cases {
+		order, err := EDFOrder(s, task.Imprecise)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		_, dpErr, err := OptimizeModes(s, order)
+		if err != nil {
+			t.Fatalf("case %d: DP: %v", ci, err)
+		}
+		sc, err := SolveModeILP(s, order, 0, 0)
+		if err != nil {
+			t.Fatalf("case %d: MILP: %v", ci, err)
+		}
+		if math.Abs(sc.TotalMeanError()-dpErr) > 1e-6 {
+			t.Errorf("case %d: MILP error %g != DP error %g", ci, sc.TotalMeanError(), dpErr)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("case %d: MILP schedule invalid: %v", ci, err)
+		}
+	}
+}
+
+// The order-free full MILP can only do as well or better than the
+// order-fixed optimum, and on these micro cases it matches it.
+func TestFullILPMicro(t *testing.T) {
+	s := twoJobSet(t)
+	jobs := s.JobsWithin(0, s.Hyperperiod())
+	sc, err := SolveFullILP(s, jobs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, _ := EDFOrder(s, task.Imprecise)
+	_, dpErr, err := OptimizeModes(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TotalMeanError() > dpErr+1e-9 {
+		t.Errorf("full ILP error %g worse than order-fixed %g", sc.TotalMeanError(), dpErr)
+	}
+}
+
+func TestFlippedEDFValidALAPAllImprecise(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 9, WCETImprecise: 3, Error: task.Dist{Mean: 2}},
+	)
+	if !feasibility.Schedulable(s, task.Imprecise) {
+		t.Fatal("premise: imprecise-feasible")
+	}
+	sc, err := FlippedEDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	acc, imp := sc.ModeCounts()
+	if acc != 0 || imp != len(sc.Jobs) {
+		t.Errorf("flipped EDF not all-imprecise: %d/%d", acc, imp)
+	}
+	// ALAP: the last job must end exactly at its deadline (= P here).
+	last := sc.Jobs[len(sc.Jobs)-1]
+	if last.Finish != last.Job.Deadline {
+		t.Errorf("last job ends %d, deadline %d — not as-late-as-possible", last.Finish, last.Job.Deadline)
+	}
+	// Every job ends either at its deadline or flush against its successor.
+	for k := 0; k+1 < len(sc.Jobs); k++ {
+		sj := sc.Jobs[k]
+		if sj.Finish != sj.Job.Deadline && sj.Finish != sc.Jobs[k+1].Start {
+			t.Errorf("job %v ends %d: neither deadline %d nor successor start %d",
+				sj.Job, sj.Finish, sj.Job.Deadline, sc.Jobs[k+1].Start)
+		}
+	}
+}
+
+func TestFlippedEDFInfeasibleSet(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 8, WCETImprecise: 6},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 8, WCETImprecise: 6},
+	)
+	if _, err := FlippedEDF(s); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPostProcessKeepsValidityAndModes(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 9, WCETImprecise: 3, Error: task.Dist{Mean: 2}},
+		task.Task{Name: "c", Period: 40, WCETAccurate: 11, WCETImprecise: 4, Error: task.Dist{Mean: 5}},
+	)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, st := PostProcess(sc, PostProcessOptions{})
+	if err := post.Validate(); err != nil {
+		t.Fatalf("post-processed schedule invalid: %v", err)
+	}
+	if post.TotalMeanError() != sc.TotalMeanError() {
+		t.Errorf("post-processing changed planned error: %g → %g",
+			sc.TotalMeanError(), post.TotalMeanError())
+	}
+	if st.Passes == 0 {
+		t.Error("no passes recorded")
+	}
+	// Postponement must never reduce any f̂ sum.
+	var sumBefore, sumAfter task.Time
+	for _, sj := range sc.Jobs {
+		sumBefore += sj.Finish
+	}
+	for _, sj := range post.Jobs {
+		sumAfter += sj.Finish
+	}
+	if sumAfter < sumBefore {
+		t.Errorf("Σf̂ decreased: %d → %d", sumBefore, sumAfter)
+	}
+	// Input untouched.
+	if err := sc.Validate(); err != nil {
+		t.Errorf("input schedule mutated: %v", err)
+	}
+}
+
+func TestPostponeRaisesFinishTimes(t *testing.T) {
+	// Single task, half-utilized: every job can postpone to its deadline.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 7, WCETImprecise: 3, Error: task.Dist{Mean: 1}},
+	)
+	sc, err := FlippedEDF(s) // already ALAP
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilpSc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, stats := PostProcess(ilpSc, PostProcessOptions{})
+	if err := post.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// For planned-imprecise jobs, postponement should reach the ALAP finish.
+	for k := range post.Jobs {
+		if post.Jobs[k].Mode == task.Imprecise && post.Jobs[k].Finish != sc.Jobs[k].Finish {
+			t.Errorf("job %d: postponed finish %d != ALAP finish %d",
+				k, post.Jobs[k].Finish, sc.Jobs[k].Finish)
+		}
+	}
+	_ = stats
+}
+
+func TestPostProcessAblationSwitches(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 9, WCETImprecise: 3, Error: task.Dist{Mean: 2}},
+	)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, st := PostProcess(sc, PostProcessOptions{
+		DisablePostpone: true, DisableSameModeSwap: true, DisableImpreciseLater: true,
+	})
+	if st.Postponed != 0 || st.SameModeSwaps != 0 || st.ImpreciseLaterSw != 0 {
+		t.Errorf("disabled rewrites still fired: %+v", st)
+	}
+	for k := range post.Jobs {
+		if post.Jobs[k] != sc.Jobs[k] {
+			t.Errorf("all-disabled post-processing changed the schedule at %d", k)
+		}
+	}
+}
+
+func TestImpreciseLaterSwapFires(t *testing.T) {
+	// Construct a schedule with an (imprecise, accurate) adjacent pair that
+	// can legally swap: both jobs released at 0, shared deadline window.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 5, WCETImprecise: 2, Error: task.Dist{Mean: 10}},
+	)
+	// Manually: a imprecise first, b accurate second.
+	order, _ := EDFOrder(s, task.Imprecise)
+	sc, err := ScheduleWithModes(s, order, []task.Mode{task.Imprecise, task.Accurate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, st := PostProcess(sc, PostProcessOptions{DisablePostpone: true})
+	if st.ImpreciseLaterSw == 0 {
+		t.Fatalf("rule 3 did not fire: %+v", st)
+	}
+	if post.Jobs[0].Mode != task.Accurate || post.Jobs[1].Mode != task.Imprecise {
+		t.Errorf("swap not applied: %+v", post.Jobs)
+	}
+	if err := post.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleValidateCatchesCorruption(t *testing.T) {
+	s := twoJobSet(t)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Schedule){
+		func(c *Schedule) { c.Jobs = c.Jobs[:1] },                         // missing job
+		func(c *Schedule) { c.Jobs[1] = c.Jobs[0] },                       // duplicate
+		func(c *Schedule) { c.Jobs[0].Finish += 1 },                       // wrong duration
+		func(c *Schedule) { c.Jobs[0].Start -= 1; c.Jobs[0].Finish -= 1 }, // before release? start 0 → -1
+		func(c *Schedule) {
+			c.Jobs[1].Start = 0
+			c.Jobs[1].Finish = c.Jobs[1].Start + (c.Jobs[1].Finish - c.Jobs[1].Start)
+		}, // overlap
+	}
+	for i, corrupt := range cases {
+		c := sc.Clone()
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("corruption %d not detected", i)
+		}
+	}
+}
+
+func TestBestEffortFallbacksWithinPackage(t *testing.T) {
+	// Overloaded even at imprecise WCETs → strict builders fail, the
+	// best-effort constructors return an all-imprecise ASAP plan.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 6,
+			Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 6,
+			Error: task.Dist{Mean: 1}},
+	)
+	if _, err := NewILPOA(s); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("strict builder error = %v", err)
+	}
+	for _, build := range []func(*task.Set) (*OAPolicy, error){
+		NewILPOABestEffort, NewILPPostOABestEffort, NewFlippedEDFBestEffort,
+	} {
+		p, err := build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fallback plan covers every hyper-period job all-imprecise.
+		acc, imp := p.Sched.ModeCounts()
+		if acc != 0 || imp != s.JobsPerHyperperiod() {
+			t.Errorf("%s fallback plan modes = %d/%d", p.Name(), acc, imp)
+		}
+		// And the plan's WCET chain overruns some deadline (that is why it
+		// is best-effort).
+		if err := p.Sched.Validate(); err == nil {
+			t.Errorf("%s fallback plan unexpectedly valid", p.Name())
+		}
+	}
+	// Sanity: a feasible set must NOT trigger the fallback.
+	ok := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+	)
+	p, err := NewILPOABestEffort(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sched.Validate(); err != nil {
+		t.Errorf("feasible set produced invalid plan: %v", err)
+	}
+}
+
+func TestBestEffortPropagatesOtherErrors(t *testing.T) {
+	// Phase-shifted sets fail with ErrNotZeroRelease, which the best-effort
+	// wrapper must NOT swallow.
+	s := mkSet(t, task.Task{Name: "a", Period: 10, Release: 3,
+		WCETAccurate: 5, WCETImprecise: 2})
+	if _, err := NewILPOABestEffort(s); !errors.Is(err, ErrNotZeroRelease) {
+		t.Errorf("err = %v, want ErrNotZeroRelease", err)
+	}
+	if _, err := NewFlippedEDFBestEffort(s); !errors.Is(err, ErrNotZeroRelease) {
+		t.Errorf("flipped err = %v, want ErrNotZeroRelease", err)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := twoJobSet(t)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sc.String()
+	if !strings.Contains(out, "offline schedule") || !strings.Contains(out, "[") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestScheduleWithModesLengthMismatch(t *testing.T) {
+	s := twoJobSet(t)
+	order, _ := EDFOrder(s, task.Imprecise)
+	if _, err := ScheduleWithModes(s, order, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

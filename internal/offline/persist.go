@@ -1,0 +1,85 @@
+package offline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nprt/internal/task"
+)
+
+// Plan persistence: an offline schedule is exactly the kind of artifact a
+// deployment computes once on a host and ships to the target (the paper's
+// ILP runs "seconds to minutes" — offline). The JSON form carries only the
+// plan, not the task set; loading validates the plan against the set it
+// will drive, so a stale table for a changed set is rejected instead of
+// silently misscheduling.
+
+// planJSON is the serialized form of one scheduled job.
+type planJSON struct {
+	TaskID int       `json:"task"`
+	Index  int       `json:"index"`
+	Mode   uint8     `json:"mode"`
+	Start  task.Time `json:"start"`
+	Finish task.Time `json:"finish"`
+}
+
+// scheduleJSON is the file format.
+type scheduleJSON struct {
+	// Fingerprint guards against pairing a plan with the wrong set: the
+	// task count and hyper-period must match at load time.
+	Tasks       int        `json:"tasks"`
+	Hyperperiod task.Time  `json:"hyperperiod"`
+	Jobs        []planJSON `json:"jobs"`
+}
+
+// EncodeJSON writes the schedule.
+func (sc *Schedule) EncodeJSON(w io.Writer) error {
+	out := scheduleJSON{
+		Tasks:       sc.Set.Len(),
+		Hyperperiod: sc.Set.Hyperperiod(),
+		Jobs:        make([]planJSON, len(sc.Jobs)),
+	}
+	for k, sj := range sc.Jobs {
+		out.Jobs[k] = planJSON{
+			TaskID: sj.Job.TaskID, Index: sj.Job.Index,
+			Mode: uint8(sj.Mode), Start: sj.Start, Finish: sj.Finish,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeSchedule reads a plan and binds it to the set, validating the
+// fingerprint and every schedule invariant. Plans from best-effort builds
+// (which legitimately overrun deadlines on paper) fail validation and are
+// rejected; persist only guaranteed plans.
+func DecodeSchedule(r io.Reader, s *task.Set) (*Schedule, error) {
+	var in scheduleJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("offline: decoding plan: %w", err)
+	}
+	if in.Tasks != s.Len() || in.Hyperperiod != s.Hyperperiod() {
+		return nil, fmt.Errorf("offline: plan fingerprint (%d tasks, P=%d) does not match set (%d tasks, P=%d)",
+			in.Tasks, in.Hyperperiod, s.Len(), s.Hyperperiod())
+	}
+	sc := &Schedule{Set: s, Jobs: make([]ScheduledJob, len(in.Jobs))}
+	for k, pj := range in.Jobs {
+		if pj.TaskID < 0 || pj.TaskID >= s.Len() {
+			return nil, fmt.Errorf("offline: plan references task %d of %d", pj.TaskID, s.Len())
+		}
+		sc.Jobs[k] = ScheduledJob{
+			Job:    s.Job(pj.TaskID, pj.Index),
+			Mode:   task.Mode(pj.Mode),
+			Start:  pj.Start,
+			Finish: pj.Finish,
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("offline: loaded plan invalid for this set: %w", err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,91 @@
+package offline
+
+import (
+	"strings"
+	"testing"
+
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	s := twoJobSet(t)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, _ := PostProcess(sc, PostProcessOptions{})
+
+	var b strings.Builder
+	if err := post.EncodeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSchedule(strings.NewReader(b.String()), s)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, b.String())
+	}
+	if len(back.Jobs) != len(post.Jobs) {
+		t.Fatalf("job count changed: %d vs %d", len(back.Jobs), len(post.Jobs))
+	}
+	for k := range post.Jobs {
+		if back.Jobs[k] != post.Jobs[k] {
+			t.Errorf("job %d changed: %+v vs %+v", k, back.Jobs[k], post.Jobs[k])
+		}
+	}
+	// The reloaded plan drives the simulator identically.
+	resA, err := sim.Run(s, NewOA("orig", post), sim.Config{Hyperperiods: 20, Sampler: sim.NewRandomSampler(s, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sim.Run(s, NewOA("loaded", back), sim.Config{Hyperperiods: 20, Sampler: sim.NewRandomSampler(s, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.MeanError() != resB.MeanError() || resA.Accurate != resB.Accurate {
+		t.Error("reloaded plan behaves differently")
+	}
+}
+
+func TestDecodeScheduleRejections(t *testing.T) {
+	s := twoJobSet(t)
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sc.EncodeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	good := b.String()
+
+	// Wrong set: different hyper-period.
+	other := mkSet(t,
+		task.Task{Name: "x", Period: 14, WCETAccurate: 5, WCETImprecise: 2},
+		task.Task{Name: "y", Period: 14, WCETAccurate: 5, WCETImprecise: 2},
+	)
+	if _, err := DecodeSchedule(strings.NewReader(good), other); err == nil {
+		t.Error("fingerprint mismatch accepted")
+	}
+
+	// Garbage and unknown fields.
+	if _, err := DecodeSchedule(strings.NewReader("nope"), s); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodeSchedule(strings.NewReader(`{"tasks":2,"hyperperiod":10,"jobs":[],"x":1}`), s); err == nil {
+		t.Error("unknown field accepted")
+	}
+
+	// Corrupted plan: out-of-range task id.
+	corrupt := strings.Replace(good, `"task": 0`, `"task": 9`, 1)
+	if _, err := DecodeSchedule(strings.NewReader(corrupt), s); err == nil {
+		t.Error("out-of-range task accepted")
+	}
+
+	// Tampered timing: shift a start to overlap.
+	tampered := strings.Replace(good, `"start": 2`, `"start": 0`, 1)
+	if tampered != good {
+		if _, err := DecodeSchedule(strings.NewReader(tampered), s); err == nil {
+			t.Error("overlapping tampered plan accepted")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package offline
+
+import (
+	"nprt/internal/task"
+)
+
+// PostProcessStats reports how many times each §IV-B rewrite fired.
+type PostProcessStats struct {
+	Postponed        int // rule 1: start times pushed toward the deadline
+	SameModeSwaps    int // rule 2: same-accuracy pairs reordered by release
+	ImpreciseLaterSw int // rule 3: imprecise jobs moved after accurate ones
+	Passes           int
+}
+
+// PostProcessOptions enables individual rewrites (all on = the paper's
+// post-processing; switches exist for the ablation study).
+type PostProcessOptions struct {
+	DisablePostpone       bool
+	DisableSameModeSwap   bool
+	DisableImpreciseLater bool
+	MaxPasses             int // 0 = default
+}
+
+// PostProcess applies the three offline rewrites of §IV-B to a copy of the
+// schedule until a fixpoint (or the pass cap, a safety net the monotone
+// rewrites never hit in practice):
+//
+//  1. postpone a job's offline start into idle time that follows it, which
+//     raises f̂ and therefore the online upgrade chance (the runtime never
+//     waits for the offline start, so this is free);
+//  2. swap adjacent same-accuracy jobs so the earlier-released job runs
+//     first (it has more chance to reclaim slack from prior completions);
+//  3. swap an (imprecise, accurate) adjacent pair so the imprecise job runs
+//     later, where it can reclaim more slack — subject to release/deadline
+//     constraints.
+//
+// The returned schedule is always valid; the input is not modified.
+func PostProcess(sc *Schedule, opt PostProcessOptions) (*Schedule, PostProcessStats) {
+	out := sc.Clone()
+	var st PostProcessStats
+	maxPasses := opt.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 16 + len(out.Jobs)
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		if !opt.DisableSameModeSwap || !opt.DisableImpreciseLater {
+			if swapsPass(out, opt, &st) {
+				changed = true
+			}
+		}
+		if !opt.DisablePostpone {
+			if postponePass(out, &st) {
+				changed = true
+			}
+		}
+		st.Passes++
+		if !changed {
+			break
+		}
+	}
+	return out, st
+}
+
+// postponePass pushes every start as late as possible (right-to-left),
+// bounded by the job's deadline and the next job's (possibly postponed)
+// start. Returns true when anything moved.
+func postponePass(sc *Schedule, st *PostProcessStats) bool {
+	changed := false
+	for k := len(sc.Jobs) - 1; k >= 0; k-- {
+		sj := &sc.Jobs[k]
+		w := sj.Finish - sj.Start
+		latestFinish := sj.Job.Deadline
+		if k+1 < len(sc.Jobs) && sc.Jobs[k+1].Start < latestFinish {
+			latestFinish = sc.Jobs[k+1].Start
+		}
+		if newStart := latestFinish - w; newStart > sj.Start {
+			sj.Start = newStart
+			sj.Finish = latestFinish
+			st.Postponed++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// swapsPass applies rules 2 and 3 left-to-right on adjacent pairs. A swap is
+// committed only when re-spacing the pair inside its current time envelope
+// keeps both jobs within release/deadline bounds, so the rest of the
+// schedule is untouched. Returns true when any swap was committed.
+func swapsPass(sc *Schedule, opt PostProcessOptions, st *PostProcessStats) bool {
+	changed := false
+	for k := 0; k+1 < len(sc.Jobs); k++ {
+		a, b := sc.Jobs[k], sc.Jobs[k+1]
+
+		wantSwap := false
+		var rule *int
+		switch {
+		case !opt.DisableSameModeSwap && a.Mode == b.Mode && b.Job.Release < a.Job.Release:
+			// Rule 2: same accuracy, run the earlier-released job first.
+			wantSwap = true
+			rule = &st.SameModeSwaps
+		case !opt.DisableImpreciseLater && a.Mode == task.Imprecise && b.Mode == task.Accurate:
+			// Rule 3: move the imprecise job later.
+			wantSwap = true
+			rule = &st.ImpreciseLaterSw
+		}
+		if !wantSwap {
+			continue
+		}
+
+		// Envelope: [a.Start, b.Finish] — actually the pair may be separated
+		// by idle; the envelope starts at the earliest the first job may run
+		// (bounded by the previous job's finish) and ends at b.Finish.
+		envStart := task.Time(0)
+		if k > 0 {
+			envStart = sc.Jobs[k-1].Finish
+		}
+		envEnd := b.Finish
+		if k+2 < len(sc.Jobs) && sc.Jobs[k+2].Start < envEnd {
+			envEnd = sc.Jobs[k+2].Start // defensive; schedules are ordered
+		}
+
+		wa := a.Finish - a.Start
+		wb := b.Finish - b.Start
+
+		// Place b first, then a, ASAP within the envelope.
+		bStart := max64(envStart, b.Job.Release)
+		bFinish := bStart + wb
+		aStart := max64(bFinish, a.Job.Release)
+		aFinish := aStart + wa
+		if bFinish > b.Job.Deadline || aFinish > a.Job.Deadline || aFinish > envEnd {
+			continue // infeasible swap
+		}
+
+		sc.Jobs[k] = ScheduledJob{Job: b.Job, Mode: b.Mode, Start: bStart, Finish: bFinish}
+		sc.Jobs[k+1] = ScheduledJob{Job: a.Job, Mode: a.Mode, Start: aStart, Finish: aFinish}
+		*rule++
+		changed = true
+		k++ // don't immediately reconsider the swapped pair
+	}
+	return changed
+}
+
+func max64(a, b task.Time) task.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

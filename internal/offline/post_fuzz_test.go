@@ -1,0 +1,148 @@
+package offline
+
+import (
+	"testing"
+
+	"nprt/internal/esr"
+	"nprt/internal/rng"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// randomFeasibleSchedule draws a random imprecise-feasible set and builds
+// its ILP schedule; skips draws that are infeasible.
+func randomFeasibleSchedule(r *rng.Stream) (*task.Set, *Schedule) {
+	s := randomSmallSet(r)
+	if s == nil || !schedulableImprecise(s) {
+		return nil, nil
+	}
+	sc, err := BuildILPSchedule(s)
+	if err != nil {
+		return nil, nil
+	}
+	return s, sc
+}
+
+// TestPostProcessFuzz checks the §IV-B rewrites on hundreds of random
+// schedules: the output is always a valid schedule, the planned error is
+// untouched (rewrites never change modes), Σf̂ never decreases, and the
+// pass counter stays under the cap (fixpoint reached, not bailed out).
+func TestPostProcessFuzz(t *testing.T) {
+	r := rng.New(5150)
+	tested := 0
+	for trial := 0; trial < 600; trial++ {
+		s, sc := randomFeasibleSchedule(r)
+		if sc == nil {
+			continue
+		}
+		post, stats := PostProcess(sc, PostProcessOptions{})
+		if err := post.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid post-processed schedule: %v\n%s\nbefore:\n%s\nafter:\n%s",
+				trial, err, s, sc, post)
+		}
+		if post.TotalMeanError() != sc.TotalMeanError() {
+			t.Fatalf("trial %d: planned error changed: %g → %g",
+				trial, sc.TotalMeanError(), post.TotalMeanError())
+		}
+		// Monotonicity holds for the postponement rewrite alone (the swap
+		// rules may repack a pair slightly earlier inside its envelope, and
+		// that is fine — they trade Σf̂ for slack-reclamation position).
+		postponeOnly, _ := PostProcess(sc, PostProcessOptions{
+			DisableSameModeSwap: true, DisableImpreciseLater: true,
+		})
+		var before, after task.Time
+		for k := range sc.Jobs {
+			before += sc.Jobs[k].Finish
+		}
+		for k := range postponeOnly.Jobs {
+			after += postponeOnly.Jobs[k].Finish
+		}
+		if after < before {
+			t.Fatalf("trial %d: postpone-only Σf̂ decreased %d → %d", trial, before, after)
+		}
+		if stats.Passes >= 16+len(post.Jobs) {
+			t.Fatalf("trial %d: post-processing hit its pass cap (no fixpoint)", trial)
+		}
+		// Idempotence: a second application must be a no-op.
+		again, stats2 := PostProcess(post, PostProcessOptions{})
+		for k := range post.Jobs {
+			if again.Jobs[k] != post.Jobs[k] {
+				t.Fatalf("trial %d: post-processing not idempotent at job %d (%+v → %+v)",
+					trial, k, post.Jobs[k], again.Jobs[k])
+			}
+		}
+		if stats2.Postponed+stats2.SameModeSwaps+stats2.ImpreciseLaterSw != 0 {
+			t.Fatalf("trial %d: second pass still rewrote: %+v", trial, stats2)
+		}
+		tested++
+	}
+	if tested < 150 {
+		t.Fatalf("only %d schedules exercised", tested)
+	}
+}
+
+// TestOASafetyFuzz drives the three OA policies over random feasible sets
+// with randomized execution times and asserts zero deadline misses — the
+// paper's central guarantee — plus exact job coverage.
+func TestOASafetyFuzz(t *testing.T) {
+	r := rng.New(60065)
+	tested := 0
+	for trial := 0; trial < 200; trial++ {
+		s := randomSmallSet(r)
+		if s == nil || !schedulableImprecise(s) {
+			continue
+		}
+		builders := []func(*task.Set) (*OAPolicy, error){NewILPOA, NewILPPostOA, NewFlippedEDF}
+		for bi, build := range builders {
+			p, err := build(s)
+			if err != nil {
+				t.Fatalf("trial %d builder %d: %v\n%s", trial, bi, err, s)
+			}
+			res, err := sim.Run(s, p, sim.Config{
+				Hyperperiods: 20,
+				Sampler:      sim.NewRandomSampler(s, uint64(trial)),
+			})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v\n%s", trial, p.Name(), err, s)
+			}
+			if res.Misses.Events != 0 {
+				t.Fatalf("trial %d %s: %d deadline misses\n%s", trial, p.Name(), res.Misses.Events, s)
+			}
+			if res.Jobs != int64(20*s.JobsPerHyperperiod()) {
+				t.Fatalf("trial %d %s: %d jobs, want %d", trial, p.Name(), res.Jobs, 20*s.JobsPerHyperperiod())
+			}
+		}
+		tested++
+	}
+	if tested < 50 {
+		t.Fatalf("only %d sets exercised", tested)
+	}
+}
+
+// TestESRSafetyFuzz does the same for the online EDF+ESR method via the
+// public simulator path (the guarantee the paper proves for §III).
+func TestESRSafetyFuzz(t *testing.T) {
+	r := rng.New(777)
+	tested := 0
+	for trial := 0; trial < 300; trial++ {
+		s := randomSmallSet(r)
+		if s == nil || !schedulableImprecise(s) {
+			continue
+		}
+		p := esr.New()
+		res, err := sim.Run(s, p, sim.Config{
+			Hyperperiods: 30,
+			Sampler:      sim.NewRandomSampler(s, uint64(trial)),
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, s)
+		}
+		if res.Misses.Events != 0 {
+			t.Fatalf("trial %d: EDF+ESR missed %d deadlines\n%s", trial, res.Misses.Events, s)
+		}
+		tested++
+	}
+	if tested < 80 {
+		t.Fatalf("only %d sets exercised", tested)
+	}
+}

@@ -1,0 +1,154 @@
+// Package offline implements §IV of the paper: the collaborative methods
+// for periodic tasks with independent errors. Each method pairs an offline
+// schedule of one hyper-period with the constant-time online adjustment:
+//
+//   - ILP+OA (§IV-A): optimal mode assignment by integer programming (the
+//     exact Pareto dynamic program solves the same order-fixed model and is
+//     cross-checked against the branch-and-bound MILP in tests);
+//   - ILP+Post+OA (§IV-B): three monotone offline rewrites that enlarge the
+//     online upgrade window;
+//   - Flipped EDF (§IV-C): as-late-as-possible reverse-time EDF with every
+//     job imprecise.
+//
+// The offline schedulers require all first releases at 0 (the Theorem-1
+// setting the paper evaluates); the schedule then repeats every
+// hyper-period.
+package offline
+
+import (
+	"errors"
+	"fmt"
+
+	"nprt/internal/task"
+)
+
+// ScheduledJob is one row of an offline schedule: job, planned mode y, and
+// offline start/finish times computed with WCETs (f̂ in the paper).
+type ScheduledJob struct {
+	Job    task.Job
+	Mode   task.Mode
+	Start  task.Time // s_{i,j}
+	Finish task.Time // f̂_{i,j} = s + w, or s + x when imprecise
+}
+
+// Schedule is an offline plan for one hyper-period, in execution order.
+type Schedule struct {
+	Set  *task.Set
+	Jobs []ScheduledJob
+}
+
+// ErrNotZeroRelease is returned when an offline scheduler is given a set
+// with non-zero first releases.
+var ErrNotZeroRelease = errors.New("offline: offline scheduling requires all first releases at 0")
+
+// ErrInfeasible is returned when no feasible offline schedule exists under
+// the requested modes.
+var ErrInfeasible = errors.New("offline: no feasible schedule")
+
+// checkZeroRelease guards the offline builders.
+func checkZeroRelease(s *task.Set) error {
+	if s.MaxRelease() != 0 {
+		return ErrNotZeroRelease
+	}
+	return nil
+}
+
+// TotalMeanError returns Σ e_i over planned-imprecise jobs: the objective
+// the offline optimizers minimize (an upper-bound guarantee on error).
+func (sc *Schedule) TotalMeanError() float64 {
+	e := 0.0
+	for _, sj := range sc.Jobs {
+		if sj.Mode == task.Imprecise {
+			e += sc.Set.Task(sj.Job.TaskID).MeanError()
+		}
+	}
+	return e
+}
+
+// ModeCounts returns planned mode counts.
+func (sc *Schedule) ModeCounts() (accurate, imprecise int) {
+	for _, sj := range sc.Jobs {
+		if sj.Mode == task.Accurate {
+			accurate++
+		} else {
+			imprecise++
+		}
+	}
+	return accurate, imprecise
+}
+
+// Validate checks the offline-schedule invariants: complete coverage of the
+// hyper-period's jobs, WCET-consistent durations, release/deadline windows,
+// and non-overlap in order.
+func (sc *Schedule) Validate() error {
+	s := sc.Set
+	want := s.JobsPerHyperperiod()
+	if len(sc.Jobs) != want {
+		return fmt.Errorf("offline: schedule has %d jobs, hyper-period has %d", len(sc.Jobs), want)
+	}
+	seen := make(map[task.JobKey]bool, want)
+	var prevFinish task.Time
+	for k, sj := range sc.Jobs {
+		tk := s.Task(sj.Job.TaskID)
+		if seen[sj.Job.Key()] {
+			return fmt.Errorf("offline: job %v scheduled twice", sj.Job)
+		}
+		seen[sj.Job.Key()] = true
+		if got, wantDur := sj.Finish-sj.Start, tk.WCET(sj.Mode); got != wantDur {
+			return fmt.Errorf("offline: job %v duration %d != %s WCET %d", sj.Job, got, sj.Mode, wantDur)
+		}
+		if sj.Start < sj.Job.Release {
+			return fmt.Errorf("offline: job %v starts %d before release %d", sj.Job, sj.Start, sj.Job.Release)
+		}
+		if sj.Finish > sj.Job.Deadline {
+			return fmt.Errorf("offline: job %v finishes %d after deadline %d", sj.Job, sj.Finish, sj.Job.Deadline)
+		}
+		if k > 0 && sj.Start < prevFinish {
+			return fmt.Errorf("offline: job %v overlaps previous finish %d", sj.Job, prevFinish)
+		}
+		prevFinish = sj.Finish
+	}
+	return nil
+}
+
+// Clone deep-copies the schedule (the post-processor works on a copy).
+func (sc *Schedule) Clone() *Schedule {
+	jobs := make([]ScheduledJob, len(sc.Jobs))
+	copy(jobs, sc.Jobs)
+	return &Schedule{Set: sc.Set, Jobs: jobs}
+}
+
+// String renders the plan compactly.
+func (sc *Schedule) String() string {
+	out := fmt.Sprintf("offline schedule: %d jobs, planned error %.4g\n", len(sc.Jobs), sc.TotalMeanError())
+	for _, sj := range sc.Jobs {
+		mode := "A"
+		if sj.Mode == task.Imprecise {
+			mode = "I"
+		}
+		out += fmt.Sprintf("  %v %s [%d,%d)\n", sj.Job, mode, sj.Start, sj.Finish)
+	}
+	return out
+}
+
+// respace recomputes ASAP starts for the current order and modes; it
+// reports ErrInfeasible when some job misses its deadline. Used after mode
+// reassignment and order swaps.
+func (sc *Schedule) respace() error {
+	var t task.Time
+	for k := range sc.Jobs {
+		sj := &sc.Jobs[k]
+		start := sj.Job.Release
+		if t > start {
+			start = t
+		}
+		w := sc.Set.Task(sj.Job.TaskID).WCET(sj.Mode)
+		sj.Start = start
+		sj.Finish = start + w
+		if sj.Finish > sj.Job.Deadline {
+			return ErrInfeasible
+		}
+		t = sj.Finish
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package pq provides a small generic binary-heap priority queue used for
+// EDF ready queues, release event queues and the offline schedulers'
+// frontier sets. It is a value-oriented alternative to container/heap: no
+// interface boxing, no Push/Pop method boilerplate at call sites.
+package pq
+
+// Heap is a binary min-heap ordered by less. The zero value with a nil less
+// is not usable; construct with New.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// New returns an empty heap ordered by less.
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no items.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push adds an item.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item without removing it. ok is false when empty.
+func (h *Heap[T]) Peek() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the minimum item. ok is false when empty.
+func (h *Heap[T]) Pop() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	v = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+// Items returns the backing slice in heap order (not sorted). Read-only;
+// primarily for policies that must scan all pending items.
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Clear removes all items but keeps the capacity.
+func (h *Heap[T]) Clear() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+// RemoveFunc removes the first item satisfying match and returns it.
+// ok is false when no item matches. O(n) scan plus O(log n) fix-up.
+func (h *Heap[T]) RemoveFunc(match func(T) bool) (v T, ok bool) {
+	for i := range h.items {
+		if match(h.items[i]) {
+			v = h.items[i]
+			last := len(h.items) - 1
+			h.items[i] = h.items[last]
+			var zero T
+			h.items[last] = zero
+			h.items = h.items[:last]
+			if i < last {
+				if !h.up(i) {
+					h.down(i)
+				}
+			}
+			return v, true
+		}
+	}
+	return v, false
+}
+
+func (h *Heap[T]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

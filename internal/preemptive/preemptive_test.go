@@ -1,0 +1,144 @@
+package preemptive
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/rng"
+	"nprt/internal/task"
+)
+
+func mkSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleScheduleNoMisses(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 4, WCETImprecise: 1},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 10, WCETImprecise: 3},
+	)
+	// U = 0.4 + 0.5 = 0.9 ≤ 1 → preemptive EDF must succeed.
+	res := RunEDF(s, task.Accurate, 10)
+	if res.Misses != 0 {
+		t.Errorf("%d misses at U=0.9", res.Misses)
+	}
+	if res.Jobs != 30 {
+		t.Errorf("jobs = %d, want 30", res.Jobs)
+	}
+	if res.Busy != 10*(2*4+10) {
+		t.Errorf("busy = %d, want 180", res.Busy)
+	}
+}
+
+func TestPreemptionHappens(t *testing.T) {
+	// Long job started at 0 is preempted by the short-period task's release.
+	s := mkSet(t,
+		task.Task{Name: "long", Period: 100, Release: 0, WCETAccurate: 50, WCETImprecise: 10},
+		task.Task{Name: "short", Period: 20, Release: 5, WCETAccurate: 8, WCETImprecise: 2},
+	)
+	res := RunEDF(s, task.Accurate, 2)
+	if res.Preemptions == 0 {
+		t.Error("no preemptions recorded")
+	}
+	if res.Misses != 0 {
+		t.Errorf("%d misses (U = 0.9)", res.Misses)
+	}
+}
+
+func TestOverloadMisses(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 8, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 8, WCETImprecise: 2},
+	)
+	res := RunEDF(s, task.Accurate, 10)
+	if res.Misses == 0 {
+		t.Error("U=1.6 produced no misses")
+	}
+	// The same set at imprecise WCETs (U=0.4) is clean.
+	if res := RunEDF(s, task.Imprecise, 10); res.Misses != 0 {
+		t.Errorf("imprecise run missed %d", res.Misses)
+	}
+}
+
+// The paper's §II contrast, executable: the Rnd5-class blocking pathology —
+// low utilization, non-preemptively infeasible by condition (2) — schedules
+// cleanly under preemption.
+func TestBlockingPathologyVanishesUnderPreemption(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "fast", Period: 252, WCETAccurate: 40, WCETImprecise: 14},
+		task.Task{Name: "mid", Period: 420, WCETAccurate: 70, WCETImprecise: 24},
+		task.Task{Name: "blocker", Period: 2520, WCETAccurate: 300, WCETImprecise: 60},
+	)
+	if feasibility.Schedulable(s, task.Accurate) {
+		t.Fatal("premise: non-preemptively infeasible")
+	}
+	res := RunEDF(s, task.Accurate, 5)
+	if res.Misses != 0 {
+		t.Errorf("preemptive EDF missed %d deadlines on a U=0.44 set", res.Misses)
+	}
+	if res.Preemptions == 0 {
+		t.Error("the blocker was never preempted")
+	}
+}
+
+// Liu & Layland, fuzzed: preemptive EDF meets every deadline exactly when
+// U ≤ 1 (implicit deadlines, synchronous or offset releases; sufficiency
+// tested here, and overload always misses eventually).
+func TestLiuLaylandFuzz(t *testing.T) {
+	r := rng.New(19731)
+	feasibleTested, overloadTested := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + r.Intn(3)
+		tasks := make([]task.Task, n)
+		periods := []task.Time{8, 12, 16, 20, 24, 40, 48}
+		for i := range tasks {
+			p := periods[r.Intn(len(periods))]
+			w := task.Time(1 + r.Intn(int(p)))
+			x := w / 2
+			if x < 1 {
+				x = 1
+			}
+			if x >= w {
+				w = x + 1
+			}
+			tasks[i] = task.Task{Name: "t", Period: p, WCETAccurate: w, WCETImprecise: x,
+				Release: task.Time(r.Intn(5))}
+		}
+		s, err := task.New(tasks)
+		if err != nil {
+			continue
+		}
+		u := s.UtilizationAccurate()
+		res := RunEDF(s, task.Accurate, 6)
+		switch {
+		case u <= 1.0:
+			if res.Misses != 0 {
+				t.Fatalf("trial %d: U=%.3f ≤ 1 but %d misses\n%s", trial, u, res.Misses, s)
+			}
+			feasibleTested++
+		case u > 1.05: // clear overload over a long run must miss
+			if res.Misses == 0 && res.Jobs > 10 {
+				t.Fatalf("trial %d: U=%.3f > 1 with no misses over %d jobs\n%s",
+					trial, u, res.Jobs, s)
+			}
+			overloadTested++
+		}
+	}
+	if feasibleTested < 50 || overloadTested < 50 {
+		t.Fatalf("coverage too thin: %d feasible, %d overloaded", feasibleTested, overloadTested)
+	}
+}
+
+func TestMissFraction(t *testing.T) {
+	if (Result{}).MissFraction() != 0 {
+		t.Error("empty result fraction")
+	}
+	if (Result{Jobs: 4, Misses: 1}).MissFraction() != 0.25 {
+		t.Error("fraction wrong")
+	}
+}

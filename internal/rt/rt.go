@@ -1,0 +1,138 @@
+// Package rt is the reproduction's stand-in for the paper's Linux 4.6 /
+// ARM Cortex-A53 prototype (§VI-B). The original ran three periodic
+// Newton–Raphson solvers under the scheduling policies on real hardware;
+// a garbage-collected Go runtime on shared infrastructure cannot honour
+// hard real-time wall-clock deadlines, so this package executes the *real*
+// computations — actual Newton–Raphson solves with tight or loose
+// convergence criteria — and charges their measured iteration counts to
+// the simulator's virtual clock at a calibrated per-iteration cost.
+// Errors are likewise *measured*, not sampled: each job's loose-mode root
+// is compared against the tight-mode root of the same instance.
+//
+// The package also provides wall-clock measurement of the kernels (used by
+// examples/newton and for re-deriving Table IV on the host machine).
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"nprt/internal/imprecise"
+	"nprt/internal/rng"
+	"nprt/internal/task"
+	"nprt/internal/workload"
+)
+
+// NRSampler is a sim.Sampler that actually runs Newton–Raphson for every
+// job: the execution time is the real iteration count converted to virtual
+// time, and the error is the real deviation between the loose- and
+// tight-criterion roots of the same equation instance.
+type NRSampler struct {
+	eqs   []*imprecise.Equation
+	infos []workload.NRTaskInfo
+	seed  uint64
+
+	// lastError caches the measured error of the most recent execution per
+	// task, keyed by job index (the engine asks ExecTime first, then Error).
+	lastError map[task.JobKey]float64
+
+	// Solves counts real kernel invocations (diagnostics).
+	Solves int64
+}
+
+// NewNRSampler builds the real-execution sampler for the Newton case.
+func NewNRSampler(infos []workload.NRTaskInfo, seed uint64) *NRSampler {
+	return &NRSampler{
+		eqs:       imprecise.NewtonEquations(),
+		infos:     infos,
+		seed:      seed,
+		lastError: make(map[task.JobKey]float64),
+	}
+}
+
+// instanceParam derives the job's equation parameter deterministically, so
+// repeated runs and different policies see identical instances.
+func (s *NRSampler) instanceParam(eq *imprecise.Equation, j task.Job) float64 {
+	st := rng.New(s.seed + uint64(j.TaskID)*1000003 + uint64(j.Index)*7919)
+	return eq.ParamLo + (eq.ParamHi-eq.ParamLo)*st.Float64()
+}
+
+// ExecTime runs the real solver in the requested mode and converts its
+// iteration count to virtual time (capped at the declared WCET, exactly as
+// a WCET-enforced runtime would abort an overrunning job).
+func (s *NRSampler) ExecTime(t *task.Task, j task.Job, m task.Mode) task.Time {
+	idx := j.TaskID
+	eq := s.eqs[idx]
+	info := s.infos[idx]
+	a := s.instanceParam(eq, j)
+
+	tol := info.TolAccurate
+	if m == task.Imprecise {
+		tol = info.TolImprecise
+	}
+	res := eq.Solve(a, tol)
+	s.Solves++
+
+	if m == task.Imprecise {
+		tight := eq.Solve(a, info.TolAccurate)
+		err := res.Root - tight.Root
+		if err < 0 {
+			err = -err
+		}
+		s.lastError[j.Key()] = err
+	}
+
+	d := task.Time(float64(res.Iterations) * info.IterCostMicros)
+	if d < 1 {
+		d = 1
+	}
+	if w := t.WCET(m); d > w {
+		d = w
+	}
+	return d
+}
+
+// Error returns the measured imprecision error of the job's execution.
+func (s *NRSampler) Error(_ *task.Task, j task.Job, _ task.Mode) float64 {
+	e, ok := s.lastError[j.Key()]
+	if ok {
+		delete(s.lastError, j.Key())
+	}
+	return e
+}
+
+// WallClockProfile measures real wall-clock execution of one equation
+// family at a tolerance over `trials` random instances — the Table IV
+// measurement procedure run on the host machine. Virtual-time experiments
+// do not depend on it; it exists for the prototype example and for
+// re-calibrating IterCostMicros against real hardware.
+type WallClockProfile struct {
+	Name      string
+	Tol       float64
+	MaxNanos  int64
+	MeanNanos float64
+}
+
+// MeasureWallClock profiles the kernel with real timers.
+func MeasureWallClock(eq *imprecise.Equation, tol float64, trials int, seed uint64) WallClockProfile {
+	r := rng.New(seed)
+	p := WallClockProfile{Name: eq.Name, Tol: tol}
+	var total int64
+	for i := 0; i < trials; i++ {
+		a := eq.ParamLo + (eq.ParamHi-eq.ParamLo)*r.Float64()
+		start := time.Now()
+		eq.Solve(a, tol)
+		ns := time.Since(start).Nanoseconds()
+		total += ns
+		if ns > p.MaxNanos {
+			p.MaxNanos = ns
+		}
+	}
+	p.MeanNanos = float64(total) / float64(trials)
+	return p
+}
+
+// String renders the profile.
+func (p WallClockProfile) String() string {
+	return fmt.Sprintf("%s tol=%g: max %d ns, mean %.0f ns", p.Name, p.Tol, p.MaxNanos, p.MeanNanos)
+}

@@ -1,0 +1,133 @@
+package rt
+
+import (
+	"testing"
+
+	"nprt/internal/esr"
+	"nprt/internal/imprecise"
+	"nprt/internal/offline"
+	"nprt/internal/policy"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+	"nprt/internal/workload"
+)
+
+func newtonFixture(t *testing.T) (*task.Set, []workload.NRTaskInfo) {
+	t.Helper()
+	c, infos, err := workload.NewtonCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, infos
+}
+
+func TestNRSamplerBoundsAndDeterminism(t *testing.T) {
+	s, infos := newtonFixture(t)
+	sa := NewNRSampler(infos, 1)
+	sb := NewNRSampler(infos, 1)
+	for i := 0; i < s.Len(); i++ {
+		tk := s.Task(i)
+		for jIdx := 0; jIdx < 20; jIdx++ {
+			j := s.Job(i, jIdx)
+			for _, m := range []task.Mode{task.Accurate, task.Imprecise} {
+				da := sa.ExecTime(tk, j, m)
+				db := sb.ExecTime(tk, j, m)
+				if da != db {
+					t.Fatalf("nondeterministic exec time for %v %s", j, m)
+				}
+				if da < 1 || da > tk.WCET(m) {
+					t.Fatalf("exec time %d outside [1,%d]", da, tk.WCET(m))
+				}
+				if m == task.Imprecise {
+					ea, eb := sa.Error(tk, j, m), sb.Error(tk, j, m)
+					if ea != eb {
+						t.Fatalf("nondeterministic error for %v", j)
+					}
+					if ea < 0 {
+						t.Fatalf("negative error %g", ea)
+					}
+				}
+			}
+		}
+	}
+	if sa.Solves == 0 {
+		t.Error("no real solves recorded")
+	}
+}
+
+func TestNRSamplerAccurateFasterThanWCET(t *testing.T) {
+	// Accurate solves should usually finish well under WCET (the margin in
+	// the Table IV derivation), which is what the online methods exploit.
+	s, infos := newtonFixture(t)
+	sampler := NewNRSampler(infos, 2)
+	under := 0
+	const jobs = 50
+	for jIdx := 0; jIdx < jobs; jIdx++ {
+		j := s.Job(0, jIdx)
+		if sampler.ExecTime(s.Task(0), j, task.Accurate) < s.Task(0).WCETAccurate {
+			under++
+		}
+	}
+	if under < jobs/2 {
+		t.Errorf("only %d/%d accurate runs under WCET", under, jobs)
+	}
+}
+
+func TestPrototypeRunAllMethods(t *testing.T) {
+	s, infos := newtonFixture(t)
+	mkPolicies := func() []sim.Policy {
+		ilpPost, err := offline.NewILPPostOABestEffort(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped, err := offline.NewFlippedEDFBestEffort(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []sim.Policy{policy.NewEDFImprecise(), esr.New(), flipped, ilpPost}
+	}
+	var impreciseErr, bestErr float64
+	for i, p := range mkPolicies() {
+		res, err := sim.Run(s, p, sim.Config{
+			Hyperperiods: 20,
+			Sampler:      NewNRSampler(infos, 3),
+			TraceLimit:   -1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Misses.Events != 0 {
+			t.Errorf("%s: %d deadline misses in the prototype run", p.Name(), res.Misses.Events)
+		}
+		vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+		if len(vs) != 0 {
+			t.Errorf("%s: trace violations: %v", p.Name(), vs[0])
+		}
+		switch i {
+		case 0:
+			impreciseErr = res.MeanError()
+		case 3:
+			bestErr = res.MeanError()
+		}
+	}
+	// Figure 5's headline: ILP+Post+OA ≪ EDF-Imprecise.
+	if bestErr >= impreciseErr {
+		t.Errorf("ILP+Post+OA error %g not below EDF-Imprecise %g", bestErr, impreciseErr)
+	}
+}
+
+func TestMeasureWallClock(t *testing.T) {
+	eq := imprecise.NewtonEquations()[0]
+	p := MeasureWallClock(eq, 1e-5, 50, 9)
+	if p.MaxNanos <= 0 || p.MeanNanos <= 0 || p.MaxNanos < int64(p.MeanNanos) {
+		t.Errorf("implausible profile: %+v", p)
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/rng"
+	"nprt/internal/task"
+)
+
+func TestDropLateShedsStaleJobs(t *testing.T) {
+	// Overload: two tasks each needing 9 of every 10 units accurately.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 100, DropLate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every released job is accounted for: executed or dropped.
+	if res.Jobs != 200 {
+		t.Errorf("accounted jobs = %d, want 200", res.Jobs)
+	}
+	if res.Misses.Events == 0 {
+		t.Error("no misses recorded under 1.8 utilization")
+	}
+	// With shedding, the backlog stays bounded: executed jobs must be a
+	// solid fraction (roughly one per period fits).
+	executed := res.Accurate + res.Imprecise
+	if executed < 90 {
+		t.Errorf("only %d jobs executed; shedding collapsed", executed)
+	}
+	if executed+res.Misses.Events < 200 {
+		t.Errorf("accounting leak: executed %d + misses %d < 200", executed, res.Misses.Events)
+	}
+}
+
+func TestDropLateOffRunsEverything(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accurate != res.Jobs {
+		t.Errorf("without DropLate every job must execute: %d vs %d", res.Accurate, res.Jobs)
+	}
+}
+
+func TestPerTaskResponseTimes(t *testing.T) {
+	// Deterministic WCET run: a executes first each period (EDF), so its
+	// response is w_a; b queues behind a in the shared period.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 6, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 5, WCETImprecise: 2},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PerTaskResponse[0].Mean(); got != 6 {
+		t.Errorf("task a mean response = %g, want 6", got)
+	}
+	if got := res.PerTaskResponse[1].Mean(); got != 11 {
+		t.Errorf("task b mean response = %g, want 11 (queued behind a)", got)
+	}
+}
+
+// TestJeffayTheoremValidatedBySimulation fuzzes the foundational claim the
+// whole paper rests on: a set that passes Theorem 1 with accurate WCETs is
+// scheduled by non-preemptive EDF with no deadline miss, for synchronous
+// release and for arbitrary phases (the theorem covers arbitrary releases).
+func TestJeffayTheoremValidatedBySimulation(t *testing.T) {
+	r := rng.New(271828)
+	tested := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + r.Intn(3)
+		tasks := make([]task.Task, n)
+		periods := []task.Time{6, 8, 10, 12, 16, 20, 24, 30}
+		for i := range tasks {
+			p := periods[r.Intn(len(periods))]
+			w := task.Time(1 + r.Intn(int(p)/2))
+			x := w / 2
+			if x < 1 {
+				x = 1
+			}
+			if x >= w {
+				w = x + 1
+			}
+			tasks[i] = task.Task{Name: "t", Period: p, WCETAccurate: w, WCETImprecise: x,
+				Release: task.Time(r.Intn(7))}
+		}
+		s, err := task.New(tasks)
+		if err != nil {
+			continue
+		}
+		if !feasibility.Schedulable(s, task.Accurate) {
+			continue
+		}
+		res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 8, StopOnMiss: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, s)
+		}
+		if res.Misses.Events != 0 {
+			t.Fatalf("trial %d: EDF missed a deadline on a Theorem-1-feasible set\n%s", trial, s)
+		}
+		tested++
+	}
+	if tested < 100 {
+		t.Fatalf("only %d feasible sets exercised", tested)
+	}
+}
+
+func TestHorizonCoversExactHyperperiods(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 3, WCETImprecise: 1},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 5, WCETImprecise: 2},
+	)
+	for _, hps := range []int{1, 2, 7} {
+		res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: hps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(hps * 3); res.Jobs != want {
+			t.Errorf("hps=%d: %d jobs, want %d", hps, res.Jobs, want)
+		}
+	}
+}
+
+// statePolicyProbe exercises the read-only State accessors policies rely on.
+type statePolicyProbe struct {
+	sawSporadic bool
+	sawNextRel  bool
+}
+
+func (p *statePolicyProbe) Name() string { return "state-probe" }
+func (p *statePolicyProbe) Reset(*State) {}
+func (p *statePolicyProbe) Pick(st *State) (Decision, bool) {
+	if st.Sporadic() {
+		p.sawSporadic = true
+	}
+	j, ok := st.EDFPick()
+	if !ok {
+		return Decision{}, false
+	}
+	if st.Now() > st.Horizon() {
+		panic("now beyond horizon")
+	}
+	if _, ok := st.NextReleaseTime(j.Key()); ok {
+		p.sawNextRel = true
+	}
+	if st.JobsPerHyperperiod(j.TaskID) <= 0 {
+		panic("bad jobs-per-hyperperiod")
+	}
+	return Decision{Job: j, Mode: task.Imprecise}, true
+}
+func (p *statePolicyProbe) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func TestStateAccessors(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 3, WCETImprecise: 1},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 5, WCETImprecise: 2},
+	)
+	probe := &statePolicyProbe{}
+	if _, err := Run(s, probe, Config{Hyperperiods: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if probe.sawSporadic {
+		t.Error("periodic run reported sporadic")
+	}
+	if !probe.sawNextRel {
+		t.Error("NextReleaseTime never found a future release")
+	}
+	probe = &statePolicyProbe{}
+	dists := make([]task.Dist, s.Len())
+	dists[0] = task.Dist{Mean: 2, Sigma: 1, Min: 0, Max: 5}
+	if _, err := Run(s, probe, Config{Hyperperiods: 3, Jitter: NewRandomJitter(s, dists, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawSporadic {
+		t.Error("jittered run not reported sporadic")
+	}
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// edfPolicy is a minimal EDF policy local to this package's tests (the real
+// baselines live in internal/policy; keeping a local copy avoids an import
+// cycle in tests and pins the engine contract).
+type edfPolicy struct{ mode task.Mode }
+
+func (p *edfPolicy) Name() string    { return "test-edf" }
+func (p *edfPolicy) Reset(st *State) {}
+func (p *edfPolicy) Pick(st *State) (Decision, bool) {
+	j, ok := st.EDFPick()
+	if !ok {
+		return Decision{}, false
+	}
+	return Decision{Job: j, Mode: p.mode}, true
+}
+func (p *edfPolicy) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func mkSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.New(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func simpleSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 3, WCETImprecise: 1, Error: task.Dist{Mean: 2}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 6, WCETImprecise: 2, Error: task.Dist{Mean: 5}},
+	)
+}
+
+func TestRunEDFWorstCaseSchedulableSet(t *testing.T) {
+	s := simpleSet(t)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 3, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hyper-periods of 20: task a has 2 jobs/P, b has 1 → 9 jobs.
+	if res.Jobs != 9 {
+		t.Errorf("Jobs = %d, want 9", res.Jobs)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("unexpected misses: %v", res.Misses)
+	}
+	if res.Accurate != 9 || res.Imprecise != 0 {
+		t.Errorf("mode counts = %d/%d", res.Accurate, res.Imprecise)
+	}
+	if res.MeanError() != 0 {
+		t.Errorf("accurate-only run has error %g", res.MeanError())
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs)
+	}
+	if res.Busy != 9*3 { // 6 jobs of a (w=3) + 3 jobs of b (w=6) = 18+18 = 36... recompute below
+		// task a: 2 jobs/P * 3 P = 6 jobs * 3 = 18; task b: 3 jobs * 6 = 18.
+		if res.Busy != 36 {
+			t.Errorf("Busy = %d, want 36", res.Busy)
+		}
+	}
+}
+
+func TestRunImpreciseCollectsErrors(t *testing.T) {
+	s := simpleSet(t)
+	res, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{Hyperperiods: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imprecise != 3 || res.Accurate != 0 {
+		t.Fatalf("mode counts = %d/%d", res.Accurate, res.Imprecise)
+	}
+	// WorstCaseSampler charges the mean error: (2+2+5)/3 = 3.
+	if got := res.MeanError(); got != 3 {
+		t.Errorf("MeanError = %g, want 3", got)
+	}
+	if res.PerTaskError[0].Mean() != 2 || res.PerTaskError[1].Mean() != 5 {
+		t.Errorf("per-task errors: %v / %v", res.PerTaskError[0].Mean(), res.PerTaskError[1].Mean())
+	}
+}
+
+func TestOverloadedAccurateMissesDeadlines(t *testing.T) {
+	// U_acc = 0.9 + 0.45 = 1.35 > 1: EDF-Accurate must miss deadlines.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 9, WCETImprecise: 3},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events == 0 {
+		t.Error("overloaded set produced no deadline misses")
+	}
+	// Same set in imprecise mode (U = 0.35) is fine.
+	res, err = Run(s, &edfPolicy{mode: task.Imprecise}, Config{Hyperperiods: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("imprecise run missed %d deadlines", res.Misses.Events)
+	}
+}
+
+func TestStopOnMiss(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+		task.Task{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 2},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 100, StopOnMiss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("StopOnMiss did not abort")
+	}
+	if res.Misses.Events != 1 {
+		t.Errorf("expected exactly one recorded miss, got %d", res.Misses.Events)
+	}
+}
+
+func TestPhaseOffsetRespected(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, Release: 4, WCETAccurate: 3, WCETImprecise: 1},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 2, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() == 0 || res.Trace.Entries[0].Start != 4 {
+		t.Errorf("first start = %v, want 4", res.Trace.Entries)
+	}
+	if vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestRandomSamplerBoundsAndDeterminism(t *testing.T) {
+	s := mkSet(t,
+		task.Task{
+			Name: "a", Period: 100, WCETAccurate: 60, WCETImprecise: 20,
+			ExecAccurate:  task.Dist{Mean: 30, Sigma: 5, Min: 6, Max: 60},
+			ExecImprecise: task.Dist{Mean: 10, Sigma: 2, Min: 2, Max: 20},
+			Error:         task.Dist{Mean: 3, Sigma: 1},
+		},
+	)
+	sa := NewRandomSampler(s, 99)
+	sb := NewRandomSampler(s, 99)
+	tk := s.Task(0)
+	for i := 0; i < 1000; i++ {
+		j := s.Job(0, i)
+		va := sa.ExecTime(tk, j, task.Accurate)
+		vb := sb.ExecTime(tk, j, task.Accurate)
+		if va != vb {
+			t.Fatalf("sampler not deterministic at %d", i)
+		}
+		if va < 1 || va > 60 {
+			t.Fatalf("accurate exec time out of bounds: %d", va)
+		}
+		vi := sa.ExecTime(tk, j, task.Imprecise)
+		if vi < 1 || vi > 20 {
+			t.Fatalf("imprecise exec time out of bounds: %d", vi)
+		}
+		sb.ExecTime(tk, j, task.Imprecise)
+		if e := sa.Error(tk, j, task.Imprecise); e < 0 {
+			t.Fatalf("negative error: %g", e)
+		}
+		sb.Error(tk, j, task.Imprecise)
+	}
+}
+
+func TestRunWithRandomSamplerValidTrace(t *testing.T) {
+	s := mkSet(t,
+		task.Task{
+			Name: "a", Period: 20, WCETAccurate: 8, WCETImprecise: 3,
+			ExecAccurate:  task.Dist{Mean: 4, Sigma: 1, Min: 1, Max: 8},
+			ExecImprecise: task.Dist{Mean: 2, Sigma: 0.5, Min: 1, Max: 3},
+			Error:         task.Dist{Mean: 1, Sigma: 0.3},
+		},
+		task.Task{
+			Name: "b", Period: 40, WCETAccurate: 12, WCETImprecise: 5,
+			ExecAccurate:  task.Dist{Mean: 6, Sigma: 2, Min: 1, Max: 12},
+			ExecImprecise: task.Dist{Mean: 3, Sigma: 1, Min: 1, Max: 5},
+			Error:         task.Dist{Mean: 2, Sigma: 0.5},
+		},
+	)
+	res, err := Run(s, &edfPolicy{mode: task.Imprecise},
+		Config{Hyperperiods: 20, Sampler: NewRandomSampler(s, 7), TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Errorf("violations: %v", vs[:min(3, len(vs))])
+	}
+	if res.MeanError() <= 0 {
+		t.Error("expected positive mean error from imprecise run")
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	s := simpleSet(t)
+	res, err := Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 10, TraceLimit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Len() != 5 {
+		t.Errorf("trace len = %d, want 5", res.Trace.Len())
+	}
+	res, err = Run(s, &edfPolicy{mode: task.Accurate}, Config{Hyperperiods: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("TraceLimit=0 should not record a trace")
+	}
+}
+
+// waitingPolicy commits to a specific future job to exercise the engine's
+// idle-until-release path (what the offline+OA policies rely on).
+type waitingPolicy struct {
+	picked bool
+}
+
+func (p *waitingPolicy) Name() string    { return "waiting" }
+func (p *waitingPolicy) Reset(st *State) { p.picked = false }
+func (p *waitingPolicy) Pick(st *State) (Decision, bool) {
+	// Always run task 1's next job first even if task 0 is pending.
+	for _, j := range st.Pending() {
+		if j.TaskID == 1 {
+			return Decision{Job: j, Mode: task.Accurate}, true
+		}
+	}
+	if !p.picked {
+		p.picked = true
+		return Decision{Job: st.Set().Job(1, 0), Mode: task.Accurate}, true
+	}
+	j, ok := st.EDFPick()
+	if !ok {
+		return Decision{}, false
+	}
+	return Decision{Job: j, Mode: task.Accurate}, true
+}
+func (p *waitingPolicy) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func TestPolicyMayCommitToFutureJob(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 2, WCETImprecise: 1},
+		task.Task{Name: "b", Period: 20, Release: 5, WCETAccurate: 4, WCETImprecise: 2},
+	)
+	res, err := Run(s, &waitingPolicy{}, Config{Hyperperiods: 1, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Entries[0].Job.TaskID != 1 || res.Trace.Entries[0].Start != 5 {
+		t.Errorf("future-job commit not honoured: %+v", res.Trace.Entries[0])
+	}
+	if vs := trace.Validate(res.Trace, trace.Options{}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+// badPolicy picks a job that does not exist to exercise engine validation.
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Reset(*State) {}
+func (badPolicy) Pick(st *State) (Decision, bool) {
+	return Decision{Job: task.Job{TaskID: 0, Index: 999, Release: 1, Deadline: 2}}, true
+}
+func (badPolicy) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func TestEngineRejectsUnknownJob(t *testing.T) {
+	s := simpleSet(t)
+	if _, err := Run(s, badPolicy{}, Config{Hyperperiods: 1}); err == nil {
+		t.Error("engine accepted an unknown job")
+	}
+}
+
+// lazyPolicy never picks anything; with pending jobs and no future releases
+// the engine must error rather than spin.
+type lazyPolicy struct{}
+
+func (lazyPolicy) Name() string                                       { return "lazy" }
+func (lazyPolicy) Reset(*State)                                       {}
+func (lazyPolicy) Pick(*State) (Decision, bool)                       { return Decision{}, false }
+func (lazyPolicy) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func TestEngineDetectsStarvation(t *testing.T) {
+	s := simpleSet(t)
+	if _, err := Run(s, lazyPolicy{}, Config{Hyperperiods: 1}); err == nil ||
+		!strings.Contains(err.Error(), "idles") {
+		t.Errorf("starvation not detected: %v", err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := simpleSet(t)
+	res, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{Hyperperiods: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := res.String(); !strings.Contains(out, "test-edf") || !strings.Contains(out, "jobs=3") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

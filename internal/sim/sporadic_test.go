@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+func sporadicSet(t *testing.T) *task.Set {
+	return mkSet(t,
+		task.Task{Name: "a", Period: 20, WCETAccurate: 6, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}},
+		task.Task{Name: "b", Period: 40, WCETAccurate: 10, WCETImprecise: 4,
+			Error: task.Dist{Mean: 2}},
+	)
+}
+
+func TestZeroJitterMatchesPeriodic(t *testing.T) {
+	s := sporadicSet(t)
+	periodic, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{Hyperperiods: 10, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit := NewRandomJitter(s, make([]task.Dist, s.Len()), 5) // all zero dists
+	sporadic, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{
+		Hyperperiods: 10, TraceLimit: -1, Jitter: jit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Jobs != sporadic.Jobs {
+		t.Fatalf("job counts differ: %d vs %d", periodic.Jobs, sporadic.Jobs)
+	}
+	for i := range periodic.Trace.Entries {
+		if periodic.Trace.Entries[i] != sporadic.Trace.Entries[i] {
+			t.Fatalf("entry %d differs under zero jitter", i)
+		}
+	}
+}
+
+func TestSporadicReleasesRespectMinimumSeparation(t *testing.T) {
+	s := sporadicSet(t)
+	dists := []task.Dist{
+		{Mean: 3, Sigma: 2, Min: 0, Max: 8},
+		{Mean: 5, Sigma: 3, Min: 0, Max: 12},
+	}
+	res, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{
+		Hyperperiods: 50, TraceLimit: -1,
+		Jitter: NewRandomJitter(s, dists, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect release times per task from the trace and check separation
+	// and window consistency.
+	lastRelease := map[int]task.Time{}
+	jittered := false
+	for _, e := range res.Trace.Entries {
+		tk := s.Task(e.Job.TaskID)
+		if e.Job.Deadline-e.Job.Release != tk.Period {
+			t.Fatalf("job %v window is not one period", e.Job)
+		}
+		if prev, ok := lastRelease[e.Job.TaskID]; ok {
+			if e.Job.Release-prev < tk.Period {
+				t.Fatalf("releases of task %d separated by %d < period %d",
+					e.Job.TaskID, e.Job.Release-prev, tk.Period)
+			}
+			if e.Job.Release-prev > tk.Period {
+				jittered = true
+			}
+		}
+		lastRelease[e.Job.TaskID] = e.Job.Release
+	}
+	if !jittered {
+		t.Error("jitter never stretched an inter-release gap")
+	}
+	if vs := trace.Validate(res.Trace, trace.Options{WCETBounds: true, Set: s}); len(vs) != 0 {
+		t.Errorf("violations: %v", vs[0])
+	}
+}
+
+func TestSporadicDeterministic(t *testing.T) {
+	s := sporadicSet(t)
+	dists := []task.Dist{{Mean: 3, Sigma: 2, Min: 0, Max: 8}, {Mean: 5, Sigma: 3, Min: 0, Max: 12}}
+	run := func() *Result {
+		res, err := Run(s, &edfPolicy{mode: task.Imprecise}, Config{
+			Hyperperiods: 20, TraceLimit: -1, Jitter: NewRandomJitter(s, dists, 7),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Jobs != b.Jobs || a.MeanError() != b.MeanError() {
+		t.Error("sporadic runs not reproducible")
+	}
+}
+
+// futureCommitPolicy mimics the OA family: it commits to an unreleased job.
+type futureCommitPolicy struct{ done bool }
+
+func (p *futureCommitPolicy) Name() string { return "future-commit" }
+func (p *futureCommitPolicy) Reset(*State) { p.done = false }
+func (p *futureCommitPolicy) Pick(st *State) (Decision, bool) {
+	if !p.done {
+		p.done = true
+		return Decision{Job: st.Set().Job(1, 1), Mode: task.Accurate}, true
+	}
+	j, ok := st.EDFPick()
+	if !ok {
+		return Decision{}, false
+	}
+	return Decision{Job: j, Mode: task.Accurate}, true
+}
+func (p *futureCommitPolicy) JobFinished(*State, Decision, task.Time, task.Time) {}
+
+func TestFutureCommitRejectedUnderJitter(t *testing.T) {
+	s := sporadicSet(t)
+	dists := []task.Dist{{Mean: 3, Sigma: 2, Min: 0, Max: 8}, {Mean: 5, Sigma: 3, Min: 0, Max: 12}}
+	_, err := Run(s, &futureCommitPolicy{}, Config{
+		Hyperperiods: 5, Jitter: NewRandomJitter(s, dists, 7),
+	})
+	if err == nil || !strings.Contains(err.Error(), "sporadic") {
+		t.Errorf("future commitment under jitter not rejected: %v", err)
+	}
+}

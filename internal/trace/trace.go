@@ -1,0 +1,236 @@
+// Package trace records executed schedules and checks the invariants every
+// valid non-preemptive uniprocessor schedule must satisfy. The validator is
+// the shared oracle of the test suite: every scheduling policy in nprt is
+// checked against it, so a policy bug surfaces as a named invariant
+// violation instead of a silently wrong error statistic.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nprt/internal/task"
+)
+
+// Entry is one executed job.
+type Entry struct {
+	Job    task.Job
+	Mode   task.Mode
+	Start  task.Time
+	Finish task.Time
+	Error  float64 // sampled imprecision error; 0 for accurate runs
+}
+
+// Duration returns the executed time of the entry.
+func (e Entry) Duration() task.Time { return e.Finish - e.Start }
+
+// Trace is an append-only list of executed jobs in dispatch order.
+type Trace struct {
+	Entries []Entry
+}
+
+// Append records one execution.
+func (tr *Trace) Append(e Entry) { tr.Entries = append(tr.Entries, e) }
+
+// Len returns the number of recorded executions.
+func (tr *Trace) Len() int { return len(tr.Entries) }
+
+// Violation is one broken schedule invariant.
+type Violation struct {
+	Kind  string // "overlap", "early-start", "deadline", "order", "duplicate", "negative-duration"
+	Index int    // entry index in the trace
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at entry %d: %s", v.Kind, v.Index, v.Msg)
+}
+
+// Options controls which invariants Validate enforces.
+type Options struct {
+	// RequireDeadlines makes a finish past the deadline a violation. The
+	// EDF-Accurate baseline intentionally misses deadlines, so it validates
+	// with this off.
+	RequireDeadlines bool
+	// WCETBounds checks Duration <= the mode's WCET for the job's task.
+	// Set when execution times are sampled with the WCET cap.
+	WCETBounds bool
+	// Set must be provided when WCETBounds is on.
+	Set *task.Set
+}
+
+// Validate checks the non-preemptive uniprocessor invariants:
+//
+//   - entries are in non-decreasing start order and never overlap
+//     (non-preemption: once started, a job runs to completion);
+//   - no job starts before its release;
+//   - durations are positive;
+//   - no job executes twice;
+//   - optionally, every job finishes by its deadline;
+//   - optionally, no execution exceeds its mode's WCET.
+//
+// It returns all violations found (nil when the trace is valid).
+func Validate(tr *Trace, opt Options) []Violation {
+	var vs []Violation
+	seen := make(map[task.JobKey]int, len(tr.Entries))
+	var prevFinish task.Time
+	for i, e := range tr.Entries {
+		if e.Finish <= e.Start {
+			vs = append(vs, Violation{"negative-duration", i,
+				fmt.Sprintf("%v start=%d finish=%d", e.Job, e.Start, e.Finish)})
+		}
+		if i > 0 && e.Start < prevFinish {
+			vs = append(vs, Violation{"overlap", i,
+				fmt.Sprintf("%v starts at %d before previous finish %d", e.Job, e.Start, prevFinish)})
+		}
+		if e.Start < e.Job.Release {
+			vs = append(vs, Violation{"early-start", i,
+				fmt.Sprintf("%v starts at %d before release %d", e.Job, e.Start, e.Job.Release)})
+		}
+		if opt.RequireDeadlines && e.Finish > e.Job.Deadline {
+			vs = append(vs, Violation{"deadline", i,
+				fmt.Sprintf("%v finishes at %d after deadline %d", e.Job, e.Finish, e.Job.Deadline)})
+		}
+		if j, dup := seen[e.Job.Key()]; dup {
+			vs = append(vs, Violation{"duplicate", i,
+				fmt.Sprintf("%v already executed at entry %d", e.Job, j)})
+		} else {
+			seen[e.Job.Key()] = i
+		}
+		if opt.WCETBounds && opt.Set != nil {
+			w := opt.Set.Task(e.Job.TaskID).WCET(e.Mode)
+			if e.Duration() > w {
+				vs = append(vs, Violation{"wcet", i,
+					fmt.Sprintf("%v ran %d > WCET %d in %s mode", e.Job, e.Duration(), w, e.Mode)})
+			}
+		}
+		if e.Finish > prevFinish {
+			prevFinish = e.Finish
+		}
+	}
+	return vs
+}
+
+// DeadlineMisses counts entries finishing after their deadline.
+func (tr *Trace) DeadlineMisses() int {
+	n := 0
+	for _, e := range tr.Entries {
+		if e.Finish > e.Job.Deadline {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalError sums the sampled errors over all entries.
+func (tr *Trace) TotalError() float64 {
+	s := 0.0
+	for _, e := range tr.Entries {
+		s += e.Error
+	}
+	return s
+}
+
+// ModeCounts returns how many entries ran in each mode.
+func (tr *Trace) ModeCounts() (accurate, imprecise int) {
+	for _, e := range tr.Entries {
+		if e.Mode == task.Accurate {
+			accurate++
+		} else {
+			imprecise++
+		}
+	}
+	return accurate, imprecise
+}
+
+// Busy returns the summed execution time of all entries.
+func (tr *Trace) Busy() task.Time {
+	var b task.Time
+	for _, e := range tr.Entries {
+		b += e.Duration()
+	}
+	return b
+}
+
+// Gantt renders an ASCII Gantt chart of the first `limit` entries (all when
+// limit <= 0), one row per task, `scale` virtual time units per character.
+// Accurate executions draw '#', imprecise 'o'. Intended for debugging and
+// the CLI's --gantt flag, not for machine consumption.
+func Gantt(tr *Trace, s *task.Set, scale task.Time, limit int) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	entries := tr.Entries
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	if len(entries) == 0 {
+		return "(empty trace)\n"
+	}
+	var horizon task.Time
+	for _, e := range entries {
+		if e.Finish > horizon {
+			horizon = e.Finish
+		}
+	}
+	width := int(horizon/scale) + 1
+	rows := make([][]byte, s.Len())
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range entries {
+		ch := byte('#')
+		if e.Mode == task.Imprecise {
+			ch = 'o'
+		}
+		from, to := int(e.Start/scale), int((e.Finish-1)/scale)
+		for c := from; c <= to && c < width; c++ {
+			rows[e.Job.TaskID][c] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d (1 char = %d)\n", horizon, scale)
+	order := make([]int, s.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		fmt.Fprintf(&b, "%-12s |%s|\n", s.Task(i).Name, rows[i])
+	}
+	return b.String()
+}
+
+// WriteCSV emits the trace as CSV (one row per executed job) for external
+// analysis: task, index, mode, release, start, finish, deadline, error,
+// response time and lateness.
+func (tr *Trace) WriteCSV(w io.Writer, s *task.Set) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "index", "mode", "release", "start",
+		"finish", "deadline", "error", "response", "lateness"}); err != nil {
+		return err
+	}
+	for _, e := range tr.Entries {
+		rec := []string{
+			s.Task(e.Job.TaskID).Name,
+			strconv.Itoa(e.Job.Index),
+			e.Mode.String(),
+			strconv.FormatInt(e.Job.Release, 10),
+			strconv.FormatInt(e.Start, 10),
+			strconv.FormatInt(e.Finish, 10),
+			strconv.FormatInt(e.Job.Deadline, 10),
+			strconv.FormatFloat(e.Error, 'f', 6, 64),
+			strconv.FormatInt(e.Finish-e.Job.Release, 10),
+			strconv.FormatInt(e.Finish-e.Job.Deadline, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

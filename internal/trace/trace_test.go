@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nprt/internal/task"
+)
+
+func testSet(t *testing.T) *task.Set {
+	t.Helper()
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 10, WCETAccurate: 4, WCETImprecise: 2},
+		{Name: "b", Period: 20, WCETAccurate: 6, WCETImprecise: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func entry(s *task.Set, taskID, idx int, m task.Mode, start, finish task.Time) Entry {
+	return Entry{Job: s.Job(taskID, idx), Mode: m, Start: start, Finish: finish}
+}
+
+func TestValidTraceHasNoViolations(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 0, 4))
+	tr.Append(entry(s, 1, 0, task.Imprecise, 4, 7))
+	tr.Append(entry(s, 0, 1, task.Accurate, 10, 14))
+	vs := Validate(tr, Options{RequireDeadlines: true, WCETBounds: true, Set: s})
+	if len(vs) != 0 {
+		t.Errorf("valid trace produced violations: %v", vs)
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 0, 4))
+	tr.Append(entry(s, 1, 0, task.Accurate, 3, 9)) // starts before 4
+	vs := Validate(tr, Options{})
+	if len(vs) != 1 || vs[0].Kind != "overlap" {
+		t.Errorf("want one overlap violation, got %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "overlap") {
+		t.Errorf("String: %q", vs[0].String())
+	}
+}
+
+func TestEarlyStartDetected(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 1, task.Accurate, 5, 9)) // release is 10
+	vs := Validate(tr, Options{})
+	if len(vs) != 1 || vs[0].Kind != "early-start" {
+		t.Errorf("want early-start, got %v", vs)
+	}
+}
+
+func TestDeadlineOnlyWhenRequired(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 8, 12)) // deadline 10
+	if vs := Validate(tr, Options{}); len(vs) != 0 {
+		t.Errorf("deadline should not be checked by default: %v", vs)
+	}
+	vs := Validate(tr, Options{RequireDeadlines: true})
+	if len(vs) != 1 || vs[0].Kind != "deadline" {
+		t.Errorf("want deadline violation, got %v", vs)
+	}
+}
+
+func TestDuplicateDetected(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 0, 4))
+	tr.Append(entry(s, 0, 0, task.Imprecise, 4, 6))
+	vs := Validate(tr, Options{})
+	if len(vs) != 1 || vs[0].Kind != "duplicate" {
+		t.Errorf("want duplicate, got %v", vs)
+	}
+}
+
+func TestNegativeDurationDetected(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 4, 4))
+	vs := Validate(tr, Options{})
+	if len(vs) != 1 || vs[0].Kind != "negative-duration" {
+		t.Errorf("want negative-duration, got %v", vs)
+	}
+}
+
+func TestWCETBoundDetected(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Imprecise, 0, 3)) // imprecise WCET is 2
+	vs := Validate(tr, Options{WCETBounds: true, Set: s})
+	if len(vs) != 1 || vs[0].Kind != "wcet" {
+		t.Errorf("want wcet violation, got %v", vs)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(Entry{Job: s.Job(0, 0), Mode: task.Imprecise, Start: 0, Finish: 2, Error: 1.5})
+	tr.Append(Entry{Job: s.Job(1, 0), Mode: task.Accurate, Start: 2, Finish: 8})
+	tr.Append(Entry{Job: s.Job(0, 1), Mode: task.Imprecise, Start: 10, Finish: 12, Error: 0.5})
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.TotalError() != 2.0 {
+		t.Errorf("TotalError = %g", tr.TotalError())
+	}
+	acc, imp := tr.ModeCounts()
+	if acc != 1 || imp != 2 {
+		t.Errorf("ModeCounts = %d/%d", acc, imp)
+	}
+	if tr.Busy() != 10 {
+		t.Errorf("Busy = %d", tr.Busy())
+	}
+	if tr.DeadlineMisses() != 0 {
+		t.Errorf("DeadlineMisses = %d", tr.DeadlineMisses())
+	}
+	tr.Append(Entry{Job: s.Job(0, 2), Mode: task.Accurate, Start: 28, Finish: 32})
+	if tr.DeadlineMisses() != 1 {
+		t.Errorf("DeadlineMisses after late job = %d", tr.DeadlineMisses())
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 0, task.Accurate, 0, 4))
+	tr.Append(entry(s, 1, 0, task.Imprecise, 4, 7))
+	out := Gantt(tr, s, 1, 0)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing task rows:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("accurate glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ooo") {
+		t.Errorf("imprecise glyphs missing:\n%s", out)
+	}
+	if got := Gantt(&Trace{}, s, 1, 0); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace rendering: %q", got)
+	}
+	// Limit and scale paths.
+	out = Gantt(tr, s, 2, 1)
+	if strings.Contains(out, "o") {
+		t.Errorf("limit=1 should drop second entry:\n%s", out)
+	}
+	// scale <= 0 falls back to 1 without panicking.
+	_ = Gantt(tr, s, 0, 0)
+}
+
+func TestValidateMultipleViolationsReported(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(entry(s, 0, 1, task.Accurate, 5, 5)) // early start + zero duration
+	vs := Validate(tr, Options{})
+	kinds := map[string]bool{}
+	for _, v := range vs {
+		kinds[v.Kind] = true
+	}
+	if !kinds["early-start"] || !kinds["negative-duration"] {
+		t.Errorf("expected both violations, got %v", vs)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := testSet(t)
+	tr := &Trace{}
+	tr.Append(Entry{Job: s.Job(0, 0), Mode: task.Imprecise, Start: 1, Finish: 3, Error: 0.5})
+	tr.Append(Entry{Job: s.Job(1, 0), Mode: task.Accurate, Start: 3, Finish: 9})
+	var b strings.Builder
+	if err := tr.WriteCSV(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[1], "a,0,imprecise,0,1,3,10,0.500000,3,-7") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "b,0,accurate") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

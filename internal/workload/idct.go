@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+
+	"nprt/internal/imprecise"
+	"nprt/internal/task"
+)
+
+// IDCT case construction (§VI-A's realistic case): five periodic decoding
+// tasks over grayscale and RGB frames of various resolutions. WCETs derive
+// from the transform's multiply counts (accurate = full 8×8 inverse DCT,
+// imprecise = coefficient-truncated), and error statistics from measuring
+// the truncated transform against the exact one on synthetic frames —
+// "obtained from actual measurement" as in the paper.
+
+// IDCTKeep is the truncation level of the imprecise decode: a 6×8-row
+// truncated inverse keeps the cost at 75% of accurate, which (deliberately)
+// leaves the set unschedulable even in imprecise mode, matching the IDCT
+// row of Table I.
+const IDCTKeep = 6
+
+// idctSpecs are the five frame workloads.
+var idctSpecs = []imprecise.ImageSpec{
+	{Name: "gray-qqvga", Width: 160, Height: 120, Channels: 1},
+	{Name: "gray-qvga", Width: 320, Height: 240, Channels: 1},
+	{Name: "rgb-qvga", Width: 320, Height: 240, Channels: 3},
+	{Name: "gray-vga", Width: 640, Height: 480, Channels: 1},
+	{Name: "rgb-vga", Width: 640, Height: 480, Channels: 3},
+}
+
+// idctPeriods pair each frame stream with a virtual-time period; the
+// hyper-period is 3600 and the job count 12+10+6+4+3 = 35 (Table I).
+var idctPeriods = []task.Time{300, 360, 600, 900, 1200}
+
+// opCost converts transform multiplies to virtual microseconds, calibrated
+// so the accurate-mode utilization lands at Table I's 1.02.
+const opCost = 3.6e-5
+
+// IDCTCase builds the IDCT testcase.
+func IDCTCase() (*Case, error) {
+	n := len(idctSpecs)
+	tasks := make([]task.Task, n)
+	for i, spec := range idctSpecs {
+		ch := imprecise.CharacterizeIDCT(spec, IDCTKeep, 150, 4200+uint64(i))
+		w := task.Time(float64(ch.AccurateOps) * opCost)
+		x := task.Time(float64(ch.ImpreciseOps) * opCost)
+		if x >= w {
+			x = w - 1
+		}
+		tasks[i] = task.Task{
+			Name:                    "idct-" + spec.Name,
+			Period:                  idctPeriods[i],
+			WCETAccurate:            w,
+			WCETImprecise:           x,
+			ExecAccurate:            execDist(w),
+			ExecImprecise:           execDist(x),
+			Error:                   task.Dist{Mean: ch.MeanError, Sigma: ch.ErrStdDev},
+			MaxConsecutiveImprecise: 1 + i%6,
+		}
+	}
+	c := &Case{
+		Name: "IDCT", WantTasks: n, WantUtilAccurate: 1.02,
+		WantJobsPerHyper: 35, WantImpreciseOK: false,
+		UtilTolerance: 0.05, tasks: tasks,
+	}
+	if err := c.verify(); err != nil {
+		return nil, fmt.Errorf("IDCT case: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"nprt/internal/task"
+)
+
+// UtilizationSweep returns copies of the set scaled to each accurate-mode
+// utilization target (the x-axis of Figures 3 and 5). Scaling multiplies
+// both WCET columns and the execution-time distributions, so the
+// imprecise/accurate ratio — and therefore the error statistics — are
+// preserved while the load varies.
+func UtilizationSweep(s *task.Set, targets []float64) ([]*task.Set, error) {
+	base := s.UtilizationAccurate()
+	if base <= 0 {
+		return nil, fmt.Errorf("workload: set has zero utilization")
+	}
+	out := make([]*task.Set, 0, len(targets))
+	for _, u := range targets {
+		scaled, err := s.Scale(u / base)
+		if err != nil {
+			return nil, fmt.Errorf("workload: scaling to U=%.2f: %w", u, err)
+		}
+		out = append(out, scaled)
+	}
+	return out, nil
+}
+
+var (
+	casesOnce sync.Once
+	casesMemo []*Case
+	casesErr  error
+)
+
+// CachedCases memoizes Cases(): the suite construction characterizes
+// adders and transforms, which is cheap but not free, and the experiment
+// harness asks for the suite repeatedly.
+func CachedCases() ([]*Case, error) {
+	casesOnce.Do(func() { casesMemo, casesErr = Cases() })
+	return casesMemo, casesErr
+}
+
+// RandomSpec parameterizes a synthetic task set in the style of the
+// paper's random testcases.
+type RandomSpec struct {
+	Name                string  // label prefix for task names
+	Tasks               int     // number of periodic tasks
+	JobsPerHyperperiod  int     // Σ P/p_i target (periods divide 2520)
+	UtilizationAccurate float64 // Σ w_i/p_i target (±0.05)
+	ImpreciseFeasible   bool    // whether Theorem 1 must pass at imprecise WCETs
+	Seed                uint64  // deterministic construction seed
+}
+
+// Generate builds a task set matching the spec, with execution-time
+// distributions following the paper's WCET = μ+6σ+margin / WCET÷BCET ≈ 10
+// recipe and error statistics characterized from the approximate adder.
+// The construction is deterministic in the seed; an error means no nearby
+// seed satisfies every target.
+func Generate(spec RandomSpec) (*task.Set, error) {
+	name := spec.Name
+	if name == "" {
+		name = "gen"
+	}
+	c, err := buildRandomCase(name, spec.Tasks, spec.JobsPerHyperperiod,
+		spec.UtilizationAccurate, spec.ImpreciseFeasible, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return c.Set()
+}

@@ -1,0 +1,248 @@
+// Package nprt is a library for non-preemptive real-time scheduling with
+// imprecise computing on a uniprocessor, reproducing "Using Imprecise
+// Computing for Improved Non-Preemptive Real-Time Scheduling" (DAC 2018).
+//
+// Periodic tasks declare two worst-case execution times — accurate (w) and
+// imprecise (x < w) — and an error statistic for imprecise runs. The
+// library provides:
+//
+//   - the Jeffay/Stanat/Martel schedulability test (Theorem 1) and the
+//     γ-scaling slack analysis;
+//   - online scheduling with explicit slack reclamation (EDF+ESR, §III);
+//   - collaborative offline/online methods: ILP+OA, ILP+Post+OA and
+//     Flipped EDF (§IV), backed by a from-scratch simplex/branch-and-bound
+//     stack and an exact Pareto dynamic program;
+//   - cumulative-error scheduling: the EDF+ESR(C) heuristic and the
+//     complete DP(C) search (§V);
+//   - a deterministic discrete-event simulator, trace validation, workload
+//     generators for the paper's testcases, and an experiment harness that
+//     regenerates every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	set, err := nprt.NewTaskSet([]nprt.Task{
+//	    {Name: "video", Period: 33_000, WCETAccurate: 18_000, WCETImprecise: 6_000,
+//	     Error: nprt.Dist{Mean: 2.5, Sigma: 0.8}},
+//	    {Name: "audio", Period: 66_000, WCETAccurate: 21_000, WCETImprecise: 7_000,
+//	     Error: nprt.Dist{Mean: 1.0, Sigma: 0.2}},
+//	})
+//	// Guarantee: schedulable with every job imprecise → no deadline misses.
+//	ok := nprt.Schedulable(set, nprt.Imprecise)
+//	res, err := nprt.Simulate(set, nprt.NewEDFESR(), nprt.SimConfig{Hyperperiods: 1000})
+//	fmt.Println(res.MeanError(), res.MissPercent())
+package nprt
+
+import (
+	"io"
+
+	"nprt/internal/cumulative"
+	"nprt/internal/esr"
+	"nprt/internal/feasibility"
+	"nprt/internal/offline"
+	"nprt/internal/policy"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+	"nprt/internal/workload"
+)
+
+// Core model types, re-exported from the internal task model.
+type (
+	// Task is one periodic task with accurate/imprecise WCETs.
+	Task = task.Task
+	// TaskSet is a validated, period-sorted collection of tasks.
+	TaskSet = task.Set
+	// Job is one occurrence of a periodic task.
+	Job = task.Job
+	// Time is virtual time in microseconds.
+	Time = task.Time
+	// Mode is an execution accuracy level.
+	Mode = task.Mode
+	// Dist parameterizes a truncated-Gaussian quantity.
+	Dist = task.Dist
+	// Level is one additional imprecision level beyond Imprecise (the
+	// multi-level generalization of §II-C); see Task.ExtraLevels.
+	Level = task.Level
+)
+
+// Execution modes.
+const (
+	// Accurate runs the full computation (WCET w, zero error).
+	Accurate = task.Accurate
+	// Imprecise runs the reduced computation (WCET x < w, nonzero error).
+	Imprecise = task.Imprecise
+	// Deepest addresses each task's most imprecise declared level.
+	Deepest = task.Deepest
+)
+
+// NewTaskSet validates the tasks and returns a period-sorted set.
+func NewTaskSet(tasks []Task) (*TaskSet, error) { return task.New(tasks) }
+
+// LoadTaskSetJSON reads a JSON array of Task values. Unknown fields are
+// rejected.
+func LoadTaskSetJSON(r io.Reader) (*TaskSet, error) { return task.DecodeJSON(r) }
+
+// FeasibilityReport is the detailed result of the Theorem-1 analysis,
+// including the γ scaling factors the ESR slack reclamation uses.
+type FeasibilityReport = feasibility.Report
+
+// CheckSchedulability runs the Theorem-1 analysis in the given mode.
+func CheckSchedulability(s *TaskSet, m Mode) FeasibilityReport {
+	return feasibility.Check(s, m)
+}
+
+// Schedulable reports the Theorem-1 verdict in the given mode.
+func Schedulable(s *TaskSet, m Mode) bool { return feasibility.Schedulable(s, m) }
+
+// Policy is a non-preemptive scheduling policy driven by the simulator.
+type Policy = sim.Policy
+
+// Simulation types, re-exported from the engine.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult aggregates a run's metrics.
+	SimResult = sim.Result
+	// Sampler supplies actual execution times and errors.
+	Sampler = sim.Sampler
+	// Trace is an executed schedule.
+	Trace = trace.Trace
+)
+
+// Simulate runs the policy over the set on the virtual-time engine.
+func Simulate(s *TaskSet, p Policy, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(s, p, cfg)
+}
+
+// NewRandomSampler draws truncated-Gaussian execution times and errors from
+// deterministic per-task streams.
+func NewRandomSampler(s *TaskSet, seed uint64) Sampler { return sim.NewRandomSampler(s, seed) }
+
+// JitterSampler supplies sporadic release jitter; see SimConfig.Jitter.
+type JitterSampler = sim.JitterSampler
+
+// NewRandomJitter draws per-task sporadic release jitter from the given
+// truncated-Gaussian distributions (a zero Dist keeps that task strictly
+// periodic). Theorem 1 stays sufficient for sporadic tasks, so the online
+// schedulers keep their guarantees; offline methods require periodic
+// releases and are rejected by the engine under jitter.
+func NewRandomJitter(s *TaskSet, dists []Dist, seed uint64) JitterSampler {
+	return sim.NewRandomJitter(s, dists, seed)
+}
+
+// ValidateTrace checks the non-preemptive schedule invariants of a result's
+// trace; deadlines are enforced when requireDeadlines is set. It returns
+// human-readable violation descriptions (empty = valid).
+func ValidateTrace(s *TaskSet, tr *Trace, requireDeadlines bool) []string {
+	vs := trace.Validate(tr, trace.Options{
+		RequireDeadlines: requireDeadlines, WCETBounds: true, Set: s,
+	})
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// Baseline policies.
+
+// NewEDFAccurate returns non-preemptive EDF with every job accurate.
+func NewEDFAccurate() Policy { return policy.NewEDFAccurate() }
+
+// NewEDFImprecise returns non-preemptive EDF with every job imprecise.
+func NewEDFImprecise() Policy { return policy.NewEDFImprecise() }
+
+// NewEDFESR returns the §III online method: EDF with explicit slack
+// reclamation for independent errors. If the set passes Theorem 1 with
+// imprecise WCETs, it never misses a deadline.
+func NewEDFESR() Policy { return esr.New() }
+
+// Offline schedule plumbing.
+
+// OfflineSchedule is an offline hyper-period plan (order, modes, s, f̂).
+type OfflineSchedule = offline.Schedule
+
+// NewILPOA returns the §IV-A collaborative method: offline optimal mode
+// assignment (order-fixed ILP, solved exactly) plus constant-time online
+// upgrades. Fails with an error when the set is infeasible even with all
+// jobs imprecise; see NewILPOABestEffort.
+func NewILPOA(s *TaskSet) (Policy, error) { return offline.NewILPOA(s) }
+
+// NewILPPostOA returns the §IV-B method: ILP plus the three offline
+// post-processing rewrites, plus online adjustment.
+func NewILPPostOA(s *TaskSet) (Policy, error) { return offline.NewILPPostOA(s) }
+
+// NewFlippedEDF returns the §IV-C method: as-late-as-possible reverse-time
+// EDF with all jobs imprecise, plus online adjustment.
+func NewFlippedEDF(s *TaskSet) (Policy, error) { return offline.NewFlippedEDF(s) }
+
+// Best-effort variants fall back to an all-imprecise ASAP plan when the
+// set fails imprecise-mode feasibility (no deadline guarantee remains).
+
+// NewILPOABestEffort is NewILPOA with the infeasible-set fallback.
+func NewILPOABestEffort(s *TaskSet) (Policy, error) { return offline.NewILPOABestEffort(s) }
+
+// NewILPPostOABestEffort is NewILPPostOA with the infeasible-set fallback.
+func NewILPPostOABestEffort(s *TaskSet) (Policy, error) { return offline.NewILPPostOABestEffort(s) }
+
+// NewFlippedEDFBestEffort is NewFlippedEDF with the infeasible-set fallback.
+func NewFlippedEDFBestEffort(s *TaskSet) (Policy, error) { return offline.NewFlippedEDFBestEffort(s) }
+
+// Cumulative-error scheduling (§V). Set Task.MaxConsecutiveImprecise (B_i)
+// to bound each task's consecutive imprecise runs.
+
+// CumulativeESR is the §V-A online heuristic's concrete type, exposing the
+// scenario statistics and the θ knob.
+type CumulativeESR = cumulative.ESRPolicy
+
+// NewCumulativeESR returns EDF+ESR(C) with the default θ.
+func NewCumulativeESR() *CumulativeESR { return cumulative.NewESR() }
+
+// CumulativeAssignment is a feasible offline precision plan over one super
+// period.
+type CumulativeAssignment = cumulative.Assignment
+
+// CumulativeSearchStats reports the DP(C) search behaviour.
+type CumulativeSearchStats = cumulative.SearchStats
+
+// CumulativeDPOptions configures the DP(C) search.
+type CumulativeDPOptions = cumulative.Options
+
+// SolveCumulativeDP runs the complete §V-B dynamic program. A nil
+// assignment with Feasible=false means no precision assignment satisfies
+// both the deadline and error constraints (Proposition 1), provided the
+// search was not truncated.
+func SolveCumulativeDP(s *TaskSet, opt CumulativeDPOptions) (*CumulativeAssignment, *CumulativeSearchStats, error) {
+	return cumulative.Solve(s, opt)
+}
+
+// NewCumulativeReplay executes a DP(C) assignment cyclically.
+func NewCumulativeReplay(plan *CumulativeAssignment) Policy { return cumulative.NewReplay(plan) }
+
+// PaperCase returns one of the paper's built-in testcases by name
+// (Rnd1..Rnd13, IDCT); see also GenerateWorkload for custom sets.
+func PaperCase(name string) (*TaskSet, error) {
+	c, err := workload.CaseByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Set()
+}
+
+// WorkloadSpec parameterizes a synthetic random task set in the paper's
+// style (see internal/workload).
+type WorkloadSpec = workload.RandomSpec
+
+// GenerateWorkload builds a deterministic synthetic task set matching the
+// spec: task count, jobs per hyper-period, accurate-mode utilization and
+// the imprecise-mode Theorem-1 verdict.
+func GenerateWorkload(spec WorkloadSpec) (*TaskSet, error) {
+	return workload.Generate(spec)
+}
+
+// SweepUtilization returns copies of the set scaled to each accurate-mode
+// utilization target, preserving the imprecise/accurate structure (the
+// x-axis of the paper's Figures 3 and 5).
+func SweepUtilization(s *TaskSet, targets []float64) ([]*TaskSet, error) {
+	return workload.UtilizationSweep(s, targets)
+}

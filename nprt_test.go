@@ -1,0 +1,201 @@
+package nprt
+
+import (
+	"strings"
+	"testing"
+)
+
+func apiSet(t *testing.T) *TaskSet {
+	t.Helper()
+	s, err := NewTaskSet([]Task{
+		{Name: "a", Period: 20, WCETAccurate: 12, WCETImprecise: 4,
+			ExecAccurate:  Dist{Mean: 5, Sigma: 1.5, Min: 1, Max: 12},
+			ExecImprecise: Dist{Mean: 2, Sigma: 0.6, Min: 1, Max: 4},
+			Error:         Dist{Mean: 4, Sigma: 1}, MaxConsecutiveImprecise: 2},
+		{Name: "b", Period: 40, WCETAccurate: 16, WCETImprecise: 5,
+			ExecAccurate:  Dist{Mean: 7, Sigma: 2, Min: 1, Max: 16},
+			ExecImprecise: Dist{Mean: 2.5, Sigma: 0.8, Min: 1, Max: 5},
+			Error:         Dist{Mean: 8, Sigma: 2}, MaxConsecutiveImprecise: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPublicAPISchedulability(t *testing.T) {
+	s := apiSet(t)
+	if Schedulable(s, Accurate) {
+		t.Error("over-utilized set schedulable accurate")
+	}
+	if !Schedulable(s, Imprecise) {
+		t.Error("set not schedulable imprecise")
+	}
+	rep := CheckSchedulability(s, Imprecise)
+	if !rep.Schedulable || rep.GammaMin < 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestPublicAPISimulationRoundTrip(t *testing.T) {
+	s := apiSet(t)
+	for _, build := range []func() (Policy, error){
+		func() (Policy, error) { return NewEDFAccurate(), nil },
+		func() (Policy, error) { return NewEDFImprecise(), nil },
+		func() (Policy, error) { return NewEDFESR(), nil },
+		func() (Policy, error) { return NewILPOA(s) },
+		func() (Policy, error) { return NewILPPostOA(s) },
+		func() (Policy, error) { return NewFlippedEDF(s) },
+		func() (Policy, error) { return NewCumulativeESR(), nil },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(s, p, SimConfig{
+			Hyperperiods: 50,
+			Sampler:      NewRandomSampler(s, 3),
+			TraceLimit:   -1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		requireDeadlines := p.Name() != "EDF-Accurate"
+		if vs := ValidateTrace(s, res.Trace, requireDeadlines); len(vs) != 0 {
+			t.Errorf("%s: %v", p.Name(), vs[0])
+		}
+		if requireDeadlines && res.Misses.Events != 0 {
+			t.Errorf("%s: %d misses", p.Name(), res.Misses.Events)
+		}
+	}
+}
+
+func TestPublicAPICumulativeDP(t *testing.T) {
+	s := apiSet(t)
+	plan, stats, err := SolveCumulativeDP(s, CumulativeDPOptions{SuperPeriodFactorCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Feasible || plan == nil {
+		t.Fatal("DP infeasible on an easy set")
+	}
+	res, err := Simulate(s, NewCumulativeReplay(plan), SimConfig{Hyperperiods: 20, TraceLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events != 0 {
+		t.Errorf("replay missed %d deadlines", res.Misses.Events)
+	}
+}
+
+func TestLoadTaskSetJSON(t *testing.T) {
+	src := `[
+	  {"Name":"a","Period":20,"WCETAccurate":12,"WCETImprecise":4,
+	   "Error":{"Mean":4,"Sigma":1}},
+	  {"Name":"b","Period":40,"WCETAccurate":16,"WCETImprecise":5,
+	   "Error":{"Mean":8,"Sigma":2}}
+	]`
+	s, err := LoadTaskSetJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Hyperperiod() != 40 {
+		t.Errorf("loaded set wrong: n=%d P=%d", s.Len(), s.Hyperperiod())
+	}
+	if _, err := LoadTaskSetJSON(strings.NewReader(`[{"Nope":1}]`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := LoadTaskSetJSON(strings.NewReader(`[{"Name":"x","Period":0}]`)); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestBestEffortVariantsOnInfeasibleSet(t *testing.T) {
+	// Overloaded even in imprecise mode.
+	s, err := NewTaskSet([]Task{
+		{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 6,
+			ExecAccurate:  Dist{Mean: 2, Sigma: 0.5, Min: 1, Max: 9},
+			ExecImprecise: Dist{Mean: 1.2, Sigma: 0.2, Min: 1, Max: 6},
+			Error:         Dist{Mean: 1}},
+		{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 6,
+			ExecAccurate:  Dist{Mean: 2, Sigma: 0.5, Min: 1, Max: 9},
+			ExecImprecise: Dist{Mean: 1.2, Sigma: 0.2, Min: 1, Max: 6},
+			Error:         Dist{Mean: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewILPOA(s); err == nil {
+		t.Error("strict constructor accepted an infeasible set")
+	}
+	for _, build := range []func(*TaskSet) (Policy, error){
+		NewILPOABestEffort, NewILPPostOABestEffort, NewFlippedEDFBestEffort,
+	} {
+		p, err := build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Actual execution times are short; best-effort runs usually meet
+		// deadlines even though the WCET plan cannot.
+		res, err := Simulate(s, p, SimConfig{Hyperperiods: 50, Sampler: NewRandomSampler(s, 1)})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Jobs == 0 {
+			t.Errorf("%s executed nothing", p.Name())
+		}
+	}
+}
+
+func TestPaperCaseAndGenerateWorkload(t *testing.T) {
+	s, err := PaperCase("Rnd3")
+	if err != nil || s.Len() != 5 {
+		t.Fatalf("PaperCase(Rnd3): %v, n=%d", err, s.Len())
+	}
+	if _, err := PaperCase("nope"); err == nil {
+		t.Error("unknown case accepted")
+	}
+	gen, err := GenerateWorkload(WorkloadSpec{
+		Name: "custom", Tasks: 4, JobsPerHyperperiod: 20,
+		UtilizationAccurate: 1.5, ImpreciseFeasible: true, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Len() != 4 || gen.JobsPerHyperperiod() != 20 {
+		t.Errorf("generated set: n=%d jobs=%d", gen.Len(), gen.JobsPerHyperperiod())
+	}
+	if u := gen.UtilizationAccurate(); u < 1.45 || u > 1.55 {
+		t.Errorf("generated utilization %g", u)
+	}
+	if Schedulable(gen, Accurate) || !Schedulable(gen, Imprecise) {
+		t.Error("generated set verdicts wrong")
+	}
+	// Determinism.
+	gen2, err := GenerateWorkload(WorkloadSpec{
+		Name: "custom", Tasks: 4, JobsPerHyperperiod: 20,
+		UtilizationAccurate: 1.5, ImpreciseFeasible: true, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < gen.Len(); i++ {
+		if gen.Task(i).WCETAccurate != gen2.Task(i).WCETAccurate {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestSweepUtilization(t *testing.T) {
+	s := apiSet(t)
+	sets, err := SweepUtilization(s, []float64{0.8, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("%d sets", len(sets))
+	}
+	if u := sets[0].UtilizationAccurate(); u < 0.74 || u > 0.86 {
+		t.Errorf("sweep[0] U = %g", u)
+	}
+}
