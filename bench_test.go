@@ -12,6 +12,7 @@ package nprt
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"nprt/internal/cumulative"
@@ -283,18 +284,52 @@ func formatTheta(v float64) string {
 	}
 }
 
-// BenchmarkEngineDispatch measures the raw simulator dispatch rate on the
-// largest case (Rnd13, 163 jobs per hyper-period).
+// BenchmarkEngineDispatch measures the raw simulator dispatch rate: the
+// indexed-heap engine against the retained linear-scan reference, on the
+// paper's largest case (Rnd13, 163 jobs per hyper-period) and on synthetic
+// stress sets whose pending queue averages n/2 deep. Run with -benchmem to
+// see the allocation win from the pooled run state.
 func BenchmarkEngineDispatch(b *testing.B) {
-	s := mustCaseSet(b, "Rnd13")
-	sampler := sim.NewRandomSampler(s, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(s, NewEDFImprecise(), sim.Config{Hyperperiods: 10, Sampler: sampler}); err != nil {
+	type bcase struct {
+		name string
+		set  *TaskSet
+		hp   int
+		jobs int // jobs simulated per op, reported as a custom metric
+	}
+	cases := []bcase{{name: "Rnd13", set: mustCaseSet(b, "Rnd13"), hp: 10, jobs: 10 * 163}}
+	for _, n := range []int{50, 200, 500, 1000} {
+		s, err := workload.SyntheticStress(n)
+		if err != nil {
 			b.Fatal(err)
 		}
+		cases = append(cases, bcase{name: fmt.Sprintf("stress%d", n), set: s, hp: 5, jobs: 5 * n})
 	}
-	b.ReportMetric(float64(10*163), "jobs/op")
+	engines := []struct {
+		name string
+		kind sim.EngineKind
+	}{
+		{"indexed", sim.EngineIndexed},
+		{"linear", sim.EngineLinearScan},
+	}
+	for _, c := range cases {
+		for _, e := range engines {
+			b.Run(c.name+"/"+e.name, func(b *testing.B) {
+				sampler := sim.NewRandomSampler(c.set, 1)
+				p := NewEDFImprecise()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(c.set, p, sim.Config{
+						Hyperperiods: c.hp,
+						Sampler:      sampler,
+						Engine:       e.kind,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(c.jobs), "jobs/op")
+			})
+		}
+	}
 }
 
 // BenchmarkOptimizeModes measures the exact offline optimizer on the

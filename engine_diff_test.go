@@ -1,0 +1,256 @@
+package nprt
+
+// Differential test for the simulator's dispatch core: the indexed-heap
+// engine (EngineIndexed, the default) must produce bit-identical Results to
+// the retained linear-scan reference (EngineLinearScan) for every policy
+// family, every cached testcase, several seeds, and sporadic (jittered)
+// releases. "Bit-identical" is literal: job counts, miss counters, Welford
+// accumulator states (mean, M2, min, max), mode counts, busy time and the
+// execution trace are compared field by field, so even a reordering of
+// floating-point additions would fail the test.
+
+import (
+	"fmt"
+	"testing"
+
+	"nprt/internal/cumulative"
+	"nprt/internal/esr"
+	"nprt/internal/offline"
+	"nprt/internal/policy"
+	"nprt/internal/sim"
+	"nprt/internal/stats"
+	"nprt/internal/task"
+	"nprt/internal/workload"
+)
+
+var diffSeeds = []uint64{1, 2, 3}
+
+// diffPolicies builds one long-lived policy instance per method for a set;
+// sim.Run resets policies, so each instance serves every (engine, seed)
+// combination — offline schedules are built once, not per run.
+func diffPolicies(t *testing.T, s *task.Set) map[string]sim.Policy {
+	t.Helper()
+	ps := map[string]sim.Policy{}
+	for _, m := range []string{
+		"EDF-Accurate", "EDF-Imprecise", "EDF+ESR", "EDF+ESR(C)",
+		"ILP+OA", "ILP+Post+OA", "Flipped EDF",
+	} {
+		p, err := buildDiffPolicy(m, s)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		ps[m] = p
+	}
+	ps["RM-Imprecise"] = policy.NewRMImprecise()
+	return ps
+}
+
+func buildDiffPolicy(method string, s *task.Set) (sim.Policy, error) {
+	switch method {
+	case "EDF-Accurate":
+		return policy.NewEDFAccurate(), nil
+	case "EDF-Imprecise":
+		return policy.NewEDFImprecise(), nil
+	case "EDF+ESR":
+		return esr.New(), nil
+	case "EDF+ESR(C)":
+		return cumulative.NewESR(), nil
+	case "ILP+OA":
+		return offline.NewILPOABestEffort(s)
+	case "ILP+Post+OA":
+		return offline.NewILPPostOABestEffort(s)
+	case "Flipped EDF":
+		return offline.NewFlippedEDFBestEffort(s)
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+// requireIdentical compares every field of two Results, including the
+// internal accumulator states and the trace.
+func requireIdentical(t *testing.T, label string, a, b *sim.Result) {
+	t.Helper()
+	if a.Policy != b.Policy || a.Jobs != b.Jobs || a.Misses != b.Misses ||
+		a.Accurate != b.Accurate || a.Imprecise != b.Imprecise ||
+		a.Busy != b.Busy || a.Horizon != b.Horizon || a.Aborted != b.Aborted {
+		t.Fatalf("%s: scalar fields differ:\n  indexed: %+v\n  linear:  %+v", label, a, b)
+	}
+	if a.Error != b.Error {
+		t.Fatalf("%s: error accumulators differ: %v±%v(n=%d) vs %v±%v(n=%d)", label,
+			a.MeanError(), a.ErrorStdDev(), a.Error.N(),
+			b.MeanError(), b.ErrorStdDev(), b.Error.N())
+	}
+	requireAccsEqual(t, label+"/PerTaskError", a.PerTaskError, b.PerTaskError)
+	requireAccsEqual(t, label+"/PerTaskResponse", a.PerTaskResponse, b.PerTaskResponse)
+	switch {
+	case (a.Trace == nil) != (b.Trace == nil):
+		t.Fatalf("%s: one engine recorded a trace, the other did not", label)
+	case a.Trace != nil:
+		if a.Trace.Len() != b.Trace.Len() {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", label, a.Trace.Len(), b.Trace.Len())
+		}
+		for i := range a.Trace.Entries {
+			if a.Trace.Entries[i] != b.Trace.Entries[i] {
+				t.Fatalf("%s: trace entry %d differs:\n  indexed: %+v\n  linear:  %+v",
+					label, i, a.Trace.Entries[i], b.Trace.Entries[i])
+			}
+		}
+	}
+}
+
+func requireAccsEqual(t *testing.T, label string, a, b []stats.Accumulator) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: lengths differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s[%d]: accumulators differ: %v vs %v", label, i, a[i].Mean(), b[i].Mean())
+		}
+	}
+}
+
+// TestEngineDifferentialAllCases pits the indexed engine against the
+// linear-scan reference on all 14 cached cases, all policy families and
+// three seeds, with traces on.
+func TestEngineDifferentialAllCases(t *testing.T) {
+	cases, err := workload.CachedCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 14 {
+		t.Fatalf("%d cases, want 14", len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			s, err := c.Set()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for method, p := range diffPolicies(t, s) {
+				for _, seed := range diffSeeds {
+					mk := func(engine sim.EngineKind) sim.Config {
+						return sim.Config{
+							Hyperperiods: 10,
+							Sampler:      sim.NewRandomSampler(s, seed),
+							DropLate:     method == "EDF-Accurate",
+							TraceLimit:   200,
+							Engine:       engine,
+						}
+					}
+					indexed, err := sim.Run(s, p, mk(sim.EngineIndexed))
+					if err != nil {
+						t.Fatalf("%s seed %d indexed: %v", method, seed, err)
+					}
+					linear, err := sim.Run(s, p, mk(sim.EngineLinearScan))
+					if err != nil {
+						t.Fatalf("%s seed %d linear: %v", method, seed, err)
+					}
+					requireIdentical(t, fmt.Sprintf("%s/%s/seed%d", c.Name, method, seed),
+						indexed, linear)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialSporadic repeats the comparison under sporadic
+// (jittered) releases for the online policies; the offline+OA family
+// rejects jitter by design.
+func TestEngineDifferentialSporadic(t *testing.T) {
+	cases, err := workload.CachedCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := []func() sim.Policy{
+		func() sim.Policy { return policy.NewEDFImprecise() },
+		func() sim.Policy { return esr.New() },
+		func() sim.Policy { return cumulative.NewESR() },
+		func() sim.Policy { return policy.NewRMImprecise() },
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			s, err := c.Set()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Jitter on every task: up to 30% of the shortest period.
+			dists := make([]task.Dist, s.Len())
+			for i := range dists {
+				scale := float64(s.Task(i).Period) * 0.3
+				dists[i] = task.Dist{Mean: scale / 2, Sigma: scale / 4, Min: 0, Max: scale}
+			}
+			for _, mkPolicy := range online {
+				p := mkPolicy()
+				for _, seed := range diffSeeds {
+					mk := func(engine sim.EngineKind) sim.Config {
+						return sim.Config{
+							Hyperperiods: 6,
+							Sampler:      sim.NewRandomSampler(s, seed),
+							Jitter:       sim.NewRandomJitter(s, dists, seed),
+							TraceLimit:   200,
+							Engine:       engine,
+						}
+					}
+					indexed, err := sim.Run(s, p, mk(sim.EngineIndexed))
+					if err != nil {
+						t.Fatalf("%s seed %d indexed: %v", p.Name(), seed, err)
+					}
+					linear, err := sim.Run(s, p, mk(sim.EngineLinearScan))
+					if err != nil {
+						t.Fatalf("%s seed %d linear: %v", p.Name(), seed, err)
+					}
+					requireIdentical(t, fmt.Sprintf("%s/%s/seed%d/sporadic", c.Name, p.Name(), seed),
+						indexed, linear)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineDifferentialDropLateStress drives an overloaded set through the
+// DropLate shedding path, where the indexed engine sheds from the heap top
+// instead of rescanning, across seeds and both a periodic and a jittered
+// release pattern.
+func TestEngineDifferentialDropLateStress(t *testing.T) {
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		{Name: "b", Period: 10, WCETAccurate: 9, WCETImprecise: 2, Error: task.Dist{Mean: 2}},
+		{Name: "c", Period: 20, WCETAccurate: 7, WCETImprecise: 3, Error: task.Dist{Mean: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range diffSeeds {
+		for _, sporadic := range []bool{false, true} {
+			mk := func(engine sim.EngineKind) sim.Config {
+				cfg := sim.Config{
+					Hyperperiods: 50,
+					Sampler:      sim.NewRandomSampler(s, seed),
+					DropLate:     true,
+					TraceLimit:   -1,
+					Engine:       engine,
+				}
+				if sporadic {
+					dists := []task.Dist{{Mean: 2, Sigma: 1, Min: 0, Max: 4}, {}, {Mean: 1, Sigma: 1, Min: 0, Max: 3}}
+					cfg.Jitter = sim.NewRandomJitter(s, dists, seed)
+				}
+				return cfg
+			}
+			p := policy.NewEDFAccurate()
+			indexed, err := sim.Run(s, p, mk(sim.EngineIndexed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			linear, err := sim.Run(s, p, mk(sim.EngineLinearScan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("droplate/seed%d/sporadic=%v", seed, sporadic),
+				indexed, linear)
+		}
+	}
+}

@@ -11,9 +11,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"nprt/internal/cumulative"
 	"nprt/internal/esr"
@@ -47,6 +49,40 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// forEachIndex runs fn(0..n-1), fanning the indices out over a bounded pool
+// of NumCPU workers when parallel is set. Every driver writes its output
+// into index-addressed slots and assembles them afterwards in serial order,
+// so parallel and serial runs produce identical artifacts: each simulation
+// seeds its own random streams from (case, cfg.Seed) and shares nothing.
+func forEachIndex(n int, parallel bool, fn func(i int)) {
+	if !parallel || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // --- Table I ---------------------------------------------------------------
@@ -210,21 +246,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 		}
 		rows[i] = row
 	}
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for i := range cases {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				runCase(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range cases {
-			runCase(i)
-		}
-	}
+	forEachIndex(len(cases), cfg.Parallel, runCase)
 	for i := range cases {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -315,15 +337,38 @@ func Fig3(cfg Config) (*FigResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &FigResult{Case: c.Name, Series: map[string][]SeriesPoint{}}
-	for i, scaled := range sets {
-		for _, m := range Table2Methods {
-			r, err := runMethod(m, scaled, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 U=%.2f %s: %w", Fig3Utilizations[i], m, err)
+	return sweepMethods(cfg, c.Name, sets, Fig3Utilizations, Table2Methods,
+		func(m string, scaled *task.Set, _ int) (*sim.Result, error) {
+			return runMethod(m, scaled, cfg)
+		})
+}
+
+// sweepMethods runs every method on every scaled set of a utilization sweep
+// — the shared shape of Figures 3 and 5 — fanning the (set, method) grid
+// over the worker pool when cfg.Parallel is set. Results land in
+// grid-indexed slots, so the assembled series are identical either way.
+func sweepMethods(cfg Config, name string, sets []*task.Set, utils []float64,
+	methods []string, run func(m string, scaled *task.Set, setIdx int) (*sim.Result, error),
+) (*FigResult, error) {
+	type cell struct {
+		res *sim.Result
+		err error
+	}
+	grid := make([]cell, len(sets)*len(methods))
+	forEachIndex(len(grid), cfg.Parallel, func(k int) {
+		si, mi := k/len(methods), k%len(methods)
+		r, err := run(methods[mi], sets[si], si)
+		grid[k] = cell{res: r, err: err}
+	})
+	out := &FigResult{Case: name, Series: map[string][]SeriesPoint{}}
+	for si := range sets {
+		for mi, m := range methods {
+			c := grid[si*len(methods)+mi]
+			if c.err != nil {
+				return nil, fmt.Errorf("sweep %s U=%.2f %s: %w", name, utils[si], m, c.err)
 			}
 			out.Series[m] = append(out.Series[m],
-				SeriesPoint{Utilization: Fig3Utilizations[i], MeanError: r.MeanError()})
+				SeriesPoint{Utilization: utils[si], MeanError: c.res.MeanError()})
 		}
 	}
 	return out, nil
@@ -376,32 +421,42 @@ func Table3(cfg Config) ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Table3Row
-	for _, c := range cases {
+	rows := make([]Table3Row, len(cases))
+	errs := make([]error, len(cases))
+	forEachIndex(len(cases), cfg.Parallel, func(i int) {
+		c := cases[i]
 		s, err := c.Set()
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		p := cumulative.NewESR()
 		if _, err := sim.Run(s, p, sim.Config{
 			Hyperperiods: cfg.Hyperperiods,
 			Sampler:      sim.NewRandomSampler(s, cfg.Seed),
 		}); err != nil {
-			return nil, fmt.Errorf("%s/ESR(C): %w", c.Name, err)
+			errs[i] = fmt.Errorf("%s/ESR(C): %w", c.Name, err)
+			return
 		}
 		_, stats, err := cumulative.Solve(s, cumulative.Options{
 			SuperPeriodFactorCap: 1,
 			MaxStatesPerLevel:    5000,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s/DP(C): %w", c.Name, err)
+			errs[i] = fmt.Errorf("%s/DP(C): %w", c.Name, err)
+			return
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Case:             c.Name,
 			ESRCViolationPct: p.ViolationPercent(),
 			DPFeasible:       stats.Feasible,
 			DPProofComplete:  !stats.Truncated,
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }
@@ -447,19 +502,24 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, with, err := cumulative.Solve(s, cumulative.Options{
-		SuperPeriodFactorCap: 1, MaxStatesPerLevel: 1 << 20,
-	})
-	if err != nil {
-		return nil, err
+	// The two DP searches (pruned and unpruned) are independent; run them on
+	// the pool when parallelism is requested.
+	opts := []cumulative.Options{
+		{SuperPeriodFactorCap: 1, MaxStatesPerLevel: 1 << 20},
+		{SuperPeriodFactorCap: 1, MaxStatesPerLevel: 20000,
+			DisableDominance: true, DisableUtilization: true},
 	}
-	_, without, err := cumulative.Solve(s, cumulative.Options{
-		SuperPeriodFactorCap: 1, MaxStatesPerLevel: 20000,
-		DisableDominance: true, DisableUtilization: true,
+	var solveStats [2]*cumulative.SearchStats
+	var solveErrs [2]error
+	forEachIndex(len(opts), cfg.Parallel, func(i int) {
+		_, solveStats[i], solveErrs[i] = cumulative.Solve(s, opts[i])
 	})
-	if err != nil {
-		return nil, err
+	for _, err := range solveErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
+	with, without := solveStats[0], solveStats[1]
 	return &Fig4Result{
 		Case:             c.Name,
 		WithPruning:      with.LevelCounts,
@@ -543,29 +603,27 @@ func Fig5(cfg Config) (*FigResult, error) {
 	if hp > 100 {
 		hp = 100 // real kernel execution per job; keep the sweep bounded
 	}
-	out := &FigResult{Case: "Newton", Series: map[string][]SeriesPoint{}}
-	for i, scaled := range sets {
+	// Pre-scale the per-task iteration costs once per utilization point;
+	// each grid cell then owns an immutable info slice and a private sampler.
+	scaledInfos := make([][]workload.NRTaskInfo, len(sets))
+	for i := range sets {
 		k := Fig5Utilizations[i] / baseU
-		scaledInfos := make([]workload.NRTaskInfo, len(infos))
-		copy(scaledInfos, infos)
-		for j := range scaledInfos {
-			scaledInfos[j].IterCostMicros *= k
+		si := make([]workload.NRTaskInfo, len(infos))
+		copy(si, infos)
+		for j := range si {
+			si[j].IterCostMicros *= k
 		}
-		for _, m := range Fig5Methods {
+		scaledInfos[i] = si
+	}
+	return sweepMethods(cfg, "Newton", sets, Fig5Utilizations, Fig5Methods,
+		func(m string, scaled *task.Set, setIdx int) (*sim.Result, error) {
 			p, err := buildPolicy(m, scaled)
 			if err != nil {
 				return nil, err
 			}
-			r, err := sim.Run(scaled, p, sim.Config{
+			return sim.Run(scaled, p, sim.Config{
 				Hyperperiods: hp,
-				Sampler:      rt.NewNRSampler(scaledInfos, cfg.Seed),
+				Sampler:      rt.NewNRSampler(scaledInfos[setIdx], cfg.Seed),
 			})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 U=%.2f %s: %w", Fig5Utilizations[i], m, err)
-			}
-			out.Series[m] = append(out.Series[m],
-				SeriesPoint{Utilization: Fig5Utilizations[i], MeanError: r.MeanError()})
-		}
-	}
-	return out, nil
+		})
 }

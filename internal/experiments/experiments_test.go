@@ -331,3 +331,95 @@ func TestTable2ParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// requireFigEqual asserts two curve families are identical point for point.
+func requireFigEqual(t *testing.T, name string, a, b *FigResult, methods []string) {
+	t.Helper()
+	if a.Case != b.Case {
+		t.Fatalf("%s: cases differ: %q vs %q", name, a.Case, b.Case)
+	}
+	for _, m := range methods {
+		sa, sb := a.Series[m], b.Series[m]
+		if len(sa) != len(sb) {
+			t.Fatalf("%s/%s: lengths differ: %d vs %d", name, m, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Errorf("%s/%s[%d]: %+v vs %+v", name, m, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func TestFig3ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig3(Config{Hyperperiods: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig3(Config{Hyperperiods: 20, Seed: 1, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFigEqual(t, "fig3", serial, parallel, Table2Methods)
+}
+
+func TestTable3ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table3(Config{Hyperperiods: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table3(Config{Hyperperiods: 20, Seed: 1, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestFig4ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig4(Config{Hyperperiods: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig4(Config{Hyperperiods: 20, Seed: 1, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Case != parallel.Case || serial.TruncatedNoPrune != parallel.TruncatedNoPrune {
+		t.Fatalf("metadata differs: %+v vs %+v", serial, parallel)
+	}
+	for _, pair := range []struct {
+		name string
+		a, b []int
+	}{
+		{"with", serial.WithPruning, parallel.WithPruning},
+		{"without", serial.WithoutPruning, parallel.WithoutPruning},
+	} {
+		if len(pair.a) != len(pair.b) {
+			t.Fatalf("%s-pruning level counts differ in length", pair.name)
+		}
+		for i := range pair.a {
+			if pair.a[i] != pair.b[i] {
+				t.Errorf("%s-pruning level %d: %d vs %d", pair.name, i, pair.a[i], pair.b[i])
+			}
+		}
+	}
+}
+
+func TestFig5ParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig5(Config{Hyperperiods: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig5(Config{Hyperperiods: 4, Seed: 1, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFigEqual(t, "fig5", serial, parallel, Fig5Methods)
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"nprt/internal/pq"
+	"nprt/internal/task"
+)
+
+// EngineKind selects the dispatch-core implementation of a run.
+type EngineKind uint8
+
+const (
+	// EngineIndexed is the production dispatch core: pending jobs live in an
+	// indexed deadline-ordered heap (EDF total order), so EDFPick is an O(1)
+	// peek and removing a dispatched job is O(log n). A second,
+	// release-ordered indexed heap is materialized lazily the first time a
+	// policy asks for NextReleaseTime and maintained incrementally from then
+	// on, so the ESR idle-slack query is O(1) instead of an O(n) rescan.
+	EngineIndexed EngineKind = iota
+	// EngineLinearScan is the pre-heap reference implementation, retained
+	// verbatim: an unordered slice walked on every EDFPick, NextReleaseTime
+	// and removal. It exists so differential tests can prove the indexed
+	// engine bit-identical and so benchmarks have a baseline; production
+	// callers should leave Config.Engine at the default.
+	EngineLinearScan
+)
+
+// releaseBefore orders pending jobs by release time; the task-ID/index
+// tie-break makes it a total order so heap minima are unique (only the
+// minimum release *value* is ever observed, but a total order keeps the
+// structure canonical).
+func releaseBefore(a, b task.Job) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.TaskID != b.TaskID {
+		return a.TaskID < b.TaskID
+	}
+	return a.Index < b.Index
+}
+
+// packKey packs a JobKey into one word so the indexed heaps hash a single
+// uint64 instead of a 16-byte struct. Task IDs and job indices are both far
+// below 2^32 (indices are bounded by hyper-periods times jobs per
+// hyper-period), so the packing is collision-free.
+func packKey(k task.JobKey) uint64 {
+	return uint64(uint32(k.TaskID))<<32 | uint64(uint32(k.Index))
+}
+
+// pendingQueue is the engine's released-but-unexecuted job set, in either
+// the indexed-heap or the linear-scan representation. All buffers are
+// retained across runs when the owning State is pooled.
+type pendingQueue struct {
+	linear bool
+
+	// Linear-scan representation (EngineLinearScan): insertion-ordered.
+	list []task.Job
+
+	// Indexed representation (EngineIndexed).
+	byDeadline *pq.IndexedHeap[uint64, task.Job]
+	byRelease  *pq.IndexedHeap[uint64, task.Job]
+	relTracked bool // byRelease is live and mirrors byDeadline
+}
+
+// reset prepares the queue for a fresh run, keeping heap/slice capacity.
+func (p *pendingQueue) reset(linear bool) {
+	p.linear = linear
+	p.list = p.list[:0]
+	p.relTracked = false
+	if p.byDeadline == nil {
+		p.byDeadline = pq.NewIndexed[uint64](edfBefore)
+	} else {
+		p.byDeadline.Clear()
+	}
+	if p.byRelease != nil {
+		p.byRelease.Clear()
+	}
+}
+
+// size returns the number of pending jobs.
+func (p *pendingQueue) size() int {
+	if p.linear {
+		return len(p.list)
+	}
+	return p.byDeadline.Len()
+}
+
+// push adds a newly released job.
+func (p *pendingQueue) push(j task.Job) {
+	if p.linear {
+		p.list = append(p.list, j)
+		return
+	}
+	k := packKey(j.Key())
+	p.byDeadline.Push(k, j)
+	if p.relTracked {
+		p.byRelease.Push(k, j)
+	}
+}
+
+// remove deletes the job with the given key; reports whether it was present.
+func (p *pendingQueue) remove(key task.JobKey) bool {
+	if p.linear {
+		for i := range p.list {
+			if p.list[i].Key() == key {
+				last := len(p.list) - 1
+				p.list[i] = p.list[last]
+				p.list = p.list[:last]
+				return true
+			}
+		}
+		return false
+	}
+	k := packKey(key)
+	if _, ok := p.byDeadline.Remove(k); !ok {
+		return false
+	}
+	if p.relTracked {
+		p.byRelease.Remove(k)
+	}
+	return true
+}
+
+// peekEDF returns the pending job with the earliest deadline under the EDF
+// total order (deadline, release, task ID, index).
+func (p *pendingQueue) peekEDF() (task.Job, bool) {
+	if p.linear {
+		if len(p.list) == 0 {
+			return task.Job{}, false
+		}
+		best := p.list[0]
+		for _, j := range p.list[1:] {
+			if edfBefore(j, best) {
+				best = j
+			}
+		}
+		return best, true
+	}
+	return p.byDeadline.Peek()
+}
+
+// minRelease returns the earliest release time among pending jobs other
+// than exclude.
+func (p *pendingQueue) minRelease(exclude task.JobKey) (task.Time, bool) {
+	if p.linear {
+		var best task.Time
+		found := false
+		for _, j := range p.list {
+			if j.Key() == exclude {
+				continue
+			}
+			if !found || j.Release < best {
+				best, found = j.Release, true
+			}
+		}
+		return best, found
+	}
+	if !p.relTracked {
+		p.trackReleases()
+	}
+	j, ok := p.byRelease.PeekExcluding(packKey(exclude))
+	if !ok {
+		return 0, false
+	}
+	return j.Release, true
+}
+
+// trackReleases builds the release-ordered mirror from the current pending
+// set. Policies that never query NextReleaseTime (fixed-mode EDF, the
+// offline+OA family) therefore never pay for the second heap.
+func (p *pendingQueue) trackReleases() {
+	if p.byRelease == nil {
+		p.byRelease = pq.NewIndexed[uint64](releaseBefore)
+	}
+	for _, j := range p.byDeadline.Items() {
+		p.byRelease.Push(packKey(j.Key()), j)
+	}
+	p.relTracked = true
+}
+
+// jobs exposes the pending set as an unordered read-only slice.
+func (p *pendingQueue) jobs() []task.Job {
+	if p.linear {
+		return p.list
+	}
+	return p.byDeadline.Items()
+}
+
+// dropLate removes every pending job whose deadline is at or before now,
+// calling drop for each. In the indexed representation late jobs are by
+// construction at the top of the deadline heap, so shedding is O(k log n)
+// for k dropped jobs rather than a full rescan.
+func (p *pendingQueue) dropLate(now task.Time, drop func(task.Job)) {
+	if p.linear {
+		kept := p.list[:0]
+		for _, j := range p.list {
+			if j.Deadline <= now {
+				drop(j)
+				continue
+			}
+			kept = append(kept, j)
+		}
+		p.list = kept
+		return
+	}
+	for {
+		j, ok := p.byDeadline.Peek()
+		if !ok || j.Deadline > now {
+			return
+		}
+		k := packKey(j.Key())
+		p.byDeadline.Remove(k)
+		if p.relTracked {
+			p.byRelease.Remove(k)
+		}
+		drop(j)
+	}
+}

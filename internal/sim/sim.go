@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"nprt/internal/pq"
 	"nprt/internal/rng"
@@ -164,6 +165,11 @@ type Config struct {
 	// periodic release times (the offline+OA family) are rejected under
 	// jitter.
 	Jitter JitterSampler
+	// Engine selects the dispatch-core implementation. EngineIndexed (the
+	// zero value) is the production O(log n) core; EngineLinearScan is the
+	// retained reference used by differential tests and benchmark baselines.
+	// Both produce bit-identical Results.
+	Engine EngineKind
 }
 
 // Result aggregates one run.
@@ -208,19 +214,55 @@ type release struct {
 }
 
 // State is the engine view a policy sees. It is valid only during the
-// callbacks of one Run.
+// callbacks of one Run: the engine pools and reuses State instances (and
+// their internal heap buffers) across runs, so policies must not retain a
+// *State or any slice obtained from it past the end of a run.
 type State struct {
 	set     *task.Set
 	now     task.Time
 	horizon task.Time
 
-	pending   []task.Job // released, not yet executed (unordered)
+	pend      pendingQueue // released, not yet executed
 	releases  *pq.Heap[release]
 	nextIndex []int // per task: next job index to release
 
 	jobsPerP []int // per task: jobs per hyper-period
 
 	jitter JitterSampler // nil = strictly periodic
+}
+
+// statePool recycles run state — the pending-queue heaps, the release event
+// queue and the per-task index slices — across the thousands of Run calls
+// an experiment sweep makes, so a warm sweep allocates per run only what
+// escapes into the Result.
+var statePool = sync.Pool{New: func() any { return new(State) }}
+
+// reset prepares a (possibly recycled) State for a fresh run.
+func (st *State) reset(s *task.Set, cfg Config) {
+	st.set = s
+	st.now = 0
+	st.horizon = s.MaxRelease() + task.Time(cfg.Hyperperiods)*s.Hyperperiod()
+	st.jitter = cfg.Jitter
+	st.pend.reset(cfg.Engine == EngineLinearScan)
+	if st.releases == nil {
+		st.releases = pq.New(func(a, b release) bool { return a.at < b.at })
+	} else {
+		st.releases.Clear()
+	}
+	st.nextIndex = resizedZeroed(st.nextIndex, s.Len())
+	st.jobsPerP = resizedZeroed(st.jobsPerP, s.Len())
+}
+
+// resizedZeroed returns a length-n all-zero slice, reusing capacity.
+func resizedZeroed(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Sporadic reports whether the run has sporadic (jittered) releases.
@@ -235,22 +277,15 @@ func (st *State) Now() task.Time { return st.now }
 // Horizon returns the end of the simulated window.
 func (st *State) Horizon() task.Time { return st.horizon }
 
-// Pending returns the released, unexecuted jobs (unordered, read-only).
-func (st *State) Pending() []task.Job { return st.pending }
+// Pending returns the released, unexecuted jobs (unordered, read-only;
+// valid only until the engine next mutates the pending set).
+func (st *State) Pending() []task.Job { return st.pend.jobs() }
 
 // EDFPick returns the pending job with the earliest deadline, breaking ties
-// by earlier release then smaller task ID (deterministic EDF).
+// by earlier release then smaller task ID (deterministic EDF). With the
+// indexed engine this is an O(1) heap peek.
 func (st *State) EDFPick() (task.Job, bool) {
-	if len(st.pending) == 0 {
-		return task.Job{}, false
-	}
-	best := st.pending[0]
-	for _, j := range st.pending[1:] {
-		if edfBefore(j, best) {
-			best = j
-		}
-	}
-	return best, true
+	return st.pend.peekEDF()
 }
 
 func edfBefore(a, b task.Job) bool {
@@ -269,17 +304,11 @@ func edfBefore(a, b task.Job) bool {
 // NextReleaseTime returns the earliest release time among unreleased future
 // jobs and pending jobs other than exclude; ok is false when no such job
 // exists within the horizon. This is the r_next of the ESR idle-slack rule.
+// With the indexed engine both candidates are O(1) heap peeks; the
+// release-ordered mirror heap is maintained incrementally from the first
+// call on instead of being rescanned per dispatch.
 func (st *State) NextReleaseTime(exclude task.JobKey) (task.Time, bool) {
-	var best task.Time
-	found := false
-	for _, j := range st.pending {
-		if j.Key() == exclude {
-			continue
-		}
-		if !found || j.Release < best {
-			best, found = j.Release, true
-		}
-	}
+	best, found := st.pend.minRelease(exclude)
 	if r, ok := st.releases.Peek(); ok && (!found || r.at < best) {
 		best, found = r.at, true
 	}
@@ -303,7 +332,7 @@ func (st *State) advanceReleases(t task.Time) {
 		idx := st.nextIndex[r.taskID]
 		tk := st.set.Task(r.taskID)
 		job := task.Job{TaskID: r.taskID, Index: idx, Release: r.at, Deadline: r.at + tk.Period}
-		st.pending = append(st.pending, job)
+		st.pend.push(job)
 		st.nextIndex[r.taskID]++
 		nextAt := r.at + tk.Period
 		if st.jitter != nil {
@@ -315,18 +344,10 @@ func (st *State) advanceReleases(t task.Time) {
 	}
 }
 
-// removePending deletes the job from the pending list; reports whether it
-// was present.
+// removePending deletes the job from the pending set; reports whether it
+// was present. O(log n) with the indexed engine.
 func (st *State) removePending(key task.JobKey) bool {
-	for i := range st.pending {
-		if st.pending[i].Key() == key {
-			last := len(st.pending) - 1
-			st.pending[i] = st.pending[last]
-			st.pending = st.pending[:last]
-			return true
-		}
-	}
-	return false
+	return st.pend.remove(key)
 }
 
 // Run simulates the policy over cfg.Hyperperiods hyper-periods of the set.
@@ -341,14 +362,9 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 		sampler = WorstCaseSampler{}
 	}
 
-	st := &State{
-		set:       s,
-		horizon:   s.MaxRelease() + task.Time(cfg.Hyperperiods)*s.Hyperperiod(),
-		releases:  pq.New(func(a, b release) bool { return a.at < b.at }),
-		nextIndex: make([]int, s.Len()),
-		jobsPerP:  make([]int, s.Len()),
-	}
-	st.jitter = cfg.Jitter
+	st := statePool.Get().(*State)
+	defer statePool.Put(st)
+	st.reset(s, cfg)
 	for i := 0; i < s.Len(); i++ {
 		st.jobsPerP[i] = int(s.Hyperperiod() / s.Task(i).Period)
 		at := s.Task(i).Release
@@ -360,14 +376,25 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Both per-task accumulator slices escape into the Result; one backing
+	// array halves that allocation.
+	accs := make([]stats.Accumulator, 2*s.Len())
 	res := &Result{
 		Policy:          p.Name(),
-		PerTaskError:    make([]stats.Accumulator, s.Len()),
-		PerTaskResponse: make([]stats.Accumulator, s.Len()),
+		PerTaskError:    accs[:s.Len():s.Len()],
+		PerTaskResponse: accs[s.Len():],
 		Horizon:         st.horizon,
 	}
 	if cfg.TraceLimit != 0 {
 		res.Trace = &trace.Trace{}
+	}
+
+	// dropStale sheds one already-late pending job, counting the violation.
+	dropStale := func(j task.Job) {
+		res.Jobs++
+		res.Misses.Hit()
+		res.Error.Add(0)
+		res.PerTaskError[j.TaskID].Add(0)
 	}
 
 	p.Reset(st)
@@ -375,20 +402,9 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 
 	for {
 		if cfg.DropLate {
-			kept := st.pending[:0]
-			for _, j := range st.pending {
-				if j.Deadline <= st.now {
-					res.Jobs++
-					res.Misses.Hit()
-					res.Error.Add(0)
-					res.PerTaskError[j.TaskID].Add(0)
-					continue
-				}
-				kept = append(kept, j)
-			}
-			st.pending = kept
+			st.pend.dropLate(st.now, dropStale)
 		}
-		if len(st.pending) == 0 {
+		if st.pend.size() == 0 {
 			r, ok := st.releases.Peek()
 			if !ok {
 				break // no pending work and no future releases: done
@@ -406,7 +422,7 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 			r, okR := st.releases.Peek()
 			if !okR {
 				return nil, fmt.Errorf("sim: policy %s idles with %d pending jobs and no future releases",
-					p.Name(), len(st.pending))
+					p.Name(), st.pend.size())
 			}
 			st.now = r.at
 			st.advanceReleases(st.now)

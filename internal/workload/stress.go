@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"fmt"
+
+	"nprt/internal/task"
+)
+
+// SyntheticStress builds an n-task set designed to keep the simulator's
+// pending queue deep, for dispatch-engine benchmarks. All tasks share one
+// period of 4n and are released simultaneously, so every hyper-period
+// starts with all n jobs pending and the queue drains linearly; the mean
+// queue depth is about n/2. Imprecise utilization is 0.75 (3/(4n) per
+// task), accurate utilization 1.5, so a fixed-imprecise policy is busy but
+// schedulable while queue pressure stays high. Error means vary per task
+// so the error accumulators do real floating-point work.
+func SyntheticStress(n int) (*task.Set, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: SyntheticStress needs n >= 1, got %d", n)
+	}
+	period := task.Time(4 * n)
+	tasks := make([]task.Task, n)
+	for i := range tasks {
+		tasks[i] = task.Task{
+			Name:          fmt.Sprintf("stress%04d", i),
+			Period:        period,
+			WCETAccurate:  6,
+			WCETImprecise: 3,
+			Error:         task.Dist{Mean: 1 + float64(i%7)*0.25},
+		}
+	}
+	return task.New(tasks)
+}
