@@ -13,11 +13,13 @@ package nprt
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"nprt/internal/cumulative"
 	"nprt/internal/esr"
 	"nprt/internal/experiments"
+	"nprt/internal/ilp"
 	"nprt/internal/offline"
 	"nprt/internal/sim"
 	"nprt/internal/workload"
@@ -327,6 +329,57 @@ func BenchmarkEngineDispatch(b *testing.B) {
 					}
 				}
 				b.ReportMetric(float64(c.jobs), "jobs/op")
+			})
+		}
+	}
+}
+
+// BenchmarkILPOffline measures the offline mode-ILP solver stack on the
+// paper's four largest cases under a fixed branch-and-bound node budget.
+// Three stacks:
+//
+//   - legacy: the pre-overhaul solver — bounds spelled as dense constraint
+//     rows in both the base model and the branching, no primal heuristic,
+//     serial;
+//   - new: native variable bounds, pooled tableaus, root heuristic, serial;
+//   - parallel: new with the LP-relaxation worker pool.
+//
+// The node budget makes every stack explore the same number of nodes
+// (bit-identical search on these budget-limited cases), so ns/op compares
+// pure per-node solver throughput.
+func BenchmarkILPOffline(b *testing.B) {
+	const nodeBudget = 200
+	for _, name := range []string{"Rnd10", "Rnd11", "Rnd12", "Rnd13"} {
+		s := mustCaseSet(b, name)
+		order, err := offline.EDFOrder(s, Deepest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stacks := []struct {
+			name  string
+			build func() *ilp.Problem
+			opt   ilp.Options
+		}{
+			{"legacy", func() *ilp.Problem { return offline.BuildModeILPRowBounds(s, order) },
+				ilp.Options{MaxNodes: nodeBudget, DenseRowBounds: true, DisableHeuristic: true}},
+			{"new", func() *ilp.Problem { return offline.BuildModeILP(s, order) },
+				ilp.Options{MaxNodes: nodeBudget}},
+			{"parallel", func() *ilp.Problem { return offline.BuildModeILP(s, order) },
+				ilp.Options{MaxNodes: nodeBudget, Workers: runtime.NumCPU()}},
+		}
+		for _, st := range stacks {
+			b.Run(name+"/"+st.name, func(b *testing.B) {
+				p := st.build()
+				b.ResetTimer()
+				var nodes int
+				for i := 0; i < b.N; i++ {
+					sol, err := ilp.Solve(p, st.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes = sol.Nodes
+				}
+				b.ReportMetric(float64(nodes), "nodes")
 			})
 		}
 	}

@@ -1,0 +1,59 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// benchmark baselines can be committed and diffed (BENCH_ILP.json) and
+// uploaded as CI artifacts.
+//
+// Usage:
+//
+//	go test -run xxx -bench ILPOffline -benchtime 1x . | benchjson > out.json
+//	benchjson -in bench.txt -out BENCH_ILP.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) pass
+// through into the "env" section when they carry machine context (goos,
+// goarch, pkg, cpu) and are dropped otherwise.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nprt/internal/benchparse"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := benchparse.Parse(bufio.NewReader(r))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchparse.WriteJSON(w, report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -37,6 +37,8 @@ func run() int {
 	csvDir := fs.String("csv", "", "also write machine-readable CSV files into this directory")
 	par := fs.Bool("parallel", runtime.NumCPU() > 1,
 		"run per-case simulations concurrently (default: on whenever >1 CPU; results are identical to serial)")
+	ilpWorkers := fs.Int("ilpworkers", runtime.NumCPU(),
+		"LP-relaxation workers inside each offline ILP branch-and-bound (results are bit-identical at any setting)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	fs.Usage = usage
@@ -49,7 +51,7 @@ func run() int {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		return 2
 	}
-	cfg := experiments.Config{Hyperperiods: *hp, Seed: *seed, Parallel: *par}
+	cfg := experiments.Config{Hyperperiods: *hp, Seed: *seed, Parallel: *par, ILPWorkers: *ilpWorkers}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -199,6 +201,15 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 		return writeCSV(csvDir, "robustness.json", func(f *os.File) error {
 			return experiments.WriteJSON(f, r)
 		})
+	case "ilp":
+		rows, err := experiments.ILPBench(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatILPBench(rows))
+		return writeCSV(csvDir, "ilp.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, rows)
+		})
 	case "energy":
 		rows, err := experiments.Energy("Rnd8", cfg)
 		if err != nil {
@@ -217,7 +228,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `paperbench regenerates the paper's evaluation artifacts.
 
 usage: paperbench <artifact> [-hp N] [-seed S] [-parallel=bool] [-csv DIR]
-                  [-cpuprofile FILE] [-memprofile FILE]
+                  [-ilpworkers N] [-cpuprofile FILE] [-memprofile FILE]
 
 artifacts:
   table1   testcase characteristics and schedulability
@@ -230,10 +241,14 @@ artifacts:
   overhead measured scheduling overhead (the paper's runtime remarks)
   energy   busy-time (energy) versus error tradeoff per method
   robustness  Table II normalized ordering across seeds
-  all      everything above
+  ilp      offline mode-ILP solver bench (fixed node budget, per-case timing)
+  all      everything above (except ilp)
 
 -parallel fans independent per-case simulations over all CPUs (the default
 on multi-core machines); outputs are bit-identical to a serial run.
+-ilpworkers parallelizes LP relaxation solves inside each offline ILP
+branch-and-bound (default: all CPUs); solver output is bit-identical at any
+worker count.
 
 profiling a run:
   paperbench table2 -hp 10000 -cpuprofile cpu.out -memprofile mem.out

@@ -123,6 +123,43 @@ func TestE2EPaperbench(t *testing.T) {
 	}
 }
 
+// TestE2EPaperbenchILPProfile drives the offline ILP bench end to end with
+// a parallel branch-and-bound and both profilers attached: the -cpuprofile /
+// -memprofile plumbing must wrap the ILP solves (not only the simulation
+// artifacts), so both profile files must come back non-empty alongside the
+// JSON artifact.
+func TestE2EPaperbenchILPProfile(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	out, err := runTool(t, "paperbench", "ilp",
+		"-ilpworkers", "2", "-cpuprofile", cpu, "-memprofile", mem, "-csv", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"OFFLINE MODE-ILP SOLVER BENCH", "Rnd13", "feasible"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{cpu, mem} {
+		fi, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ilp.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"best_bound\"") {
+		t.Errorf("ilp.json lacks solver fields: %.120s", data)
+	}
+}
+
 func TestE2ETaskgenRoundTrip(t *testing.T) {
 	out, err := runTool(t, "taskgen", "-tasks", "3", "-jobs", "12", "-util", "1.4", "-seed", "5")
 	if err != nil {

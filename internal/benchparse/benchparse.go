@@ -1,0 +1,104 @@
+// Package benchparse parses the text format of `go test -bench` into a
+// structured report. It understands the standard line shape
+//
+//	BenchmarkName/sub-8   	     100	  11230 ns/op	  52 B/op	 3 allocs/op	 200 nodes
+//
+// (a name with the -GOMAXPROCS suffix, an iteration count, then
+// value/unit pairs) plus the goos/goarch/pkg/cpu context header.
+package benchparse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS procs
+	// suffix split off (Benchmark prefix retained).
+	Name       string `json:"name"`
+	Procs      int    `json:"procs,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op" → 11230.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is a full parsed run.
+type Report struct {
+	// Env carries the goos / goarch / pkg / cpu header lines.
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines other than the
+// context header are ignored, so piping full test output works.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				rep.Env[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			rep.Results = append(rep.Results, *res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Env) == 0 {
+		rep.Env = nil
+	}
+	return rep, nil
+}
+
+// parseLine parses one result line; it returns (nil, nil) for lines that
+// start with Benchmark but are not results (e.g. a bare name echoed by -v).
+func parseLine(line string) (*Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	name, procs := fields[0], 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, nil // not a result line
+	}
+	res := &Result{Name: name, Procs: procs, Iterations: iters,
+		Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}
+
+// WriteJSON writes the report with stable indentation.
+func WriteJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

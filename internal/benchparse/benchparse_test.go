@@ -1,0 +1,70 @@
+package benchparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nprt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkILPOffline/Rnd11/legacy         	       3	11237764425 ns/op	       200.0 nodes
+BenchmarkILPOffline/Rnd11/new-8          	       3	 300709618 ns/op	       200.0 nodes
+BenchmarkCumulativeDP 	      20	    318427 ns/op	  174285 B/op	    3193 allocs/op
+BenchmarkEngineDispatch/Rnd13/indexed-4  	       1	   1463023 ns/op	      1630 jobs/op
+PASS
+ok  	nprt	286.823s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["cpu"] == "" {
+		t.Errorf("env = %v", rep.Env)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkILPOffline/Rnd11/legacy" || r.Procs != 0 ||
+		r.Iterations != 3 || r.Metrics["ns/op"] != 11237764425 || r.Metrics["nodes"] != 200 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if rep.Results[1].Name != "BenchmarkILPOffline/Rnd11/new" || rep.Results[1].Procs != 8 {
+		t.Errorf("procs suffix not split: %+v", rep.Results[1])
+	}
+	if rep.Results[2].Metrics["allocs/op"] != 3193 {
+		t.Errorf("allocs metric lost: %+v", rep.Results[2])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := Parse(strings.NewReader("=== RUN TestFoo\nBenchmarkOddFields 1 2\nnothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 || rep.Env != nil {
+		t.Errorf("noise parsed as results: %+v", rep)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name": "BenchmarkCumulativeDP"`, `"ns/op": 318427`, `"results"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package cumulative
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"nprt/internal/sim"
@@ -53,15 +52,37 @@ type dpState struct {
 	mode    task.Mode
 }
 
-// key identifies the dominance group: same processed-job multiset and same
-// finish time.
-func (s *dpState) key() string {
-	buf := make([]byte, 0, 8+4*len(s.nextIdx))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.t))
+// FNV-1a parameters for the 64-bit dominance-group hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// key hashes the dominance group identity — processed-job multiset plus
+// finish time — FNV-1a style, one 64-bit word per field. Replacing the
+// historical []byte→string key removes a heap allocation per state per
+// level; hash collisions are harmless because pruneDominated chains buckets
+// and confirms true equality with sameGroup.
+func (s *dpState) key() uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(s.t)) * fnvPrime64
 	for _, v := range s.nextIdx {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		h = (h ^ uint64(uint32(v))) * fnvPrime64
 	}
-	return string(buf)
+	return h
+}
+
+// sameGroup is the true dominance-group equality the hash approximates.
+func sameGroup(a, b *dpState) bool {
+	if a.t != b.t {
+		return false
+	}
+	for l, v := range a.nextIdx {
+		if v != b.nextIdx[l] {
+			return false
+		}
+	}
+	return true
 }
 
 // dominates reports componentwise φ_a ≤ φ_b (a is at least as good).
@@ -263,36 +284,59 @@ func utilizationFeasible(s *task.Set, st *dpState, totalJobs []int32, sp task.Ti
 // group: S_i is dominated by S_j when every cumulative counter of S_j is no
 // larger.
 func pruneDominated(states []*dpState, stats *SearchStats) []*dpState {
-	groups := make(map[string][]*dpState, len(states))
-	for _, st := range states {
-		groups[st.key()] = append(groups[st.key()], st)
-	}
-	out := states[:0]
-	for _, group := range groups {
-		var kept []*dpState
-		for _, cand := range group {
-			dominated := false
-			for _, k := range kept {
-				if dominates(k, cand) {
-					dominated = true
-					break
-				}
+	return pruneDominatedHash(states, stats, (*dpState).key)
+}
+
+// pruneDominatedHash is pruneDominated with an injectable hash (tests pass a
+// constant function to force every state through the collision chain).
+// Groups are keyed by hash but membership is confirmed with sameGroup, so a
+// 64-bit collision merely costs an extra comparison; group order is
+// first-seen order, keeping the surviving-state sequence deterministic
+// instead of depending on map iteration.
+func pruneDominatedHash(states []*dpState, stats *SearchStats, hash func(*dpState) uint64) []*dpState {
+	byHash := make(map[uint64][]int32, len(states))
+	var groups [][]*dpState // kept states per group, in first-seen order
+	var reps []*dpState     // group representative for true-key equality
+	for _, cand := range states {
+		h := hash(cand)
+		gi := int32(-1)
+		for _, i := range byHash[h] {
+			if sameGroup(reps[i], cand) {
+				gi = i
+				break
 			}
-			if dominated {
+		}
+		if gi == -1 {
+			gi = int32(len(groups))
+			groups = append(groups, nil)
+			reps = append(reps, cand)
+			byHash[h] = append(byHash[h], gi)
+		}
+		kept := groups[gi]
+		dominated := false
+		for _, k := range kept {
+			if dominates(k, cand) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			stats.PrunedDom++
+			continue
+		}
+		// Remove previously kept states the candidate dominates.
+		filtered := kept[:0]
+		for _, k := range kept {
+			if dominates(cand, k) {
 				stats.PrunedDom++
 				continue
 			}
-			// Remove previously kept states the candidate dominates.
-			filtered := kept[:0]
-			for _, k := range kept {
-				if dominates(cand, k) {
-					stats.PrunedDom++
-					continue
-				}
-				filtered = append(filtered, k)
-			}
-			kept = append(filtered, cand)
+			filtered = append(filtered, k)
 		}
+		groups[gi] = append(filtered, cand)
+	}
+	out := states[:0]
+	for _, kept := range groups {
 		out = append(out, kept...)
 	}
 	return out

@@ -1,0 +1,134 @@
+package cumulative
+
+import (
+	"testing"
+
+	"nprt/internal/rng"
+	"nprt/internal/task"
+)
+
+// randStates builds a corpus of states over a deliberately tiny domain so
+// many true duplicates (and dominance candidates) occur.
+func randStates(r *rng.Stream, n int) []*dpState {
+	states := make([]*dpState, n)
+	for i := range states {
+		st := &dpState{
+			t:       task.Time(r.Uint64() % 8),
+			nextIdx: make([]int32, 3),
+			consec:  make([]int16, 3),
+		}
+		for l := range st.nextIdx {
+			st.nextIdx[l] = int32(r.Uint64() % 4)
+			st.consec[l] = int16(r.Uint64() % 3)
+		}
+		states[i] = st
+	}
+	return states
+}
+
+// TestStateKeyMatchesGroupEquality: across a dense random corpus, the FNV
+// hash must agree with the true group identity in both directions — equal
+// groups hash equal (determinism) and, on this corpus, equal hashes imply
+// equal groups (no observed collisions).
+func TestStateKeyMatchesGroupEquality(t *testing.T) {
+	states := randStates(rng.New(2026), 1200)
+	for i, a := range states {
+		for _, b := range states[i+1:] {
+			same, hashEq := sameGroup(a, b), a.key() == b.key()
+			if same && !hashEq {
+				t.Fatalf("equal groups hash differently: %v/%v vs %v/%v", a.t, a.nextIdx, b.t, b.nextIdx)
+			}
+			if !same && hashEq {
+				t.Fatalf("hash collision between distinct groups: %v/%v vs %v/%v", a.t, a.nextIdx, b.t, b.nextIdx)
+			}
+		}
+	}
+}
+
+// TestPruneDominatedCollisionSafe forces every state into a single hash
+// bucket (a constant hash function) and requires the exact surviving states,
+// order, and prune count of the real hash: correctness may not depend on the
+// hash discriminating, only on the chained sameGroup check.
+func TestPruneDominatedCollisionSafe(t *testing.T) {
+	corpus := randStates(rng.New(77), 600)
+	a := append([]*dpState(nil), corpus...)
+	b := append([]*dpState(nil), corpus...)
+	var statsA, statsB SearchStats
+	outA := pruneDominatedHash(a, &statsA, (*dpState).key)
+	outB := pruneDominatedHash(b, &statsB, func(*dpState) uint64 { return 0 })
+	if len(outA) != len(outB) || statsA.PrunedDom != statsB.PrunedDom {
+		t.Fatalf("collision path diverged: %d/%d survivors, %d/%d pruned",
+			len(outA), len(outB), statsA.PrunedDom, statsB.PrunedDom)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("survivor %d differs between real and constant hash", i)
+		}
+	}
+	if statsA.PrunedDom == 0 {
+		t.Fatal("corpus produced no dominance pruning; test is vacuous")
+	}
+}
+
+// TestPruneDominatedDeterministicOrder: the surviving-state order is a pure
+// function of the input order (first-seen grouping), independent of map
+// iteration order across runs.
+func TestPruneDominatedDeterministicOrder(t *testing.T) {
+	corpus := randStates(rng.New(9), 400)
+	var ref []*dpState
+	for run := 0; run < 5; run++ {
+		in := append([]*dpState(nil), corpus...)
+		var stats SearchStats
+		out := pruneDominatedHash(in, &stats, (*dpState).key)
+		if run == 0 {
+			ref = append([]*dpState(nil), out...)
+			continue
+		}
+		if len(out) != len(ref) {
+			t.Fatalf("run %d: %d survivors, want %d", run, len(out), len(ref))
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("run %d: survivor order differs at %d", run, i)
+			}
+		}
+	}
+}
+
+// benchSet is a 4-task set whose DP explores a few thousand states per
+// solve — enough for the per-state key cost to dominate.
+func benchSet(tb testing.TB) *task.Set {
+	tb.Helper()
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 12, WCETAccurate: 5, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+		{Name: "b", Period: 12, WCETAccurate: 4, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+		{Name: "c", Period: 24, WCETAccurate: 6, WCETImprecise: 2,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 2},
+		{Name: "d", Period: 24, WCETAccurate: 5, WCETImprecise: 3,
+			Error: task.Dist{Mean: 1}, MaxConsecutiveImprecise: 1},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkCumulativeDP measures a full DP(C) solve; ReportAllocs makes the
+// win from the allocation-free uint64 state key visible (the historical
+// string key allocated one []byte-backed string per expanded state per
+// pruning pass).
+func BenchmarkCumulativeDP(b *testing.B) {
+	s := benchSet(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		asg, stats, err := Solve(s, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if asg == nil || !stats.Feasible {
+			b.Fatal("bench set became infeasible")
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Config struct {
 	// Parallel runs per-case work concurrently (results are deterministic
 	// either way; runs are independent).
 	Parallel bool
+	// ILPWorkers sets the branch-and-bound LP-relaxation worker pool used by
+	// the offline ILP solves (0 or 1 = serial). Solver output is bit-identical
+	// at every setting; only wall-clock changes.
+	ILPWorkers int
 }
 
 func (c Config) withDefaults() Config {

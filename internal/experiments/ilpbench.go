@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"nprt/internal/ilp"
+	"nprt/internal/offline"
+	"nprt/internal/task"
+	"nprt/internal/workload"
+)
+
+// ilpBenchNodeBudget fixes the branch-and-bound node budget for the ILP
+// throughput bench. Every configuration explores exactly this many nodes on
+// the budget-limited cases (the solver is deterministic and Workers does not
+// change the explored sequence), so wall-clock differences measure pure
+// solver throughput, never a different search.
+const ilpBenchNodeBudget = 200
+
+// ILPBenchRow is one case's offline mode-ILP solve under the bench budget.
+type ILPBenchRow struct {
+	Case      string  `json:"case"`
+	Jobs      int     `json:"jobs"`
+	Status    string  `json:"status"`
+	Objective float64 `json:"objective"`
+	BestBound float64 `json:"best_bound"`
+	Nodes     int     `json:"nodes"`
+	Millis    float64 `json:"millis"`
+}
+
+// ILPBench solves the §IV-A mode ILP for every Table-I case under a fixed
+// node budget and reports per-case solver wall-clock. Cases always run
+// serially — the harness measures time, and fanning cases out would let
+// them contend — while cfg.ILPWorkers parallelizes the LP relaxation solves
+// *inside* each branch-and-bound (bit-identical results at any setting).
+func ILPBench(cfg Config) ([]ILPBenchRow, error) {
+	cfg = cfg.withDefaults()
+	cases, err := workload.CachedCases()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ILPBenchRow, 0, len(cases))
+	for _, c := range cases {
+		s, err := c.Set()
+		if err != nil {
+			return nil, err
+		}
+		row := ILPBenchRow{Case: c.Name}
+		order, err := offline.EDFOrder(s, task.Deepest)
+		if err != nil {
+			row.Status = "no-order"
+			rows = append(rows, row)
+			continue
+		}
+		row.Jobs = len(order)
+		p := offline.BuildModeILP(s, order)
+		start := time.Now()
+		sol, err := ilp.Solve(p, ilp.Options{MaxNodes: ilpBenchNodeBudget, Workers: cfg.ILPWorkers})
+		if err != nil {
+			return nil, err
+		}
+		row.Millis = float64(time.Since(start).Microseconds()) / 1000
+		row.Status = sol.Status.String()
+		// Infinite sentinels (no incumbent / infeasible) are not JSON-encodable;
+		// Status already carries that outcome.
+		if !math.IsInf(sol.Objective, 0) {
+			row.Objective = sol.Objective
+		}
+		if !math.IsInf(sol.BestBound, 0) {
+			row.BestBound = sol.BestBound
+		}
+		row.Nodes = sol.Nodes
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatILPBench renders the bench rows as a fixed-width table.
+func FormatILPBench(rows []ILPBenchRow) string {
+	var b strings.Builder
+	b.WriteString("OFFLINE MODE-ILP SOLVER BENCH (fixed node budget; serial == parallel results)\n")
+	format := "%-7s %5s %-11s %14s %14s %6s %10s\n"
+	b.WriteString(fmt.Sprintf(format, "Case", "Jobs", "Status", "Objective", "BestBound", "Nodes", "ms"))
+	for _, r := range rows {
+		if r.Status == "no-order" {
+			b.WriteString(fmt.Sprintf("%-7s %5s %-11s\n", r.Case, "-", r.Status))
+			continue
+		}
+		obj, bound := "-", "-"
+		if r.Status == "optimal" || r.Status == "feasible" {
+			obj = fmt.Sprintf("%.4f", r.Objective)
+			bound = fmt.Sprintf("%.4f", r.BestBound)
+		}
+		b.WriteString(fmt.Sprintf(format, r.Case, fmt.Sprintf("%d", r.Jobs), r.Status,
+			obj, bound, fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%.2f", r.Millis)))
+	}
+	return b.String()
+}

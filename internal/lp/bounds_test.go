@@ -1,0 +1,260 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"nprt/internal/rng"
+)
+
+// TestNativeBoundsBasics exercises SetBounds end to end: shifted lower
+// bounds, finite upper bounds, and a variable fixed by lo == up.
+func TestNativeBoundsBasics(t *testing.T) {
+	// min -x - 2y  s.t. x + y <= 10, 1 <= x <= 3, 2 <= y <= 4.
+	p := NewProblem(2)
+	p.C = []float64{-1, -2}
+	p.AddConstraint([]float64{1, 1}, LE, 10, "")
+	p.SetBounds(0, 1, 3)
+	p.SetBounds(1, 2, 4)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.X[0], 3) || !almost(sol.X[1], 4) {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if !almost(sol.Objective, -11) {
+		t.Errorf("objective = %g, want -11", sol.Objective)
+	}
+
+	// Fixing a variable: lo == up.
+	p = NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]float64{1, 1}, GE, 5, "")
+	p.SetBounds(0, 2, 2)
+	sol = solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.X[0], 2) || !almost(sol.X[1], 3) {
+		t.Fatalf("fixed-var sol = %+v", sol)
+	}
+}
+
+// TestNativeBoundsInfeasibleBox rejects lo > up without touching the
+// simplex.
+func TestNativeBoundsInfeasibleBox(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.SetBounds(0, 3, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+// TestNativeBoundsUnbounded: a bound on one variable must not mask
+// unboundedness in another.
+func TestNativeBoundsUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{-1, 0}
+	p.SetBounds(1, 0, 5)
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestNegativeLowerBounds: shifting handles lo < 0 (free-ish variables).
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x + y  s.t. x + y >= -3, -5 <= x <= 5, -5 <= y <= 5 → obj -3.
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]float64{1, 1}, GE, -3, "")
+	p.SetBounds(0, -5, 5)
+	p.SetBounds(1, -5, 5)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, -3) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+// TestBoundsMatchRowEncoding is the LP-level differential: on randomized
+// box-constrained problems, solving with native bounds must agree in status
+// and objective with the same problem whose bounds are spelled as dense
+// rows (the pre-bounded-simplex encoding).
+func TestBoundsMatchRowEncoding(t *testing.T) {
+	r := rng.New(20260806)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + int(r.Uint64()%4)  // 2..5 vars
+		mr := 1 + int(r.Uint64()%4) // 1..4 rows
+		native := NewProblem(n)
+		rows := NewProblem(n)
+		for j := 0; j < n; j++ {
+			c := float64(int(r.Uint64()%21)) - 10
+			native.C[j], rows.C[j] = c, c
+			lo := float64(int(r.Uint64() % 4))
+			up := lo + float64(int(r.Uint64()%6))
+			native.SetBounds(j, lo, up)
+			rows.AddBound(j, GE, lo, "")
+			rows.AddBound(j, LE, up, "")
+		}
+		for i := 0; i < mr; i++ {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = float64(int(r.Uint64()%11)) - 5
+			}
+			sense := Sense(r.Uint64() % 3)
+			rhs := float64(int(r.Uint64()%41)) - 10
+			native.AddConstraint(coef, sense, rhs, "")
+			rows.AddConstraint(coef, sense, rhs, "")
+		}
+		a, err := Solve(native)
+		if err != nil {
+			t.Fatalf("trial %d: native: %v", trial, err)
+		}
+		b, err := Solve(rows)
+		if err != nil {
+			t.Fatalf("trial %d: rows: %v", trial, err)
+		}
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status native=%v rows=%v", trial, a.Status, b.Status)
+		}
+		if a.Status != Optimal {
+			continue
+		}
+		if math.Abs(a.Objective-b.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective native=%g rows=%g", trial, a.Objective, b.Objective)
+		}
+		// The native solution must respect its box exactly.
+		for j := 0; j < n; j++ {
+			if a.X[j] < native.Lo[j]-1e-7 || a.X[j] > native.Up[j]+1e-7 {
+				t.Fatalf("trial %d: x[%d]=%g outside [%g,%g]", trial, j, a.X[j], native.Lo[j], native.Up[j])
+			}
+		}
+	}
+}
+
+// TestSolverReuse: a pooled Solver must give the same answers as fresh
+// solves across a sequence of differently shaped problems.
+func TestSolverReuse(t *testing.T) {
+	sv := new(Solver)
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + int(r.Uint64()%5)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = float64(int(r.Uint64()%13)) - 6
+			p.SetBounds(j, 0, float64(r.Uint64()%8))
+		}
+		if r.Uint64()%2 == 0 {
+			coef := make([]float64, n)
+			for j := range coef {
+				coef[j] = float64(int(r.Uint64()%7)) - 3
+			}
+			p.AddConstraint(coef, Sense(r.Uint64()%3), float64(int(r.Uint64()%15))-4, "")
+		}
+		pooled, err := sv.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: pooled: %v", trial, err)
+		}
+		fresh, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: fresh: %v", trial, err)
+		}
+		if pooled.Status != fresh.Status {
+			t.Fatalf("trial %d: status pooled=%v fresh=%v", trial, pooled.Status, fresh.Status)
+		}
+		if pooled.Status == Optimal && math.Abs(pooled.Objective-fresh.Objective) > 1e-9 {
+			t.Fatalf("trial %d: objective pooled=%g fresh=%g", trial, pooled.Objective, fresh.Objective)
+		}
+	}
+}
+
+// TestZeroRHSDegenerateRows locks the pivot behaviour on GE/EQ rows with a
+// zero right-hand side: phase 1 starts with the artificial basic at value 0
+// (a fully degenerate vertex) and must still drive it out and terminate.
+func TestZeroRHSDegenerateRows(t *testing.T) {
+	// min x + y  s.t. x - y >= 0, x + y >= 0, x - 2y = 0, x <= 4.
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]float64{1, -1}, GE, 0, "ge0")
+	p.AddConstraint([]float64{1, 1}, GE, 0, "ge0b")
+	p.AddConstraint([]float64{1, -2}, EQ, 0, "eq0")
+	p.AddBound(0, LE, 4, "")
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, 0) {
+		t.Fatalf("sol = %+v", sol)
+	}
+
+	// Same shape but the optimum is pushed off the degenerate vertex.
+	p = NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, -1}, GE, 0, "")
+	p.AddConstraint([]float64{1, -2}, EQ, 0, "")
+	p.AddConstraint([]float64{1, 1}, LE, 9, "")
+	sol = solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, -9) {
+		t.Fatalf("sol = %+v", sol)
+	}
+	if !almost(sol.X[0], 6) || !almost(sol.X[1], 3) {
+		t.Errorf("x = %v, want [6 3]", sol.X)
+	}
+}
+
+// TestRatioTestTiesTerminate builds tableaus whose ratio tests tie on
+// every pivot (the cycling-prone configuration): many identical rows, so
+// several basic variables hit zero simultaneously. The Dantzig→Bland stall
+// fallback must terminate with the right optimum.
+func TestRatioTestTiesTerminate(t *testing.T) {
+	// min -x1 - x2 with five copies of x1 + x2 <= 6 and crossing rows that
+	// tie at the same vertex.
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	for i := 0; i < 5; i++ {
+		p.AddConstraint([]float64{1, 1}, LE, 6, "dup")
+	}
+	p.AddConstraint([]float64{2, 2}, LE, 12, "scaled")
+	p.AddConstraint([]float64{1, 0}, LE, 6, "")
+	p.AddConstraint([]float64{0, 1}, LE, 6, "")
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.Objective, -6) {
+		t.Fatalf("sol = %+v", sol)
+	}
+
+	// Kuhn's degenerate example (a classic cycler under pure Dantzig with
+	// arbitrary tie-breaks); every RHS is zero except the bounding row.
+	p = NewProblem(4)
+	p.C = []float64{-2, -3, 1, 12}
+	p.AddConstraint([]float64{-2, -9, 1, 9}, LE, 0, "")
+	p.AddConstraint([]float64{1.0 / 3, 1, -1.0 / 3, -2}, LE, 0, "")
+	p.AddConstraint([]float64{1, 1, 1, 1}, LE, 10, "box")
+	sol = solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v (cycling not broken?)", sol.Status)
+	}
+	if sol.Objective > -1e-6 {
+		t.Errorf("objective = %g, want < 0", sol.Objective)
+	}
+}
+
+// TestBoundFlipPath forces the entering variable to hit its own upper bound
+// before any basic variable leaves (the bound-flip step, no pivot).
+func TestBoundFlipPath(t *testing.T) {
+	// min -x  s.t. x + y <= 100, x <= 2 (native). The flip of x to its
+	// upper bound is the whole solve.
+	p := NewProblem(2)
+	p.C = []float64{-1, 0}
+	p.AddConstraint([]float64{1, 1}, LE, 100, "")
+	p.SetBounds(0, 0, 2)
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.X[0], 2) {
+		t.Fatalf("sol = %+v", sol)
+	}
+
+	// And a basic variable leaving at its *upper* bound: maximize y subject
+	// to y <= x + 1 with x capped at 3 → x=3 (leaves at upper), y=4.
+	p = NewProblem(2)
+	p.C = []float64{0, -1}
+	p.AddConstraint([]float64{-1, 1}, LE, 1, "")
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 10)
+	sol = solveOK(t, p)
+	if sol.Status != Optimal || !almost(sol.X[1], 4) {
+		t.Fatalf("sol = %+v", sol)
+	}
+}

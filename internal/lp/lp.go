@@ -1,15 +1,23 @@
 // Package lp is a from-scratch dense linear-programming solver: a two-phase
-// primal simplex with Bland's anti-cycling rule. It is the substrate under
-// internal/ilp, which the paper's offline ILP scheduling (§IV) runs on.
+// primal simplex with bounded variables and a Dantzig→Bland anti-cycling
+// pricing fallback. It is the substrate under internal/ilp, which the
+// paper's offline ILP scheduling (§IV) runs on.
 //
-// Problems are stated over non-negative variables:
+// Problems are stated over box-bounded variables:
 //
 //	minimize   c·x
-//	subject to a_k·x (≤ | = | ≥) b_k,  x ≥ 0.
+//	subject to a_k·x (≤ | = | ≥) b_k,  lo ≤ x ≤ up,
+//
+// with lo = 0 and up = +∞ by default (the classic non-negative form).
+// Variable bounds are handled natively by the simplex — a bound never
+// becomes a tableau row — which is what lets the branch-and-bound in
+// internal/ilp tighten bounds at every tree node without growing the
+// tableau with tree depth.
 //
 // The implementation favours clarity and numerical robustness over speed:
 // the scheduling models it solves have a few hundred rows and columns, where
-// dense tableaus are perfectly adequate.
+// dense tableaus are perfectly adequate. A Solver can be reused across
+// solves to pool the tableau allocation (the branch-and-bound hot loop).
 package lp
 
 import (
@@ -49,11 +57,14 @@ type Constraint struct {
 	Name  string // optional, for diagnostics
 }
 
-// Problem is an LP over n non-negative variables.
+// Problem is an LP over n box-bounded variables. Lo and Up are optional:
+// nil means every variable ranges over [0, +∞). When set they must have
+// length NumVars; Lo entries must be finite (Up may be +Inf).
 type Problem struct {
 	NumVars int
 	C       []float64 // minimize C·x; len == NumVars
 	Rows    []Constraint
+	Lo, Up  []float64 // variable bounds; nil = default [0, +Inf)
 }
 
 // NewProblem returns an empty minimization problem over n variables.
@@ -68,11 +79,33 @@ func (p *Problem) AddConstraint(coef []float64, s Sense, rhs float64, name strin
 	p.Rows = append(p.Rows, Constraint{Coef: row, Sense: s, RHS: rhs, Name: name})
 }
 
-// AddBound appends the single-variable constraint x_j (sense) v.
+// AddBound appends the single-variable constraint x_j (sense) v as a dense
+// row. Prefer SetBounds, which the simplex handles natively; AddBound is
+// retained for the row-encoded legacy path that internal/ilp keeps for
+// differential testing.
 func (p *Problem) AddBound(j int, s Sense, v float64, name string) {
 	row := make([]float64, p.NumVars)
 	row[j] = 1
 	p.Rows = append(p.Rows, Constraint{Coef: row, Sense: s, RHS: v, Name: name})
+}
+
+// ensureBounds materializes the Lo/Up arrays at their defaults.
+func (p *Problem) ensureBounds() {
+	if p.Lo == nil {
+		p.Lo = make([]float64, p.NumVars)
+	}
+	if p.Up == nil {
+		p.Up = make([]float64, p.NumVars)
+		for j := range p.Up {
+			p.Up[j] = math.Inf(1)
+		}
+	}
+}
+
+// SetBounds sets lo ≤ x_j ≤ up. Use math.Inf(1) for an unbounded top.
+func (p *Problem) SetBounds(j int, lo, up float64) {
+	p.ensureBounds()
+	p.Lo[j], p.Up[j] = lo, up
 }
 
 // Status is a solve outcome.
@@ -102,7 +135,7 @@ type Solution struct {
 	Status    Status
 	X         []float64 // primal values (valid when Optimal)
 	Objective float64   // c·x (valid when Optimal)
-	Pivots    int       // simplex iterations used
+	Pivots    int       // simplex iterations used (bound flips included)
 }
 
 const (
@@ -114,37 +147,101 @@ const (
 // which on these models indicates a modelling bug rather than a hard LP.
 var ErrPivotLimit = errors.New("lp: pivot limit exceeded")
 
-// tableau is the dense simplex tableau.
-//
-// Layout: rows 0..m-1 are constraints, each ending with the RHS in column
-// ncols-1; row m is the objective (reduced costs, with the negated objective
-// value in the RHS cell).
-type tableau struct {
-	m, n  int // constraint rows, total structural+slack+artificial columns
-	a     [][]float64
-	basis []int // basis[i] = column basic in row i
-	obj   []float64
+// Solve runs the two-phase simplex with a throwaway Solver. Callers with a
+// hot loop (internal/ilp solves thousands of closely related LPs) should
+// allocate one Solver and reuse it.
+func Solve(p *Problem) (*Solution, error) {
+	return new(Solver).Solve(p)
 }
 
-// Solve runs the two-phase simplex.
-func Solve(p *Problem) (*Solution, error) {
+// Solver is a reusable dense simplex. The zero value is ready to use; all
+// scratch state (tableau backing array, basis, bound bookkeeping) is pooled
+// across Solve calls, so a warm Solver allocates only the returned Solution.
+// A Solver is not safe for concurrent use; give each goroutine its own.
+type Solver struct {
+	m, n int // constraint rows; total structural+slack+artificial columns
+
+	flat  []float64   // backing storage for the tableau
+	a     [][]float64 // row views into flat; a[m] is the objective row
+	basis []int       // basis[i] = column basic in row i
+
+	ub   []float64 // per-column upper bound in shifted space (slack/art: +Inf)
+	flip []bool    // column j is expressed as u_j − x_j (nonbasic at upper)
+	lo   []float64 // structural lower bounds (the shift)
+
+	rowCoef  []float64 // normalized row coefficients, m×n
+	rowRHS   []float64
+	rowSense []Sense
+	artCols  []int
+}
+
+// Solve runs the two-phase bounded-variable simplex.
+//
+// Internally every structural variable is shifted by its lower bound
+// (x = lo + x̃, 0 ≤ x̃ ≤ up−lo) and nonbasic variables rest at either end of
+// their range; a variable sitting at its upper bound is represented by the
+// substitution x̃ → u − x̃ (the column and its reduced cost are negated), so
+// the textbook "all nonbasic at zero" pivot rules apply unchanged. The
+// ratio test gains two cases: a basic variable may leave at its *upper*
+// bound, and the entering variable may hit its own opposite bound first —
+// a bound flip that re-substitutes the column without any pivot.
+func (sv *Solver) Solve(p *Problem) (*Solution, error) {
 	if len(p.C) != p.NumVars {
 		return nil, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.C), p.NumVars)
 	}
+	if p.Lo != nil && len(p.Lo) != p.NumVars {
+		return nil, fmt.Errorf("lp: Lo has %d entries for %d variables", len(p.Lo), p.NumVars)
+	}
+	if p.Up != nil && len(p.Up) != p.NumVars {
+		return nil, fmt.Errorf("lp: Up has %d entries for %d variables", len(p.Up), p.NumVars)
+	}
 	m := len(p.Rows)
 	n := p.NumVars
+	sol := &Solution{}
 
-	// Normalize rows to b >= 0.
-	type rowT struct {
-		coef  []float64
-		sense Sense
-		rhs   float64
+	// Shift structural variables to lower bound zero and reject empty boxes.
+	sv.lo = resize(sv.lo, n)
+	for j := 0; j < n; j++ {
+		lo := 0.0
+		if p.Lo != nil {
+			lo = p.Lo[j]
+		}
+		if math.IsInf(lo, -1) || math.IsNaN(lo) {
+			return nil, fmt.Errorf("lp: variable %d has non-finite lower bound %g", j, lo)
+		}
+		sv.lo[j] = lo
+		up := math.Inf(1)
+		if p.Up != nil {
+			up = p.Up[j]
+		}
+		if up < lo-eps {
+			sol.Status = Infeasible
+			return sol, nil
+		}
 	}
-	rows := make([]rowT, m)
+
+	// Normalize rows: substitute the shift into the RHS, then flip rows to
+	// b ≥ 0 so phase 1 can start from the slack/artificial basis.
+	sv.rowCoef = resize(sv.rowCoef, m*n)
+	sv.rowRHS = resize(sv.rowRHS, m)
+	if cap(sv.rowSense) < m {
+		sv.rowSense = make([]Sense, m)
+	}
+	sv.rowSense = sv.rowSense[:m]
 	for i, r := range p.Rows {
-		coef := make([]float64, n)
-		copy(coef, r.Coef)
-		sense, rhs := r.Sense, r.RHS
+		coef := sv.rowCoef[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if j < len(r.Coef) {
+				coef[j] = r.Coef[j]
+			} else {
+				coef[j] = 0
+			}
+		}
+		rhs := r.RHS
+		for j := 0; j < n; j++ {
+			rhs -= coef[j] * sv.lo[j]
+		}
+		sense := r.Sense
 		if rhs < 0 {
 			for j := range coef {
 				coef[j] = -coef[j]
@@ -157,72 +254,93 @@ func Solve(p *Problem) (*Solution, error) {
 				sense = LE
 			}
 		}
-		rows[i] = rowT{coef, sense, rhs}
+		sv.rowRHS[i], sv.rowSense[i] = rhs, sense
 	}
 
 	// Column layout: [structural | slacks/surplus | artificials | RHS].
-	nSlack := 0
-	for _, r := range rows {
-		if r.sense != EQ {
+	nSlack, nArt := 0, 0
+	for _, s := range sv.rowSense {
+		if s != EQ {
 			nSlack++
 		}
-	}
-	nArt := 0
-	for _, r := range rows {
-		if r.sense != LE {
+		if s != LE {
 			nArt++
 		}
 	}
 	total := n + nSlack + nArt
-	t := &tableau{m: m, n: total, basis: make([]int, m)}
-	t.a = make([][]float64, m+1)
-	for i := range t.a {
-		t.a[i] = make([]float64, total+1)
+	sv.m, sv.n = m, total
+	sv.flat = resize(sv.flat, (m+1)*(total+1))
+	for i := range sv.flat {
+		sv.flat[i] = 0
+	}
+	if cap(sv.a) < m+1 {
+		sv.a = make([][]float64, m+1)
+	}
+	sv.a = sv.a[:m+1]
+	for i := range sv.a {
+		sv.a[i] = sv.flat[i*(total+1) : (i+1)*(total+1)]
+	}
+	sv.basis = resizeInt(sv.basis, m)
+	sv.ub = resize(sv.ub, total)
+	if cap(sv.flip) < total {
+		sv.flip = make([]bool, total)
+	}
+	sv.flip = sv.flip[:total]
+	for j := 0; j < total; j++ {
+		sv.flip[j] = false
+		if j < n {
+			up := math.Inf(1)
+			if p.Up != nil {
+				up = p.Up[j]
+			}
+			u := up - sv.lo[j]
+			if u < 0 {
+				u = 0
+			}
+			sv.ub[j] = u
+		} else {
+			sv.ub[j] = math.Inf(1)
+		}
 	}
 
 	slackAt, artAt := n, n+nSlack
-	artCols := make([]int, 0, nArt)
-	for i, r := range rows {
-		copy(t.a[i], r.coef)
-		t.a[i][total] = r.rhs
-		switch r.sense {
+	sv.artCols = sv.artCols[:0]
+	for i := 0; i < m; i++ {
+		copy(sv.a[i], sv.rowCoef[i*n:(i+1)*n])
+		sv.a[i][total] = sv.rowRHS[i]
+		switch sv.rowSense[i] {
 		case LE:
-			t.a[i][slackAt] = 1
-			t.basis[i] = slackAt
+			sv.a[i][slackAt] = 1
+			sv.basis[i] = slackAt
 			slackAt++
 		case GE:
-			t.a[i][slackAt] = -1
+			sv.a[i][slackAt] = -1
 			slackAt++
-			t.a[i][artAt] = 1
-			t.basis[i] = artAt
-			artCols = append(artCols, artAt)
+			sv.a[i][artAt] = 1
+			sv.basis[i] = artAt
+			sv.artCols = append(sv.artCols, artAt)
 			artAt++
 		case EQ:
-			t.a[i][artAt] = 1
-			t.basis[i] = artAt
-			artCols = append(artCols, artAt)
+			sv.a[i][artAt] = 1
+			sv.basis[i] = artAt
+			sv.artCols = append(sv.artCols, artAt)
 			artAt++
 		}
 	}
 
-	sol := &Solution{}
-
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		phase1 := t.a[m]
-		for j := range phase1 {
-			phase1[j] = 0
-		}
-		for _, c := range artCols {
+		phase1 := sv.a[m]
+		for _, c := range sv.artCols {
 			phase1[c] = 1
 		}
 		// Price out the basic artificials.
 		for i := 0; i < m; i++ {
-			if t.a[m][t.basis[i]] != 0 {
-				t.subtractRow(m, i, t.a[m][t.basis[i]])
+			if sv.a[m][sv.basis[i]] != 0 {
+				sv.subtractRow(m, i, sv.a[m][sv.basis[i]])
 			}
 		}
-		status, err := t.iterate(&sol.Pivots)
+		status, err := sv.iterate(&sol.Pivots)
 		if err != nil {
 			return nil, err
 		}
@@ -230,48 +348,52 @@ func Solve(p *Problem) (*Solution, error) {
 			// Phase-1 objective is bounded below by 0; unbounded means a bug.
 			return nil, errors.New("lp: phase-1 reported unbounded")
 		}
-		if -t.a[m][total] > 1e-7 {
+		if -sv.a[m][total] > 1e-7 {
 			sol.Status = Infeasible
 			return sol, nil
 		}
 		// Drive any lingering artificials out of the basis.
 		for i := 0; i < m; i++ {
-			if t.basis[i] < n+nSlack {
+			if sv.basis[i] < n+nSlack {
 				continue
 			}
-			pivoted := false
 			for j := 0; j < n+nSlack; j++ {
-				if math.Abs(t.a[i][j]) > eps {
-					t.pivot(i, j)
-					pivoted = true
+				if math.Abs(sv.a[i][j]) > eps {
+					sv.pivot(i, j)
 					break
 				}
 			}
-			if !pivoted {
-				// Redundant row: harmless, artificial stays basic at 0.
-				_ = pivoted
-			}
+			// A redundant row is harmless: its artificial stays basic at 0.
 		}
 		// Blank artificial columns so they can never re-enter.
-		for _, c := range artCols {
+		for _, c := range sv.artCols {
 			for i := 0; i <= m; i++ {
-				t.a[i][c] = 0
+				sv.a[i][c] = 0
 			}
+			sv.ub[c] = 0
 		}
 	}
 
-	// Phase 2: restore the real objective and price out the basis.
-	objRow := t.a[m]
+	// Phase 2: restore the real objective in shifted/flipped space and price
+	// out the basis. The objective row's RHS cell tracks only the varying
+	// part; the true objective is recomputed as c·x on extraction.
+	objRow := sv.a[m]
 	for j := range objRow {
 		objRow[j] = 0
 	}
-	copy(objRow, p.C)
-	for i := 0; i < m; i++ {
-		if c := t.a[m][t.basis[i]]; c != 0 {
-			t.subtractRow(m, i, c)
+	for j := 0; j < n; j++ {
+		if sv.flip[j] {
+			objRow[j] = -p.C[j]
+		} else {
+			objRow[j] = p.C[j]
 		}
 	}
-	status, err := t.iterate(&sol.Pivots)
+	for i := 0; i < m; i++ {
+		if c := sv.a[m][sv.basis[i]]; c != 0 {
+			sv.subtractRow(m, i, c)
+		}
+	}
+	status, err := sv.iterate(&sol.Pivots)
 	if err != nil {
 		return nil, err
 	}
@@ -280,64 +402,117 @@ func Solve(p *Problem) (*Solution, error) {
 		return sol, nil
 	}
 
+	// Extract: basic variables read the RHS column, nonbasic sit at zero;
+	// un-substitute flips and un-shift lower bounds.
 	sol.Status = Optimal
-	sol.X = make([]float64, p.NumVars)
+	sol.X = make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := 0.0
+		if sv.flip[j] {
+			v = sv.ub[j]
+		}
+		sol.X[j] = sv.lo[j] + v
+	}
 	for i := 0; i < m; i++ {
-		if t.basis[i] < p.NumVars {
-			sol.X[t.basis[i]] = t.a[i][total]
+		if j := sv.basis[i]; j < n {
+			v := sv.a[i][total]
+			if sv.flip[j] {
+				v = sv.ub[j] - v
+			}
+			sol.X[j] = sv.lo[j] + v
 		}
 	}
-	sol.Objective = -t.a[m][total]
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * sol.X[j]
+	}
+	sol.Objective = obj
 	return sol, nil
 }
 
 // subtractRow does a[target] -= factor * a[row], including the RHS.
-func (t *tableau) subtractRow(target, row int, factor float64) {
-	tr, sr := t.a[target], t.a[row]
-	for j := 0; j <= t.n; j++ {
+func (sv *Solver) subtractRow(target, row int, factor float64) {
+	tr, sr := sv.a[target], sv.a[row]
+	for j := 0; j <= sv.n; j++ {
 		tr[j] -= factor * sr[j]
 	}
 }
 
 // pivot makes column col basic in row row.
-func (t *tableau) pivot(row, col int) {
-	pr := t.a[row]
+func (sv *Solver) pivot(row, col int) {
+	pr := sv.a[row]
 	pv := pr[col]
-	for j := 0; j <= t.n; j++ {
+	for j := 0; j <= sv.n; j++ {
 		pr[j] /= pv
 	}
 	pr[col] = 1 // exact
-	for i := 0; i <= t.m; i++ {
+	for i := 0; i <= sv.m; i++ {
 		if i == row {
 			continue
 		}
-		if f := t.a[i][col]; math.Abs(f) > 0 {
-			t.subtractRow(i, row, f)
-			t.a[i][col] = 0 // exact
+		if f := sv.a[i][col]; math.Abs(f) > 0 {
+			sv.subtractRow(i, row, f)
+			sv.a[i][col] = 0 // exact
 		}
 	}
-	t.basis[row] = col
+	sv.basis[row] = col
+}
+
+// flipColumn re-substitutes column col between x̃ and u−x̃: the RHS column
+// absorbs u·a[i][col] and the column negates, moving the nonbasic variable
+// from one bound to the other without a pivot.
+func (sv *Solver) flipColumn(col int) {
+	u := sv.ub[col]
+	for i := 0; i <= sv.m; i++ {
+		if c := sv.a[i][col]; c != 0 {
+			sv.a[i][sv.n] -= c * u
+			sv.a[i][col] = -c
+		}
+	}
+	sv.flip[col] = !sv.flip[col]
+}
+
+// flipLeavingRow substitutes the basic variable of row r by its
+// upper-bound complement before a pivot in which it leaves at its upper
+// bound: the whole row negates (its own unit coefficient restored to +1)
+// and the RHS becomes u − rhs, so the standard pivot arithmetic applies.
+func (sv *Solver) flipLeavingRow(r int) {
+	l := sv.basis[r]
+	u := sv.ub[l]
+	row := sv.a[r]
+	for j := 0; j <= sv.n; j++ {
+		row[j] = -row[j]
+	}
+	row[l] = 1
+	row[sv.n] += u
+	sv.flip[l] = !sv.flip[l]
 }
 
 // iterate runs primal simplex to optimality, unboundedness or the pivot cap.
-// Dantzig pricing with a fallback to Bland's rule after a stall threshold
-// prevents cycling on degenerate schedules.
-func (t *tableau) iterate(pivots *int) (Status, error) {
+//
+// Anti-cycling: Dantzig pricing (most negative reduced cost) is used while
+// the objective makes progress; after 2(m+n) stalled iterations the pricing
+// falls back to Bland's rule (first eligible column, smallest basis index on
+// ratio-test ties), which provably terminates on degenerate tableaus. Bound
+// flips move a variable by its full range u > 0 and are therefore never
+// degenerate, so Bland's argument carries over to the bounded simplex.
+func (sv *Solver) iterate(pivots *int) (Status, error) {
 	stall := 0
 	lastObj := math.Inf(1)
 	for {
 		if *pivots >= maxPivots {
 			return Optimal, ErrPivotLimit
 		}
-		bland := stall > 2*(t.m+t.n)
+		bland := stall > 2*(sv.m+sv.n)
 
 		// Entering column: most negative reduced cost (Dantzig) or first
-		// negative (Bland).
+		// negative (Bland). Columns with an empty range (fixed variables,
+		// blanked artificials) can never move and are skipped.
 		col := -1
 		best := -eps
-		for j := 0; j < t.n; j++ {
-			rc := t.a[t.m][j]
-			if rc < -eps {
+		for j := 0; j < sv.n; j++ {
+			rc := sv.a[sv.m][j]
+			if rc < -eps && sv.ub[j] > eps {
 				if bland {
 					col = j
 					break
@@ -351,27 +526,49 @@ func (t *tableau) iterate(pivots *int) (Status, error) {
 			return Optimal, nil
 		}
 
-		// Leaving row: ratio test; Bland tie-break on basis index.
+		// Ratio test over three limits: a basic variable reaching its lower
+		// bound (a>0), a basic variable reaching its finite upper bound
+		// (a<0), or the entering variable reaching its own upper bound.
+		// Bland tie-break on basis index among rows; the entering variable's
+		// own bound wins near-ties (a flip is cheaper than a pivot and
+		// strictly advances).
 		row := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			aij := t.a[i][col]
+		leaveAtUpper := false
+		bestRatio := sv.ub[col]
+		for i := 0; i < sv.m; i++ {
+			aij := sv.a[i][col]
 			if aij > eps {
-				ratio := t.a[i][t.n] / aij
+				ratio := sv.a[i][sv.n] / aij
 				if ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && (row == -1 || t.basis[i] < t.basis[row])) {
-					bestRatio, row = ratio, i
+					(ratio < bestRatio+eps && row != -1 && sv.basis[i] < sv.basis[row]) {
+					bestRatio, row, leaveAtUpper = ratio, i, false
+				}
+			} else if aij < -eps {
+				ubB := sv.ub[sv.basis[i]]
+				if math.IsInf(ubB, 1) {
+					continue
+				}
+				ratio := (ubB - sv.a[i][sv.n]) / -aij
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && row != -1 && sv.basis[i] < sv.basis[row]) {
+					bestRatio, row, leaveAtUpper = ratio, i, true
 				}
 			}
 		}
 		if row == -1 {
-			return Unbounded, nil
+			if math.IsInf(bestRatio, 1) {
+				return Unbounded, nil
+			}
+			sv.flipColumn(col)
+		} else {
+			if leaveAtUpper {
+				sv.flipLeavingRow(row)
+			}
+			sv.pivot(row, col)
 		}
-
-		t.pivot(row, col)
 		*pivots++
 
-		obj := -t.a[t.m][t.n]
+		obj := -sv.a[sv.m][sv.n]
 		if obj < lastObj-eps {
 			stall = 0
 			lastObj = obj
@@ -379,4 +576,19 @@ func (t *tableau) iterate(pivots *int) (Status, error) {
 			stall++
 		}
 	}
+}
+
+// resize returns s with length n, reusing capacity.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -27,15 +28,14 @@ func BuildModeILP(s *task.Set, order []task.Job) *ilp.Problem {
 		tk := s.Task(j.TaskID)
 		e := tk.MeanError()
 		p.LP.C[k] = e
-		p.SetInteger(k)
-		p.LP.AddBound(k, lp.LE, 1, fmt.Sprintf("y%d<=1", k))
+		p.SetBinary(k)
 
 		w := float64(tk.WCETAccurate)
 		x := float64(tk.WCETImprecise)
 		sVar := m + k
 
-		// s_k >= r_k
-		p.LP.AddBound(sVar, lp.GE, float64(j.Release), fmt.Sprintf("rel%d", k))
+		// s_k >= r_k (native lower bound; no tableau row)
+		p.LP.SetBounds(sVar, float64(j.Release), math.Inf(1))
 		// s_k + w + (x-w) y_k <= d_k
 		coef := make([]float64, 2*m)
 		coef[sVar] = 1
@@ -53,14 +53,55 @@ func BuildModeILP(s *task.Set, order []task.Job) *ilp.Problem {
 	return p
 }
 
+// BuildModeILPRowBounds builds the same §IV-A program as BuildModeILP with
+// every variable bound spelled as a dense constraint row (y_k ≤ 1,
+// s_k ≥ r_k) instead of a native simplex bound — the pre-bounded-simplex
+// formulation. It is retained as the baseline for differential tests and
+// the solver benchmarks; combined with ilp.Options.DenseRowBounds and
+// DisableHeuristic it reproduces the historical solver stack exactly.
+func BuildModeILPRowBounds(s *task.Set, order []task.Job) *ilp.Problem {
+	m := len(order)
+	p := ilp.NewProblem(2 * m)
+	for k, j := range order {
+		tk := s.Task(j.TaskID)
+		p.LP.C[k] = tk.MeanError()
+		p.SetInteger(k)
+		p.LP.AddBound(k, lp.LE, 1, fmt.Sprintf("bin%d", k))
+
+		w := float64(tk.WCETAccurate)
+		x := float64(tk.WCETImprecise)
+		sVar := m + k
+
+		p.LP.AddBound(sVar, lp.GE, float64(j.Release), fmt.Sprintf("rel%d", k))
+		coef := make([]float64, 2*m)
+		coef[sVar] = 1
+		coef[k] = x - w
+		p.LP.AddConstraint(coef, lp.LE, float64(j.Deadline)-w, fmt.Sprintf("dl%d", k))
+		if k+1 < m {
+			chain := make([]float64, 2*m)
+			chain[m+k+1] = 1
+			chain[sVar] = -1
+			chain[k] = -(x - w)
+			p.LP.AddConstraint(chain, lp.GE, w, fmt.Sprintf("chain%d", k))
+		}
+	}
+	return p
+}
+
 // SolveModeILP solves the order-fixed MILP and lays out the schedule at
 // ASAP starts. It exists to honour the paper's ILP formulation end-to-end;
 // OptimizeModes computes the same optimum faster and is the default in the
 // experiment harness (results are cross-checked in tests). maxNodes and
 // timeLimit bound the branch-and-bound (zero means solver defaults).
 func SolveModeILP(s *task.Set, order []task.Job, maxNodes int, timeLimit time.Duration) (*Schedule, error) {
+	return SolveModeILPOpt(s, order, ilp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit})
+}
+
+// SolveModeILPOpt is SolveModeILP with full control over the
+// branch-and-bound (worker pool, budgets, bound encoding).
+func SolveModeILPOpt(s *task.Set, order []task.Job, opt ilp.Options) (*Schedule, error) {
 	p := BuildModeILP(s, order)
-	sol, err := ilp.Solve(p, ilp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit})
+	sol, err := ilp.Solve(p, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -110,11 +151,10 @@ func BuildFullILP(s *task.Set, jobs []task.Job) *ilp.Problem {
 	for k, j := range jobs {
 		tk := s.Task(j.TaskID)
 		p.LP.C[k] = tk.MeanError()
-		p.SetInteger(k)
-		p.LP.AddBound(k, lp.LE, 1, fmt.Sprintf("y%d<=1", k))
+		p.SetBinary(k)
 		w, x := dur(k)
 		sVar := m + k
-		p.LP.AddBound(sVar, lp.GE, float64(j.Release), fmt.Sprintf("rel%d", k))
+		p.LP.SetBounds(sVar, float64(j.Release), math.Inf(1))
 		coef := make([]float64, p.LP.NumVars)
 		coef[sVar] = 1
 		coef[k] = x - w
@@ -124,8 +164,7 @@ func BuildFullILP(s *task.Set, jobs []task.Job) *ilp.Problem {
 	for a := 0; a < m; a++ {
 		for b := a + 1; b < m; b++ {
 			z := pairVar(a, b)
-			p.SetInteger(z)
-			p.LP.AddBound(z, lp.LE, 1, fmt.Sprintf("z%d_%d<=1", a, b))
+			p.SetBinary(z)
 			wa, xa := dur(a)
 			wb, xb := dur(b)
 			// a before b (z=1): s_b >= s_a + dur_a − M(1−z)
@@ -153,8 +192,13 @@ func BuildFullILP(s *task.Set, jobs []task.Job) *ilp.Problem {
 // SolveFullILP solves the order-free model on small instances and returns
 // the schedule in solver-chosen execution order.
 func SolveFullILP(s *task.Set, jobs []task.Job, maxNodes int, timeLimit time.Duration) (*Schedule, error) {
+	return SolveFullILPOpt(s, jobs, ilp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit})
+}
+
+// SolveFullILPOpt is SolveFullILP with full branch-and-bound options.
+func SolveFullILPOpt(s *task.Set, jobs []task.Job, opt ilp.Options) (*Schedule, error) {
 	p := BuildFullILP(s, jobs)
-	sol, err := ilp.Solve(p, ilp.Options{MaxNodes: maxNodes, TimeLimit: timeLimit})
+	sol, err := ilp.Solve(p, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run the solver-stack benchmarks (offline ILP branch-and-bound, DP(C)
+# state hashing, dispatch engine) and emit a JSON report via cmd/benchjson.
+#
+# usage: scripts/bench_ilp.sh [out.json] [benchtime]
+#
+#   out.json   output path                 (default: BENCH_ILP.json)
+#   benchtime  go test -benchtime value    (default: 1x — a smoke run;
+#              use e.g. 3x or 2s for a stable baseline)
+#
+# The node-budgeted ILP benchmarks explore an identical search tree in
+# every configuration, so ns/op ratios are meaningful even at -benchtime 1x.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ILP.json}"
+benchtime="${2:-1x}"
+
+go test -run xxx \
+  -bench 'BenchmarkILPOffline|BenchmarkCumulativeDP|BenchmarkEngineDispatch|BenchmarkOptimizeModes' \
+  -benchmem -benchtime "$benchtime" . ./internal/cumulative/ \
+  | go run ./cmd/benchjson -out "$out"
+
+echo "wrote $out" >&2
