@@ -210,6 +210,20 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 		return writeCSV(csvDir, "ilp.json", func(f *os.File) error {
 			return experiments.WriteJSON(f, rows)
 		})
+	case "faults":
+		r, err := experiments.FaultSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFaults(r))
+		if err := writeCSV(csvDir, "faults.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, r)
+		}); err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "faults.csv", func(f *os.File) error {
+			return experiments.WriteFaultsCSV(f, r)
+		})
 	case "energy":
 		rows, err := experiments.Energy("Rnd8", cfg)
 		if err != nil {
@@ -242,7 +256,9 @@ artifacts:
   energy   busy-time (energy) versus error tradeoff per method
   robustness  Table II normalized ordering across seeds
   ilp      offline mode-ILP solver bench (fixed node budget, per-case timing)
-  all      everything above (except ilp)
+  faults   overrun-containment fault sweep (miss rate and error vs. overrun
+           probability/magnitude per containment policy)
+  all      everything above (except ilp and faults)
 
 -parallel fans independent per-case simulations over all CPUs (the default
 on multi-core machines); outputs are bit-identical to a serial run.

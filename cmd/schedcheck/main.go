@@ -8,6 +8,13 @@
 //	schedcheck -case Rnd7
 //	schedcheck -file tasks.json
 //	schedcheck -list
+//
+// Exit codes (for scripting):
+//
+//	0  the set is imprecise-mode schedulable
+//	1  internal error
+//	2  invalid input (unknown case, unreadable or malformed task file)
+//	3  the input is valid but not imprecise-mode schedulable
 package main
 
 import (
@@ -23,26 +30,43 @@ import (
 	"nprt/internal/workload"
 )
 
+const (
+	exitOK            = 0
+	exitInternal      = 1
+	exitInvalidInput  = 2
+	exitUnschedulable = 3
+)
+
 func main() {
-	caseName := flag.String("case", "", "built-in testcase name (Rnd1..Rnd13, IDCT, Newton)")
-	file := flag.String("file", "", "JSON task-set file (array of Task objects)")
-	list := flag.Bool("list", false, "list built-in testcases")
-	verbose := flag.Bool("v", false, "print condition-2 violations")
-	flag.Parse()
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
+	caseName := fs.String("case", "", "built-in testcase name (Rnd1..Rnd13, IDCT, Newton)")
+	file := fs.String("file", "", "JSON task-set file (array of Task objects)")
+	list := fs.Bool("list", false, "list built-in testcases")
+	verbose := fs.Bool("v", false, "print condition-2 violations")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitInvalidInput
+	}
 
 	if *list {
-		listCases()
-		return
+		return listCases()
 	}
 	s, err := loadSet(*caseName, *file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedcheck:", err)
-		os.Exit(1)
+		return exitInvalidInput
 	}
 
 	fmt.Print(s.String())
+	schedulable := false
 	for _, m := range []task.Mode{task.Accurate, task.Imprecise} {
 		rep := nprt.CheckSchedulability(s, m)
+		if m == task.Imprecise {
+			schedulable = rep.Schedulable
+		}
 		fmt.Printf("\n%s mode: schedulable=%v utilization=%.4f γ_util=%.4f γ_min=%.4f\n",
 			m, rep.Schedulable, rep.Utilization, rep.GammaUtil, rep.GammaMin)
 		if rep.ArgMinTask >= 0 {
@@ -67,6 +91,10 @@ func main() {
 	for i := 0; i < s.Len(); i++ {
 		fmt.Printf("  %-16s ψ=%d\n", s.Task(i).Name, slacks[i])
 	}
+	if !schedulable {
+		return exitUnschedulable
+	}
+	return exitOK
 }
 
 func loadSet(caseName, file string) (*nprt.TaskSet, error) {
@@ -76,16 +104,23 @@ func loadSet(caseName, file string) (*nprt.TaskSet, error) {
 	return cli.LoadSet(caseName, file)
 }
 
-func listCases() {
+func listCases() int {
 	cases, err := workload.CachedCases()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedcheck:", err)
-		os.Exit(1)
+		return exitInternal
 	}
 	for _, c := range cases {
-		s := c.MustSet()
+		s, err := c.Set()
+		if err != nil {
+			// A broken built-in table is a bug in this repository, not in
+			// the user's input.
+			fmt.Fprintf(os.Stderr, "schedcheck: built-in case %s: %v\n", c.Name, err)
+			return exitInternal
+		}
 		fmt.Printf("%-7s %2d tasks  U_acc=%.2f  %3d jobs/P\n",
 			c.Name, s.Len(), s.UtilizationAccurate(), s.JobsPerHyperperiod())
 	}
 	fmt.Println("Newton  3 tasks  (prototype case, §VI-B)")
+	return exitOK
 }

@@ -5,6 +5,7 @@ package nprt_test
 // toolchain on PATH (always true under `go test`).
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -55,6 +56,54 @@ func TestE2ESchedcheck(t *testing.T) {
 	}
 	if _, err = runTool(t, "schedcheck", "-case", "nope"); err == nil {
 		t.Error("unknown case accepted")
+	}
+}
+
+// exitCode runs a tool and reports the process exit code (0 on success).
+func exitCode(t *testing.T, name string, args ...string) (int, string) {
+	t.Helper()
+	out, err := runTool(t, name, args...)
+	if err == nil {
+		return 0, out
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return ee.ExitCode(), out
+}
+
+// TestE2ESchedcheckExitCodes pins the scripting contract: 0 for an
+// imprecise-schedulable set, 2 for invalid input, 3 for a valid but
+// unschedulable set.
+func TestE2ESchedcheckExitCodes(t *testing.T) {
+	if code, out := exitCode(t, "schedcheck", "-case", "Rnd5"); code != 0 {
+		t.Errorf("Rnd5 exit %d, want 0\n%s", code, out)
+	}
+	// Rnd2 is not schedulable even in imprecise mode (Table I): the report
+	// still prints, but the exit code says unschedulable.
+	code, out := exitCode(t, "schedcheck", "-case", "Rnd2")
+	if code != 3 {
+		t.Errorf("Rnd2 exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "imprecise mode: schedulable=false") {
+		t.Errorf("Rnd2 report missing verdict:\n%s", out)
+	}
+	if code, out := exitCode(t, "schedcheck", "-case", "nope"); code != 2 {
+		t.Errorf("unknown case exit %d, want 2\n%s", code, out)
+	}
+	if code, out := exitCode(t, "schedcheck", "-file", "/no/such/file.json"); code != 2 {
+		t.Errorf("missing file exit %d, want 2\n%s", code, out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"a task array"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, "schedcheck", "-file", bad); code != 2 {
+		t.Errorf("malformed JSON exit %d, want 2\n%s", code, out)
+	}
+	if code, out := exitCode(t, "schedcheck"); code != 2 {
+		t.Errorf("no-args exit %d, want 2\n%s", code, out)
 	}
 }
 

@@ -1,0 +1,133 @@
+package esr
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// TestSporadicZeroJitterKeepsGuarantee: with an all-zero jitter distribution
+// the sporadic engine is the periodic engine, so the Theorem-1 guarantee
+// carries over verbatim — EDF+ESR misses nothing on an imprecise-feasible
+// set, and the runs are bit-identical.
+func TestSporadicZeroJitterKeepsGuarantee(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	cfg := func(jit sim.JitterSampler) sim.Config {
+		return sim.Config{
+			Hyperperiods: 100,
+			Sampler:      sim.NewRandomSampler(s, 11),
+			TraceLimit:   -1,
+			Jitter:       jit,
+		}
+	}
+	periodic, err := sim.Run(s, New(), cfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sporadic, err := sim.Run(s, New(), cfg(sim.NewRandomJitter(s, make([]task.Dist, s.Len()), 11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sporadic.Misses.Events != 0 {
+		t.Errorf("zero-jitter sporadic run missed %d deadlines", sporadic.Misses.Events)
+	}
+	if periodic.Jobs != sporadic.Jobs || periodic.MeanError() != sporadic.MeanError() {
+		t.Errorf("zero-jitter run diverged from periodic: jobs %d/%d error %g/%g",
+			periodic.Jobs, sporadic.Jobs, periodic.MeanError(), sporadic.MeanError())
+	}
+	for i := range periodic.Trace.Entries {
+		if periodic.Trace.Entries[i] != sporadic.Trace.Entries[i] {
+			t.Fatalf("trace entry %d differs under zero jitter", i)
+		}
+	}
+}
+
+// TestSporadicJitterKeepsGuarantee: release jitter only delays work (the
+// period stays the minimum inter-release separation and each deadline moves
+// with its release), so a jittered arrival sequence is no denser than the
+// periodic one Theorem 1 certifies. EDF+ESR must therefore stay miss-free on
+// an imprecise-feasible set even under aggressive jitter, and every executed
+// window must still be exactly one period long.
+func TestSporadicJitterKeepsGuarantee(t *testing.T) {
+	s := impreciseFeasibleSet(t)
+	if !feasibility.Schedulable(s, task.Imprecise) {
+		t.Fatal("premise: set must be imprecise-feasible")
+	}
+	dists := []task.Dist{
+		{Mean: 4, Sigma: 3, Min: 0, Max: 10},
+		{Mean: 8, Sigma: 5, Min: 0, Max: 20},
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		res, err := sim.Run(s, New(), sim.Config{
+			Hyperperiods: 100,
+			Sampler:      sim.NewRandomSampler(s, seed),
+			Jitter:       sim.NewRandomJitter(s, dists, seed),
+			TraceLimit:   -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses.Events != 0 {
+			t.Errorf("seed %d: EDF+ESR missed %d/%d deadlines under jitter",
+				seed, res.Misses.Events, res.Jobs)
+		}
+		if vs := trace.Validate(res.Trace, trace.Options{
+			RequireDeadlines: true, WCETBounds: true, Set: s,
+		}); len(vs) != 0 {
+			t.Errorf("seed %d: trace violations: %v", seed, vs[0])
+		}
+		for _, e := range res.Trace.Entries {
+			if e.Job.Deadline-e.Job.Release != s.Task(e.Job.TaskID).Period {
+				t.Fatalf("seed %d: job %v window is not one period", seed, e.Job)
+			}
+		}
+	}
+}
+
+// TestSporadicOverloadMissesAttributed: when the premise fails (the set is
+// not imprecise-feasible) the guarantee does not hold — the engine must then
+// count every late completion, and the trace must agree with the aggregate.
+func TestSporadicOverloadMissesAttributed(t *testing.T) {
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 10, WCETAccurate: 9, WCETImprecise: 7,
+			Error: task.Dist{Mean: 2}},
+		task.Task{Name: "b", Period: 20, WCETAccurate: 12, WCETImprecise: 9,
+			Error: task.Dist{Mean: 4}},
+	)
+	if feasibility.Schedulable(s, task.Imprecise) {
+		t.Fatal("premise: overload set must not be imprecise-feasible")
+	}
+	dists := []task.Dist{{Mean: 2, Sigma: 1, Min: 0, Max: 5}, {Mean: 3, Sigma: 2, Min: 0, Max: 8}}
+	res, err := sim.Run(s, New(), sim.Config{
+		Hyperperiods: 50,
+		Sampler:      sim.NewRandomSampler(s, 3),
+		Jitter:       sim.NewRandomJitter(s, dists, 3),
+		TraceLimit:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses.Events == 0 {
+		t.Fatal("overloaded sporadic set shows no misses; premise broken")
+	}
+	if got := int64(res.Trace.DeadlineMisses()); got != res.Misses.Events {
+		t.Errorf("aggregate misses %d disagree with trace misses %d", res.Misses.Events, got)
+	}
+	// Attribution: per-task late entries in the trace account for every miss.
+	perTask := make([]int64, s.Len())
+	for _, e := range res.Trace.Entries {
+		if e.Finish > e.Job.Deadline {
+			perTask[e.Job.TaskID]++
+		}
+	}
+	var sum int64
+	for _, n := range perTask {
+		sum += n
+	}
+	if sum != res.Misses.Events {
+		t.Errorf("per-task misses sum to %d, want %d", sum, res.Misses.Events)
+	}
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nprt/internal/sim"
+	"nprt/internal/workload"
+)
+
+// The fault sweep measures what the rest of the reproduction assumes away:
+// jobs that violate their declared WCET on a non-preemptive uniprocessor.
+// For each Table I case it injects seeded overruns at a grid of
+// probabilities and magnitudes and compares the engine's containment
+// policies by miss rate, cascaded (collateral) misses and mean error.
+
+// FaultSweepMethods are the scheduling methods the sweep subjects to faults:
+// the reactive online method and the offline-planned one (whose OA policy
+// must also survive dropped releases).
+var FaultSweepMethods = []string{"EDF+ESR", "Flipped EDF"}
+
+// FaultProbs is the default overrun-probability grid (0 is the sanity
+// anchor: no faults, no cascades).
+var FaultProbs = []float64{0, 0.02, 0.05, 0.1, 0.2}
+
+// FaultFactors is the default overrun-magnitude grid (execution reaches
+// factor × declared WCET). The grid starts at 2× — below that the per-event
+// excess on the small-WCET Table I tasks is a time unit or two, which
+// sampling noise swamps; at 2× and above the containment ordering is stable.
+var FaultFactors = []float64{2.0, 3.0}
+
+// FaultRow is one (case, method, containment, probability, magnitude) cell
+// of the sweep.
+type FaultRow struct {
+	Case          string  `json:"case"`
+	Method        string  `json:"method"`
+	Containment   string  `json:"containment"`
+	OverrunProb   float64 `json:"overrun_prob"`
+	OverrunFactor float64 `json:"overrun_factor"`
+	Jobs          int64   `json:"jobs"`
+	Misses        int64   `json:"misses"`
+	MissPct       float64 `json:"miss_pct"`
+	MeanError     float64 `json:"mean_error"`
+
+	Overruns       int64 `json:"overruns"`
+	WatchdogKills  int64 `json:"watchdog_kills"`
+	Downgrades     int64 `json:"downgrades"`
+	FaultedMisses  int64 `json:"faulted_misses"`
+	CascadedMisses int64 `json:"cascaded_misses"`
+	OverrunTime    int64 `json:"overrun_time"`
+}
+
+// FaultSummary aggregates one (probability, magnitude, containment) point
+// across all cases and methods — the curve the sweep exists to plot.
+type FaultSummary struct {
+	OverrunProb    float64 `json:"overrun_prob"`
+	OverrunFactor  float64 `json:"overrun_factor"`
+	Containment    string  `json:"containment"`
+	Jobs           int64   `json:"jobs"`
+	MissPct        float64 `json:"miss_pct"`
+	MeanError      float64 `json:"mean_error"`
+	CascadedMisses int64   `json:"cascaded_misses"`
+	FaultedMisses  int64   `json:"faulted_misses"`
+}
+
+// FaultSweepResult is the full artifact.
+type FaultSweepResult struct {
+	Hyperperiods int            `json:"hyperperiods"`
+	Seed         uint64         `json:"seed"`
+	Rows         []FaultRow     `json:"rows"`
+	Summary      []FaultSummary `json:"summary"`
+}
+
+// FaultSweep runs the containment comparison over the Table I suite. Fault
+// scenarios are functions of (seed, job identity) only, so at a grid point
+// every containment policy and method faces the identical faults; the grid
+// fans out over the worker pool when cfg.Parallel is set and the artifact is
+// bit-identical either way.
+func FaultSweep(cfg Config) (*FaultSweepResult, error) {
+	cfg = cfg.withDefaults()
+	cases, err := workload.CachedCases()
+	if err != nil {
+		return nil, err
+	}
+	conts := sim.Containments()
+
+	type cell struct {
+		row FaultRow
+		err error
+	}
+	// Grid order (outer→inner): case, method, factor, prob, containment.
+	nC, nM, nF, nP, nK := len(cases), len(FaultSweepMethods), len(FaultFactors), len(FaultProbs), len(conts)
+	grid := make([]cell, nC*nM*nF*nP*nK)
+	forEachIndex(len(grid), cfg.Parallel, func(idx int) {
+		k := idx
+		ki := k % nK
+		k /= nK
+		pi := k % nP
+		k /= nP
+		fi := k % nF
+		k /= nF
+		mi := k % nM
+		ci := k / nM
+
+		c, method, cont := cases[ci], FaultSweepMethods[mi], conts[ki]
+		prob, factor := FaultProbs[pi], FaultFactors[fi]
+		s, err := c.Set()
+		if err != nil {
+			grid[idx].err = err
+			return
+		}
+		p, err := buildPolicy(method, s)
+		if err != nil {
+			grid[idx].err = fmt.Errorf("%s/%s: %w", c.Name, method, err)
+			return
+		}
+		res, err := sim.Run(s, p, sim.Config{
+			Hyperperiods: cfg.Hyperperiods,
+			Sampler:      sim.NewRandomSampler(s, cfg.Seed),
+			Faults:       sim.NewFaultPlan(cfg.Seed, sim.FaultRates{OverrunProb: prob, OverrunFactor: factor}),
+			Containment:  cont,
+		})
+		if err != nil {
+			grid[idx].err = fmt.Errorf("%s/%s/%s p=%g: %w", c.Name, method, cont, prob, err)
+			return
+		}
+		ft := res.Faults.Total
+		grid[idx].row = FaultRow{
+			Case:          c.Name,
+			Method:        method,
+			Containment:   cont.String(),
+			OverrunProb:   prob,
+			OverrunFactor: factor,
+			Jobs:          res.Jobs,
+			Misses:        res.Misses.Events,
+			MissPct:       res.MissPercent(),
+			MeanError:     res.MeanError(),
+
+			Overruns:       ft.Overruns,
+			WatchdogKills:  ft.WatchdogKills,
+			Downgrades:     ft.Downgrades,
+			FaultedMisses:  ft.FaultedMisses,
+			CascadedMisses: ft.CascadedMisses,
+			OverrunTime:    int64(res.Faults.OverrunTime),
+		}
+	})
+
+	out := &FaultSweepResult{Hyperperiods: cfg.Hyperperiods, Seed: cfg.Seed}
+	for i := range grid {
+		if grid[i].err != nil {
+			return nil, grid[i].err
+		}
+		out.Rows = append(out.Rows, grid[i].row)
+	}
+
+	// Summaries in (factor, prob, containment) presentation order.
+	type aggKey struct {
+		fi, pi, ki int
+	}
+	agg := map[aggKey]*struct {
+		jobs, misses, casc, faulted int64
+		errSum                      float64
+	}{}
+	for i, c := range grid {
+		k := i
+		ki := k % nK
+		k /= nK
+		pi := k % nP
+		k /= nP
+		fi := k % nF
+		a := agg[aggKey{fi, pi, ki}]
+		if a == nil {
+			a = &struct {
+				jobs, misses, casc, faulted int64
+				errSum                      float64
+			}{}
+			agg[aggKey{fi, pi, ki}] = a
+		}
+		a.jobs += c.row.Jobs
+		a.misses += c.row.Misses
+		a.casc += c.row.CascadedMisses
+		a.faulted += c.row.FaultedMisses
+		a.errSum += c.row.MeanError * float64(c.row.Jobs)
+	}
+	for fi := range FaultFactors {
+		for pi := range FaultProbs {
+			for ki, cont := range conts {
+				a := agg[aggKey{fi, pi, ki}]
+				sum := FaultSummary{
+					OverrunProb:    FaultProbs[pi],
+					OverrunFactor:  FaultFactors[fi],
+					Containment:    cont.String(),
+					Jobs:           a.jobs,
+					CascadedMisses: a.casc,
+					FaultedMisses:  a.faulted,
+				}
+				if a.jobs > 0 {
+					sum.MissPct = 100 * float64(a.misses) / float64(a.jobs)
+					sum.MeanError = a.errSum / float64(a.jobs)
+				}
+				out.Summary = append(out.Summary, sum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFaults renders the sweep's summary table.
+func FormatFaults(r *FaultSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAULT SWEEP. OVERRUN CONTAINMENT ACROSS THE TABLE I SUITE (%d hyper-periods, seed %d)\n",
+		r.Hyperperiods, r.Seed)
+	fmt.Fprintf(&b, "%-8s %6s %-22s %10s %12s %10s %10s\n",
+		"factor", "prob", "containment", "miss%", "mean-error", "cascaded", "faulted")
+	for _, s := range r.Summary {
+		fmt.Fprintf(&b, "%-8.2f %6.2f %-22s %9.2f%% %12.4f %10d %10d\n",
+			s.OverrunFactor, s.OverrunProb, s.Containment,
+			s.MissPct, s.MeanError, s.CascadedMisses, s.FaultedMisses)
+	}
+	return b.String()
+}
+
+// WriteFaultsCSV emits the per-cell rows for plotting pipelines.
+func WriteFaultsCSV(w io.Writer, r *FaultSweepResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "method", "containment", "overrun_prob",
+		"overrun_factor", "jobs", "miss_pct", "mean_error", "overruns",
+		"watchdog_kills", "downgrades", "faulted_misses", "cascaded_misses",
+		"overrun_time"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Case, row.Method, row.Containment,
+			strconv.FormatFloat(row.OverrunProb, 'f', 3, 64),
+			strconv.FormatFloat(row.OverrunFactor, 'f', 2, 64),
+			strconv.FormatInt(row.Jobs, 10),
+			strconv.FormatFloat(row.MissPct, 'f', 3, 64),
+			strconv.FormatFloat(row.MeanError, 'f', 6, 64),
+			strconv.FormatInt(row.Overruns, 10),
+			strconv.FormatInt(row.WatchdogKills, 10),
+			strconv.FormatInt(row.Downgrades, 10),
+			strconv.FormatInt(row.FaultedMisses, 10),
+			strconv.FormatInt(row.CascadedMisses, 10),
+			strconv.FormatInt(row.OverrunTime, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

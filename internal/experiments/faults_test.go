@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sumAt(t *testing.T, r *FaultSweepResult, factor, prob float64, cont string) FaultSummary {
+	t.Helper()
+	for _, s := range r.Summary {
+		if s.OverrunFactor == factor && s.OverrunProb == prob && s.Containment == cont {
+			return s
+		}
+	}
+	t.Fatalf("no summary for factor=%g prob=%g %s", factor, prob, cont)
+	return FaultSummary{}
+}
+
+// TestFaultSweepContainmentOrdering is the acceptance sweep: at overrun
+// probability ≥ 0.05 both containment policies strictly reduce cascaded
+// deadline misses versus RunToCompletion, at every swept magnitude.
+func TestFaultSweepContainmentOrdering(t *testing.T) {
+	r, err := FaultSweep(Config{Hyperperiods: 20, Seed: 1, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 14 * len(FaultSweepMethods) * len(FaultFactors) * len(FaultProbs) * 3
+	if len(r.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(r.Rows), wantRows)
+	}
+	for _, factor := range FaultFactors {
+		// The zero-probability anchor: no faults, so the containment policies
+		// are indistinguishable.
+		rtc0 := sumAt(t, r, factor, 0, "run-to-completion")
+		for _, cont := range []string{"abort-at-budget", "downgrade-on-overrun"} {
+			c0 := sumAt(t, r, factor, 0, cont)
+			c0.Containment = rtc0.Containment
+			if c0 != rtc0 {
+				t.Errorf("factor %g: %s differs from baseline at prob 0: %+v vs %+v", factor, cont, c0, rtc0)
+			}
+		}
+		for _, prob := range FaultProbs {
+			if prob < 0.05 {
+				continue
+			}
+			rtc := sumAt(t, r, factor, prob, "run-to-completion")
+			abort := sumAt(t, r, factor, prob, "abort-at-budget")
+			down := sumAt(t, r, factor, prob, "downgrade-on-overrun")
+			if rtc.CascadedMisses == 0 {
+				t.Errorf("factor %g prob %g: baseline shows no cascades; scenario too lax", factor, prob)
+				continue
+			}
+			if abort.CascadedMisses >= rtc.CascadedMisses {
+				t.Errorf("factor %g prob %g: AbortAtBudget cascades %d not strictly below baseline %d",
+					factor, prob, abort.CascadedMisses, rtc.CascadedMisses)
+			}
+			if down.CascadedMisses >= rtc.CascadedMisses {
+				t.Errorf("factor %g prob %g: DowngradeOnOverrun cascades %d not strictly below baseline %d",
+					factor, prob, down.CascadedMisses, rtc.CascadedMisses)
+			}
+		}
+	}
+	// Miss rates grow with the injection rate under the uncontained baseline.
+	lo := sumAt(t, r, 2.0, 0.02, "run-to-completion")
+	hi := sumAt(t, r, 2.0, 0.2, "run-to-completion")
+	if hi.MissPct <= lo.MissPct {
+		t.Errorf("miss%% did not grow with overrun probability: %g vs %g", lo.MissPct, hi.MissPct)
+	}
+
+	out := FormatFaults(r)
+	if !strings.Contains(out, "run-to-completion") || !strings.Contains(out, "cascaded") {
+		t.Errorf("FormatFaults:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultsCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != wantRows+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, wantRows+1)
+	}
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultSweepParallelMatchesSerial(t *testing.T) {
+	serial, err := FaultSweep(Config{Hyperperiods: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := FaultSweep(Config{Hyperperiods: 10, Seed: 2, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel fault sweep differs from serial")
+	}
+}

@@ -31,6 +31,9 @@ type OAPolicy struct {
 	cycle    int64     // completed hyper-periods
 	Upgrades int64     // planned-imprecise jobs run accurate
 	hyper    task.Time // cached hyper-period
+	// dropped holds releases lost to fault injection that the offline order
+	// has not yet stepped past (lazily allocated; nil in fault-free runs).
+	dropped map[task.JobKey]bool
 }
 
 // NewOA wraps an offline schedule in the online-adjustment policy.
@@ -41,19 +44,46 @@ func NewOA(label string, sc *Schedule) *OAPolicy {
 // Name implements sim.Policy.
 func (p *OAPolicy) Name() string { return p.Label }
 
+// ValidateFor implements sim.Validator: a schedule built for a different
+// job population cannot drive the set, and sim.Run reports this as a
+// structured error before the run starts (it used to be a Reset panic).
+func (p *OAPolicy) ValidateFor(s *task.Set) error {
+	if s != p.Sched.Set && s.JobsPerHyperperiod() != len(p.Sched.Jobs) {
+		return fmt.Errorf("offline: schedule for %d jobs driven against set with %d",
+			len(p.Sched.Jobs), s.JobsPerHyperperiod())
+	}
+	return nil
+}
+
 // Reset implements sim.Policy.
 func (p *OAPolicy) Reset(st *sim.State) {
 	p.pos = 0
 	p.cycle = 0
 	p.Upgrades = 0
 	p.hyper = st.Set().Hyperperiod()
-	if st.Set() != p.Sched.Set {
-		// Allow equivalent sets; a mismatch in job population would surface
-		// as an engine error on the first unknown job.
-		if st.Set().JobsPerHyperperiod() != len(p.Sched.Jobs) {
-			panic(fmt.Sprintf("offline: schedule for %d jobs driven against set with %d",
-				len(p.Sched.Jobs), st.Set().JobsPerHyperperiod()))
-		}
+	p.dropped = nil
+}
+
+// JobDropped implements sim.DropAware: a release lost to fault injection is
+// remembered so the offline cursor steps past it instead of committing to a
+// job that will never arrive.
+func (p *OAPolicy) JobDropped(_ *sim.State, j task.Job) {
+	if p.dropped == nil {
+		p.dropped = make(map[task.JobKey]bool)
+	}
+	p.dropped[j.Key()] = true
+}
+
+// cursorJob materializes the offline entry at the current cursor, shifted
+// into the current hyper-period.
+func (p *OAPolicy) cursorJob(st *sim.State) (ScheduledJob, task.Job) {
+	sj := p.Sched.Jobs[p.pos]
+	offset := p.cycle * p.hyper
+	return sj, task.Job{
+		TaskID:   sj.Job.TaskID,
+		Index:    sj.Job.Index + int(p.cycle)*st.JobsPerHyperperiod(sj.Job.TaskID),
+		Release:  sj.Job.Release + offset,
+		Deadline: sj.Job.Deadline + offset,
 	}
 }
 
@@ -65,15 +95,18 @@ func (p *OAPolicy) Pick(st *sim.State) (sim.Decision, bool) {
 		p.pos = 0
 		p.cycle++
 	}
-	sj := p.Sched.Jobs[p.pos]
-	offset := p.cycle * p.hyper
-
-	job := task.Job{
-		TaskID:   sj.Job.TaskID,
-		Index:    sj.Job.Index + int(p.cycle)*st.JobsPerHyperperiod(sj.Job.TaskID),
-		Release:  sj.Job.Release + offset,
-		Deadline: sj.Job.Deadline + offset,
+	sj, job := p.cursorJob(st)
+	for p.dropped[job.Key()] {
+		// The release was lost to fault injection: skip the slot.
+		delete(p.dropped, job.Key())
+		p.pos++
+		if p.pos >= len(p.Sched.Jobs) {
+			p.pos = 0
+			p.cycle++
+		}
+		sj, job = p.cursorJob(st)
 	}
+	offset := p.cycle * p.hyper
 	if job.Deadline > st.Horizon() {
 		// Past the simulated window: nothing more to schedule.
 		return sim.Decision{}, false

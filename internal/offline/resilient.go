@@ -1,0 +1,197 @@
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nprt/internal/esr"
+	"nprt/internal/ilp"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// Rung identifies one stage of the resilient planner's degradation chain,
+// ordered from most to least planned.
+type Rung uint8
+
+const (
+	// RungILP is the full §IV-A/B pipeline: order-fixed mode ILP (any
+	// incumbent on budget — Feasible is accepted, not just Optimal),
+	// post-processing, online adjustment.
+	RungILP Rung = iota
+	// RungFlippedEDF is the §IV-C heuristic plan plus online adjustment —
+	// no ILP involved, so it cannot time out.
+	RungFlippedEDF
+	// RungEDFESR is the pure online fallback: EDF dispatch with
+	// execution-slack reclamation, needing no offline plan at all.
+	RungEDFESR
+)
+
+// String names the rung (JSON/provenance key).
+func (r Rung) String() string {
+	switch r {
+	case RungILP:
+		return "ilp+post+oa"
+	case RungFlippedEDF:
+		return "flipped-edf+oa"
+	case RungEDFESR:
+		return "edf+esr"
+	}
+	return fmt.Sprintf("rung%d", uint8(r))
+}
+
+// RungError records why one rung of the chain could not produce a plan.
+type RungError struct {
+	Rung    Rung
+	Attempt int // 1-based ILP attempt number; 0 when retries don't apply
+	Err     error
+}
+
+// Error implements error.
+func (e *RungError) Error() string {
+	if e.Attempt > 0 {
+		return fmt.Sprintf("%s attempt %d: %v", e.Rung, e.Attempt, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Rung, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RungError) Unwrap() error { return e.Err }
+
+// PlanProvenance records which rung of the degradation chain produced the
+// schedule and why the rungs above it were passed over — the audit trail a
+// production deployment logs when its planner degrades.
+type PlanProvenance struct {
+	// Rung that produced the returned policy.
+	Rung Rung
+	// Policy is the returned policy's report label.
+	Policy string
+	// Attempts is the number of ILP solves tried (retries included).
+	Attempts int
+	// FinalBudget is the ILP time budget of the last attempt, after backoff
+	// growth; zero when the ILP rung was not attempted or had no time limit.
+	FinalBudget time.Duration
+	// Degraded reports whether any rung above the chosen one failed.
+	Degraded bool
+	// Failures holds one structured error per failed attempt/rung, in the
+	// order they were tried.
+	Failures []*RungError
+}
+
+// String renders a one-line audit summary.
+func (pv *PlanProvenance) String() string {
+	s := fmt.Sprintf("plan: rung=%s attempts=%d degraded=%v", pv.Rung, pv.Attempts, pv.Degraded)
+	for _, f := range pv.Failures {
+		s += "; " + f.Error()
+	}
+	return s
+}
+
+// ResilientOptions parameterizes ResilientPlan.
+type ResilientOptions struct {
+	// ILP carries the branch-and-bound budgets of the first ILP attempt
+	// (time limit, node budget, worker pool). A zero TimeLimit is replaced
+	// by DefaultILPBudget so the rung can never hang unbounded.
+	ILP ilp.Options
+	// Retries is how many additional ILP attempts are made after a
+	// budget-exhausted solve, each with the budgets scaled by Backoff.
+	// Default 1.
+	Retries int
+	// Backoff multiplies TimeLimit and MaxNodes between ILP attempts.
+	// Default 2.
+	Backoff float64
+}
+
+// DefaultILPBudget bounds the ILP rung when the caller sets no time limit:
+// a planner whose first rung can block forever is not resilient.
+const DefaultILPBudget = 2 * time.Second
+
+// ResilientPlan builds a scheduling policy for the set by walking the
+// degradation chain
+//
+//	ILP(+Post)+OA  →  Flipped EDF + OA  →  EDF+ESR
+//
+// with timeout/retry/backoff around the ILP stage. Budget-exhausted solves
+// (terminated at a node or time limit without an incumbent — Feasible
+// incumbents are accepted) are retried with Backoff-scaled budgets; terminal
+// failures (infeasibility, non-zero first releases) skip ahead immediately.
+// The returned PlanProvenance records the rung that produced the policy and
+// a structured RungError per failure, so degradation is observable rather
+// than silent. The final rung needs no offline plan and always succeeds;
+// the error return is reserved for internal failures (a rewrite producing
+// an invalid schedule, say).
+func ResilientPlan(s *task.Set, opt ResilientOptions) (sim.Policy, *PlanProvenance, error) {
+	if opt.Retries < 0 {
+		opt.Retries = 0
+	} else if opt.Retries == 0 {
+		opt.Retries = 1
+	}
+	if opt.Backoff <= 1 {
+		opt.Backoff = 2
+	}
+	if opt.ILP.TimeLimit <= 0 {
+		opt.ILP.TimeLimit = DefaultILPBudget
+	}
+
+	pv := &PlanProvenance{}
+
+	// Rung 1: the ILP pipeline, with retry/backoff on exhausted budgets.
+	ilpOpt := opt.ILP
+	for attempt := 1; attempt <= 1+opt.Retries; attempt++ {
+		pv.Attempts = attempt
+		pv.FinalBudget = ilpOpt.TimeLimit
+		p, err := buildILPPostOA(s, ilpOpt)
+		if err == nil {
+			pv.Rung, pv.Policy = RungILP, p.Name()
+			return p, pv, nil
+		}
+		pv.Failures = append(pv.Failures, &RungError{Rung: RungILP, Attempt: attempt, Err: err})
+		if !retryableILP(err) {
+			break // infeasible or structurally impossible: backoff won't help
+		}
+		ilpOpt.TimeLimit = time.Duration(float64(ilpOpt.TimeLimit) * opt.Backoff)
+		if ilpOpt.MaxNodes > 0 {
+			ilpOpt.MaxNodes = int(float64(ilpOpt.MaxNodes) * opt.Backoff)
+		}
+	}
+	pv.Degraded = true
+
+	// Rung 2: Flipped EDF needs no solver, only offline feasibility.
+	if sc, err := FlippedEDF(s); err != nil {
+		pv.Failures = append(pv.Failures, &RungError{Rung: RungFlippedEDF, Err: err})
+	} else {
+		p := NewOA("Flipped EDF", sc)
+		pv.Rung, pv.Policy = RungFlippedEDF, p.Name()
+		return p, pv, nil
+	}
+
+	// Rung 3: pure online EDF+ESR — no plan required, cannot fail.
+	p := esr.New()
+	pv.Rung, pv.Policy = RungEDFESR, p.Name()
+	return p, pv, nil
+}
+
+// buildILPPostOA is NewILPPostOA driven by the true §IV-A branch-and-bound
+// under explicit budgets instead of the exact DP (the DP cannot time out, so
+// it would never exercise the chain).
+func buildILPPostOA(s *task.Set, opt ilp.Options) (*OAPolicy, error) {
+	order, err := EDFOrder(s, task.Deepest)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := SolveModeILPOpt(s, order, opt)
+	if err != nil {
+		return nil, err
+	}
+	post, _ := PostProcess(sc, PostProcessOptions{})
+	if err := post.Validate(); err != nil {
+		return nil, fmt.Errorf("offline: post-processing produced invalid schedule: %w", err)
+	}
+	return NewOA("ILP+Post+OA", post), nil
+}
+
+// retryableILP reports whether a bigger budget could change the outcome.
+func retryableILP(err error) bool {
+	return !errors.Is(err, ErrInfeasible) && !errors.Is(err, ErrNotZeroRelease)
+}

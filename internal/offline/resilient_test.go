@@ -1,0 +1,175 @@
+package offline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"nprt/internal/ilp"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// validateRun drives the planned policy through the simulator and checks the
+// trace against the full oracle.
+func validateRun(t *testing.T, s *task.Set, p sim.Policy) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(s, p, sim.Config{
+		Hyperperiods: 50,
+		Sampler:      sim.NewRandomSampler(s, 5),
+		TraceLimit:   -1,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	if vs := trace.Validate(res.Trace, trace.Options{RequireDeadlines: true, WCETBounds: true, Set: s}); len(vs) != 0 {
+		t.Fatalf("%s: trace violations: %v", p.Name(), vs[:min(3, len(vs))])
+	}
+	return res
+}
+
+func TestResilientPlanTopRung(t *testing.T) {
+	s := oaTestSet(t)
+	p, pv, err := ResilientPlan(s, ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rung != RungILP || pv.Degraded || len(pv.Failures) != 0 {
+		t.Fatalf("expected undegraded top rung, got %s", pv)
+	}
+	if pv.Attempts != 1 || pv.FinalBudget != DefaultILPBudget {
+		t.Errorf("attempts=%d budget=%v, want 1 attempt at the default budget",
+			pv.Attempts, pv.FinalBudget)
+	}
+	if p.Name() != "ILP+Post+OA" || pv.Policy != p.Name() {
+		t.Errorf("policy %q / provenance %q", p.Name(), pv.Policy)
+	}
+	validateRun(t, s, p)
+}
+
+// TestResilientPlanFallsToFlippedEDF is the acceptance scenario: under an
+// artificially tiny ILP budget the chain degrades without error, records
+// provenance, and the fallback's schedule still passes trace validation.
+func TestResilientPlanFallsToFlippedEDF(t *testing.T) {
+	s := oaTestSet(t)
+	p, pv, err := ResilientPlan(s, ResilientOptions{
+		ILP:     ilp.Options{TimeLimit: time.Nanosecond, MaxNodes: 1, DisableHeuristic: true},
+		Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rung != RungFlippedEDF || !pv.Degraded {
+		t.Fatalf("expected degradation to flipped-edf+oa, got %s", pv)
+	}
+	if pv.Attempts != 3 || len(pv.Failures) != 3 {
+		t.Errorf("attempts=%d failures=%d, want 3 budget-exhausted ILP attempts",
+			pv.Attempts, len(pv.Failures))
+	}
+	// Backoff doubled the budget twice: 1ns → 4ns.
+	if pv.FinalBudget != 4*time.Nanosecond {
+		t.Errorf("final budget %v, want 4ns after two doublings", pv.FinalBudget)
+	}
+	for i, f := range pv.Failures {
+		if f.Rung != RungILP || f.Attempt != i+1 {
+			t.Errorf("failure %d = %v, want ILP attempt %d", i, f, i+1)
+		}
+	}
+	if p.Name() != "Flipped EDF" {
+		t.Errorf("policy = %q", p.Name())
+	}
+	if !strings.Contains(pv.String(), "degraded=true") {
+		t.Errorf("provenance summary %q", pv)
+	}
+	validateRun(t, s, p)
+}
+
+func TestResilientPlanFallsToESR(t *testing.T) {
+	// Non-zero first releases make every offline rung structurally
+	// impossible (ErrNotZeroRelease); only the online rung remains.
+	s := mkSet(t,
+		task.Task{Name: "a", Period: 20, Release: 3, WCETAccurate: 8, WCETImprecise: 3, Error: task.Dist{Mean: 2}},
+		task.Task{Name: "b", Period: 40, WCETAccurate: 10, WCETImprecise: 4, Error: task.Dist{Mean: 5}},
+	)
+	p, pv, err := ResilientPlan(s, ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rung != RungEDFESR || !pv.Degraded {
+		t.Fatalf("expected degradation to edf+esr, got %s", pv)
+	}
+	// The structural error is terminal: no backoff retries.
+	if pv.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (ErrNotZeroRelease is not retryable)", pv.Attempts)
+	}
+	if len(pv.Failures) != 2 {
+		t.Fatalf("failures = %v, want one per offline rung", pv.Failures)
+	}
+	for _, f := range pv.Failures {
+		if !errors.Is(f, ErrNotZeroRelease) {
+			t.Errorf("failure %v does not unwrap to ErrNotZeroRelease", f)
+		}
+	}
+	validateRun(t, s, p)
+}
+
+func TestRungString(t *testing.T) {
+	for r, want := range map[Rung]string{
+		RungILP: "ilp+post+oa", RungFlippedEDF: "flipped-edf+oa", RungEDFESR: "edf+esr",
+	} {
+		if r.String() != want {
+			t.Errorf("Rung %d = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestOAValidateForRejectsMismatchedSet(t *testing.T) {
+	s := oaTestSet(t)
+	p, err := NewFlippedEDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := mkSet(t,
+		task.Task{Name: "x", Period: 10, WCETAccurate: 4, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+	)
+	if err := p.ValidateFor(other); err == nil {
+		t.Fatal("mismatched set accepted")
+	}
+	// The engine surfaces it as a structured error, not a panic.
+	if _, err := sim.Run(other, p, sim.Config{Hyperperiods: 1}); err == nil ||
+		!strings.Contains(err.Error(), "rejects set") {
+		t.Errorf("Run error = %v, want rejects-set", err)
+	}
+	if err := p.ValidateFor(s); err != nil {
+		t.Errorf("own set rejected: %v", err)
+	}
+}
+
+// TestOADropAware: the offline+OA family must skip releases lost to fault
+// injection instead of committing to jobs that never arrive.
+func TestOADropAware(t *testing.T) {
+	s := oaTestSet(t)
+	p, err := NewFlippedEDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(s, p, sim.Config{
+		Hyperperiods: 80,
+		Sampler:      sim.NewRandomSampler(s, 9),
+		TraceLimit:   -1,
+		Faults:       sim.NewFaultPlan(23, sim.FaultRates{DropProb: 0.08}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Total.DroppedReleases == 0 {
+		t.Fatal("no releases dropped at DropProb=0.08")
+	}
+	if vs := trace.Validate(res.Trace, trace.Options{
+		WCETBounds: true, Set: s, AllowFaults: true,
+	}); len(vs) != 0 {
+		t.Errorf("trace violations: %v", vs[:min(3, len(vs))])
+	}
+}

@@ -7,6 +7,17 @@
 // Each task in a simulation draws from its own Stream, split off a root seed
 // by task ID, so adding a task or reordering dispatches never perturbs
 // another task's samples.
+//
+// # Panic contract
+//
+// This package panics only on programmer error — arguments that no valid
+// caller can produce (Intn with n <= 0) or use of a zero-value Stream.
+// It never panics on the statistical content of a distribution: degenerate
+// or mis-parameterized task.Dist values are clamped or rejected with a
+// bounded fallback (see TruncNormal) so that fault-injection campaigns and
+// fuzzed task sets cannot stall or crash a simulation through this layer.
+// Callers validating external input should do so before sampling; by the
+// time a Dist reaches this package it is taken as trusted.
 package rng
 
 import (

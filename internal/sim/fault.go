@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nprt/internal/rng"
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// FaultKind classifies one injected model violation.
+type FaultKind uint8
+
+const (
+	// FaultNone: the job executes cleanly.
+	FaultNone FaultKind = iota
+	// FaultOverrun: the job's execution exceeds its declared WCET (w_i or
+	// x_i, whichever mode it runs in) by the plan's overrun factor — the
+	// model violation Theorem 1 explicitly assumes away.
+	FaultOverrun
+	// FaultAbort: the job dies mid-execution after consuming part of its
+	// sampled execution time; it produces no result and contributes its
+	// full fallback error.
+	FaultAbort
+	// FaultDroppedRelease: the release never happens (a lost activation);
+	// the job never enters the pending set. Subsequent releases of the task
+	// keep their nominal separation.
+	FaultDroppedRelease
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultOverrun:
+		return "overrun"
+	case FaultAbort:
+		return "abort"
+	case FaultDroppedRelease:
+		return "dropped-release"
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// Fault is the verdict for one job: what goes wrong, if anything, and by
+// how much.
+type Fault struct {
+	Kind FaultKind
+	// Factor is the overrun magnitude for FaultOverrun: the execution runs
+	// to ceil(Factor · WCET(mode)) (forced strictly past the budget).
+	Factor float64
+	// Point is the FaultAbort crash point as a fraction of the job's
+	// sampled execution time, in (0, 1].
+	Point float64
+}
+
+// FaultSampler decides per-job model violations. Implementations must be
+// deterministic functions of job identity so every policy in a comparison
+// faces the identical fault scenario, and must be safe for concurrent use
+// by parallel experiment drivers.
+//
+// It composes with JitterSampler: jitter perturbs release times, faults
+// perturb executions and drop releases; the engine applies both.
+type FaultSampler interface {
+	// JobFault returns the fault afflicting job j of t. Jobs whose release
+	// was dropped never reach execution, so JobFault is never asked about
+	// them (and must return Kind FaultNone or FaultDroppedRelease
+	// consistently with DropRelease if it is).
+	JobFault(t *task.Task, j task.Job) Fault
+	// DropRelease reports whether release `index` of task t is lost.
+	DropRelease(t *task.Task, index int) bool
+}
+
+// FaultRates parameterizes a FaultPlan. Probabilities are per job and
+// mutually exclusive (drop is decided first, then abort, then overrun), so
+// their sum must be <= 1.
+type FaultRates struct {
+	// OverrunProb is the per-job probability of a WCET overrun.
+	OverrunProb float64
+	// OverrunFactor is the overrun magnitude: execution reaches
+	// ceil(OverrunFactor · WCET(mode)). Values <= 1 still overrun by one
+	// time unit (the engine forces the excess to be strictly positive).
+	// Defaults to 1.5 when zero.
+	OverrunFactor float64
+	// AbortProb is the per-job probability of a mid-execution crash.
+	AbortProb float64
+	// AbortPoint is the crash point as a fraction of the sampled execution
+	// time, in (0, 1]. Defaults to 0.5 when zero.
+	AbortPoint float64
+	// DropProb is the per-release probability that the activation is lost.
+	DropProb float64
+}
+
+// IsZero reports whether the rates inject nothing.
+func (r FaultRates) IsZero() bool {
+	return r.OverrunProb == 0 && r.AbortProb == 0 && r.DropProb == 0
+}
+
+// Validate rejects meaningless rates.
+func (r FaultRates) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"OverrunProb", r.OverrunProb}, {"AbortProb", r.AbortProb}, {"DropProb", r.DropProb}} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("sim: %s %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s := r.OverrunProb + r.AbortProb + r.DropProb; s > 1 {
+		return fmt.Errorf("sim: fault probabilities sum to %g > 1", s)
+	}
+	if r.OverrunFactor < 0 || r.AbortPoint < 0 || r.AbortPoint > 1 {
+		return fmt.Errorf("sim: OverrunFactor %g / AbortPoint %g out of range",
+			r.OverrunFactor, r.AbortPoint)
+	}
+	return nil
+}
+
+// FaultPlan is the seeded deterministic FaultSampler: the fault verdict for
+// job (task, index) is a pure function of (seed, task ID, index), never of
+// dispatch order or policy. Running two policies against the same plan
+// therefore subjects them to the identical fault scenario — the
+// apples-to-apples property the fault-sweep experiment relies on — and the
+// plan is trivially safe for concurrent use.
+type FaultPlan struct {
+	seed  uint64
+	rates FaultRates
+}
+
+// NewFaultPlan builds a plan. Zero-valued rate fields get their documented
+// defaults; invalid rates panic (programmer error — validate user input
+// with FaultRates.Validate first).
+func NewFaultPlan(seed uint64, rates FaultRates) *FaultPlan {
+	if err := rates.Validate(); err != nil {
+		panic(err)
+	}
+	if rates.OverrunFactor == 0 {
+		rates.OverrunFactor = 1.5
+	}
+	if rates.AbortPoint == 0 {
+		rates.AbortPoint = 0.5
+	}
+	return &FaultPlan{seed: seed ^ 0x243f6a8885a308d3, rates: rates}
+}
+
+// Rates returns the plan's (defaulted) rates.
+func (fp *FaultPlan) Rates() FaultRates { return fp.rates }
+
+// draw returns the uniform [0,1) sample that decides job (taskID, index).
+func (fp *FaultPlan) draw(taskID, index int) float64 {
+	// One SplitMix64-seeded stream per job identity: cheap, stateless and
+	// independent of every other sampler in the run.
+	key := fp.seed ^ uint64(taskID)*0x9e3779b97f4a7c15 ^ uint64(index)*0xd1b54a32d192ed03
+	return rng.New(key).Float64()
+}
+
+// verdict maps the job's uniform draw onto the mutually exclusive kinds.
+func (fp *FaultPlan) verdict(taskID, index int) FaultKind {
+	u := fp.draw(taskID, index)
+	switch {
+	case u < fp.rates.DropProb:
+		return FaultDroppedRelease
+	case u < fp.rates.DropProb+fp.rates.AbortProb:
+		return FaultAbort
+	case u < fp.rates.DropProb+fp.rates.AbortProb+fp.rates.OverrunProb:
+		return FaultOverrun
+	}
+	return FaultNone
+}
+
+// JobFault implements FaultSampler.
+func (fp *FaultPlan) JobFault(t *task.Task, j task.Job) Fault {
+	switch fp.verdict(t.ID, j.Index) {
+	case FaultOverrun:
+		return Fault{Kind: FaultOverrun, Factor: fp.rates.OverrunFactor}
+	case FaultAbort:
+		return Fault{Kind: FaultAbort, Point: fp.rates.AbortPoint}
+	}
+	return Fault{}
+}
+
+// DropRelease implements FaultSampler.
+func (fp *FaultPlan) DropRelease(t *task.Task, index int) bool {
+	return fp.verdict(t.ID, index) == FaultDroppedRelease
+}
+
+// Containment selects the engine's response to budget violations. It is
+// enforced at dispatch level, uniformly across policies, so the fault sweep
+// compares responses under identical scheduling decisions.
+type Containment uint8
+
+const (
+	// RunToCompletion is the baseline: an overrunning job keeps the
+	// processor until it finishes, and every queued job behind it absorbs
+	// the delay. This is the miss-cascade scenario the containment
+	// policies exist to measure against.
+	RunToCompletion Containment = iota
+	// AbortAtBudget arms a watchdog: an overrunning job is killed exactly
+	// at its declared WCET. The job itself fails (full fallback error, a
+	// deadline miss) but the processor is freed on schedule, so clean jobs
+	// keep their guarantees.
+	AbortAtBudget
+	// DowngradeOnOverrun lets the offending job finish but forces every
+	// subsequent job of that task to its deepest imprecise level until one
+	// completes within its declared budget again — trading that task's
+	// accuracy for system-wide slack, in the adaptive spirit of the
+	// paper's imprecise-mode fallback.
+	DowngradeOnOverrun
+)
+
+// String names the containment policy (JSON/CSV artifact key).
+func (c Containment) String() string {
+	switch c {
+	case RunToCompletion:
+		return "run-to-completion"
+	case AbortAtBudget:
+		return "abort-at-budget"
+	case DowngradeOnOverrun:
+		return "downgrade-on-overrun"
+	}
+	return fmt.Sprintf("containment%d", uint8(c))
+}
+
+// Containments lists every containment policy in presentation order.
+func Containments() []Containment {
+	return []Containment{RunToCompletion, AbortAtBudget, DowngradeOnOverrun}
+}
+
+// TaskFaultStats is the per-task fault accounting of one run.
+type TaskFaultStats struct {
+	Overruns        int64 `json:"overruns"`       // overrun faults injected
+	WatchdogKills   int64 `json:"watchdog_kills"` // overruns terminated at budget
+	Aborts          int64 `json:"aborts"`         // mid-execution crashes
+	DroppedReleases int64 `json:"dropped_releases"`
+	Downgrades      int64 `json:"downgrades"`      // jobs forced imprecise by containment
+	FaultedMisses   int64 `json:"faulted_misses"`  // misses of jobs that were themselves faulted
+	CascadedMisses  int64 `json:"cascaded_misses"` // misses of clean jobs (collateral damage)
+}
+
+// FaultStats aggregates a run's fault accounting: the totals plus the
+// per-task breakdown. Present on Result only when injection was enabled.
+type FaultStats struct {
+	Total   TaskFaultStats   `json:"total"`
+	PerTask []TaskFaultStats `json:"per_task"`
+	// OverrunTime is the summed execution time past declared budgets that
+	// actually reached the processor (zero under AbortAtBudget).
+	OverrunTime task.Time `json:"overrun_time"`
+}
+
+func newFaultStats(n int) *FaultStats {
+	return &FaultStats{PerTask: make([]TaskFaultStats, n)}
+}
+
+// count applies fn to the task's row and the totals row.
+func (fs *FaultStats) count(taskID int, fn func(*TaskFaultStats)) {
+	fn(&fs.PerTask[taskID])
+	fn(&fs.Total)
+}
+
+// String renders a one-line summary.
+func (fs *FaultStats) String() string {
+	t := fs.Total
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: overruns=%d kills=%d aborts=%d drops=%d downgrades=%d",
+		t.Overruns, t.WatchdogKills, t.Aborts, t.DroppedReleases, t.Downgrades)
+	fmt.Fprintf(&b, " faulted-miss=%d cascaded-miss=%d overrun-time=%d",
+		t.FaultedMisses, t.CascadedMisses, fs.OverrunTime)
+	return b.String()
+}
+
+// DropAware is an optional Policy extension. The engine notifies the policy
+// whenever a release it may be counting on is dropped by fault injection,
+// before the job would have entered the pending set. Policies that replay a
+// fixed offline order (the OA family) implement it to skip the lost job
+// instead of deadlocking on a release that never comes; purely reactive
+// policies (EDF variants) can ignore it.
+type DropAware interface {
+	JobDropped(st *State, j task.Job)
+}
+
+// failureTag maps an execution outcome onto the trace tag.
+func failureTag(kind FaultKind, killed bool) trace.FaultTag {
+	switch {
+	case killed:
+		return trace.FaultKilled
+	case kind == FaultAbort:
+		return trace.FaultDied
+	case kind == FaultOverrun:
+		return trace.FaultOverrun
+	}
+	return trace.FaultNone
+}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"nprt/internal/pq"
@@ -33,6 +34,9 @@ type Decision struct {
 // Policy is a non-preemptive scheduling policy. The engine calls Pick every
 // time the processor becomes free; returning ok=false idles the processor
 // until the next job release.
+//
+// Policies may additionally implement Validator (pre-run compatibility
+// checks) and DropAware (notification of fault-dropped releases).
 type Policy interface {
 	// Name identifies the policy in reports ("EDF+ESR", "Flipped EDF", ...).
 	Name() string
@@ -42,6 +46,15 @@ type Policy interface {
 	Pick(st *State) (Decision, bool)
 	// JobFinished reports the actual start/finish of the decided job.
 	JobFinished(st *State, d Decision, start, finish task.Time)
+}
+
+// Validator is an optional Policy extension: a policy that can detect up
+// front that it is incompatible with a set (an offline plan built for a
+// different job population, say) implements it, and Run reports the error
+// instead of running — or panicking — on the mismatch.
+type Validator interface {
+	// ValidateFor reports why the policy cannot drive the set, or nil.
+	ValidateFor(s *task.Set) error
 }
 
 // JitterSampler supplies sporadic release jitter: the extra delay (>= 0)
@@ -170,6 +183,15 @@ type Config struct {
 	// retained reference used by differential tests and benchmark baselines.
 	// Both produce bit-identical Results.
 	Engine EngineKind
+	// Faults, when non-nil, injects model violations: WCET overruns,
+	// mid-execution aborts and dropped releases (see FaultPlan). With
+	// Faults nil — the default — every fault code path is skipped and runs
+	// are bit-identical to the fault-free engine. Composes with Jitter.
+	Faults FaultSampler
+	// Containment selects the response to budget violations when Faults is
+	// set (ignored otherwise). The zero value RunToCompletion is the
+	// uncontained baseline.
+	Containment Containment
 }
 
 // Result aggregates one run.
@@ -189,6 +211,11 @@ type Result struct {
 	Horizon         task.Time
 	Trace           *trace.Trace // first TraceLimit entries (nil when TraceLimit == 0)
 	Aborted         bool         // true when StopOnMiss fired
+	// Faults is the fault-injection accounting; nil when Config.Faults was
+	// nil. Failed jobs (watchdog kills, crashes, dropped releases) count as
+	// deadline misses and charge the task's deepest-level mean error (the
+	// stale-fallback quality); their response times are not recorded.
+	Faults *FaultStats
 }
 
 // MeanError returns the per-job mean error (the Table II statistic).
@@ -229,6 +256,10 @@ type State struct {
 	jobsPerP []int // per task: jobs per hyper-period
 
 	jitter JitterSampler // nil = strictly periodic
+
+	faults   FaultSampler   // nil = no injection
+	onDrop   func(task.Job) // accounting hook for dropped releases (set by Run)
+	degraded []bool         // per task: forced-imprecise under DowngradeOnOverrun
 }
 
 // statePool recycles run state — the pending-queue heaps, the release event
@@ -251,6 +282,24 @@ func (st *State) reset(s *task.Set, cfg Config) {
 	}
 	st.nextIndex = resizedZeroed(st.nextIndex, s.Len())
 	st.jobsPerP = resizedZeroed(st.jobsPerP, s.Len())
+	st.faults = cfg.Faults
+	st.onDrop = nil
+	st.degraded = st.degraded[:0]
+	if cfg.Faults != nil {
+		st.degraded = resizedFalse(st.degraded, s.Len())
+	}
+}
+
+// resizedFalse returns a length-n all-false slice, reusing capacity.
+func resizedFalse(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // resizedZeroed returns a length-n all-zero slice, reusing capacity.
@@ -332,7 +381,13 @@ func (st *State) advanceReleases(t task.Time) {
 		idx := st.nextIndex[r.taskID]
 		tk := st.set.Task(r.taskID)
 		job := task.Job{TaskID: r.taskID, Index: idx, Release: r.at, Deadline: r.at + tk.Period}
-		st.pend.push(job)
+		if st.faults != nil && st.onDrop != nil && st.faults.DropRelease(tk, idx) {
+			// The activation is lost: the job never enters the pending set.
+			// Subsequent releases keep their nominal separation.
+			st.onDrop(job)
+		} else {
+			st.pend.push(job)
+		}
 		st.nextIndex[r.taskID]++
 		nextAt := r.at + tk.Period
 		if st.jitter != nil {
@@ -361,6 +416,12 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 	if sampler == nil {
 		sampler = WorstCaseSampler{}
 	}
+	if v, ok := p.(Validator); ok {
+		if err := v.ValidateFor(s); err != nil {
+			return nil, fmt.Errorf("sim: policy %s rejects set: %w", p.Name(), err)
+		}
+	}
+	faults := cfg.Faults
 
 	st := statePool.Get().(*State)
 	defer statePool.Put(st)
@@ -388,13 +449,43 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 	if cfg.TraceLimit != 0 {
 		res.Trace = &trace.Trace{}
 	}
+	var fstats *FaultStats
+	if faults != nil {
+		fstats = newFaultStats(s.Len())
+		res.Faults = fstats
+	}
 
 	// dropStale sheds one already-late pending job, counting the violation.
+	// Under fault injection the shed job never was faulted itself (faults
+	// strike at release or dispatch), so its miss is collateral damage.
 	dropStale := func(j task.Job) {
 		res.Jobs++
 		res.Misses.Hit()
 		res.Error.Add(0)
 		res.PerTaskError[j.TaskID].Add(0)
+		if fstats != nil {
+			fstats.count(j.TaskID, func(t *TaskFaultStats) { t.CascadedMisses++ })
+		}
+	}
+	if faults != nil {
+		// A dropped release is a job that never runs: it counts as a miss
+		// and charges the deepest-level mean error (the stale-result
+		// fallback the system would serve in its place).
+		st.onDrop = func(j task.Job) {
+			tk := s.Task(j.TaskID)
+			eFail := tk.ErrorDist(task.Deepest).Mean
+			res.Jobs++
+			res.Misses.Hit()
+			res.Error.Add(eFail)
+			res.PerTaskError[j.TaskID].Add(eFail)
+			fstats.count(j.TaskID, func(t *TaskFaultStats) {
+				t.DroppedReleases++
+				t.FaultedMisses++
+			})
+			if da, ok := p.(DropAware); ok {
+				da.JobDropped(st, j)
+			}
+		}
 	}
 
 	p.Reset(st)
@@ -440,12 +531,22 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 					p.Name(), d.Job)
 			}
 			if d.Job.Release <= st.now || d.Job.Index != st.nextIndex[d.Job.TaskID] {
+				if yes, err := droppedCommitment(st, p, d.Job); yes {
+					continue // release was lost to fault injection; re-Pick
+				} else if err != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("sim: policy %s picked unknown job %v at t=%d",
 					p.Name(), d.Job, st.now)
 			}
 			st.now = d.Job.Release
 			st.advanceReleases(st.now)
 			if !st.removePending(d.Job.Key()) {
+				if yes, err := droppedCommitment(st, p, d.Job); yes {
+					continue // the committed release was dropped as time advanced
+				} else if err != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("sim: job %v not released at its release time", d.Job)
 			}
 		}
@@ -456,18 +557,82 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 			start = d.Job.Release
 			st.advanceReleases(start)
 		}
-		dur := sampler.ExecTime(tk, d.Job, d.Mode)
-		if dur < 1 || dur > tk.WCET(d.Mode) {
-			return nil, fmt.Errorf("sim: sampler produced %d outside [1,%d] for %v in %s mode",
-				dur, tk.WCET(d.Mode), d.Job, d.Mode)
+
+		// Fault injection: draw the job's verdict (a pure function of job
+		// identity) and, under DowngradeOnOverrun, force the task's jobs to
+		// the deepest imprecise level while it is marked degraded.
+		runMode := d.Mode
+		var fault Fault
+		if faults != nil {
+			fault = faults.JobFault(tk, d.Job)
+			if cfg.Containment == DowngradeOnOverrun && st.degraded[d.Job.TaskID] {
+				if deep := tk.ClampMode(task.Deepest); tk.ClampMode(runMode) != deep {
+					runMode = deep
+					fstats.count(d.Job.TaskID, func(t *TaskFaultStats) { t.Downgrades++ })
+				}
+			}
 		}
+
+		dur := sampler.ExecTime(tk, d.Job, runMode)
+		if dur < 1 || dur > tk.WCET(runMode) {
+			return nil, fmt.Errorf("sim: sampler produced %d outside [1,%d] for %v in %s mode",
+				dur, tk.WCET(runMode), d.Job, runMode)
+		}
+
+		killed := false
+		ftag := trace.FaultNone
+		if faults != nil {
+			tid := d.Job.TaskID
+			switch fault.Kind {
+			case FaultOverrun:
+				fstats.count(tid, func(t *TaskFaultStats) { t.Overruns++ })
+				w := tk.WCET(runMode)
+				if cfg.Containment == AbortAtBudget {
+					// Watchdog: the job is terminated exactly at its declared
+					// budget; the processor is freed on schedule.
+					dur = w
+					killed = true
+					fstats.count(tid, func(t *TaskFaultStats) { t.WatchdogKills++ })
+				} else {
+					over := task.Time(math.Ceil(fault.Factor * float64(w)))
+					if over <= w {
+						over = w + 1 // an overrun is strictly past budget
+					}
+					dur = over
+					fstats.OverrunTime += over - w
+					if cfg.Containment == DowngradeOnOverrun {
+						st.degraded[tid] = true
+					}
+				}
+			case FaultAbort:
+				at := task.Time(fault.Point * float64(dur))
+				if at < 1 {
+					at = 1
+				}
+				if at < dur {
+					dur = at
+				}
+				fstats.count(tid, func(t *TaskFaultStats) { t.Aborts++ })
+			}
+			ftag = failureTag(fault.Kind, killed)
+		}
+		// failed: the job produced no usable result (watchdog kill or crash).
+		failed := killed || fault.Kind == FaultAbort
+
 		finish := start + dur
 		st.now = finish
 		st.advanceReleases(st.now)
 
 		var e float64
-		if d.Mode != task.Accurate {
-			e = sampler.Error(tk, d.Job, d.Mode)
+		switch {
+		case failed:
+			// The system serves the stale/deepest-quality fallback in place
+			// of the lost result; no sampler stream is consumed.
+			e = tk.ErrorDist(task.Deepest).Mean
+		case runMode != task.Accurate:
+			e = sampler.Error(tk, d.Job, runMode)
+		}
+		if runMode != task.Accurate {
 			res.Imprecise++
 		} else {
 			res.Accurate++
@@ -475,12 +640,28 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 		res.Jobs++
 		res.Error.Add(e)
 		res.PerTaskError[d.Job.TaskID].Add(e)
-		res.PerTaskResponse[d.Job.TaskID].Add(float64(finish - d.Job.Release))
+		if !failed {
+			res.PerTaskResponse[d.Job.TaskID].Add(float64(finish - d.Job.Release))
+		}
 		res.Busy += dur
-		missed := finish > d.Job.Deadline
+		missed := finish > d.Job.Deadline || failed
 		res.Misses.Record(missed)
+		if faults != nil {
+			if missed {
+				if fault.Kind != FaultNone {
+					fstats.count(d.Job.TaskID, func(t *TaskFaultStats) { t.FaultedMisses++ })
+				} else {
+					fstats.count(d.Job.TaskID, func(t *TaskFaultStats) { t.CascadedMisses++ })
+				}
+			}
+			// A clean in-budget completion re-arms the task: downgrading ends
+			// once observed execution re-enters its declared budget.
+			if cfg.Containment == DowngradeOnOverrun && st.degraded[d.Job.TaskID] && fault.Kind == FaultNone {
+				st.degraded[d.Job.TaskID] = false
+			}
+		}
 		if res.Trace != nil && (cfg.TraceLimit < 0 || res.Trace.Len() < cfg.TraceLimit) {
-			res.Trace.Append(trace.Entry{Job: d.Job, Mode: d.Mode, Start: start, Finish: finish, Error: e})
+			res.Trace.Append(trace.Entry{Job: d.Job, Mode: runMode, Start: start, Finish: finish, Error: e, Fault: ftag})
 		}
 
 		p.JobFinished(st, d, start, finish)
@@ -491,4 +672,19 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// droppedCommitment reports whether the job a policy committed to was lost
+// to fault injection. DropAware policies (already notified via JobDropped)
+// are sent back to Pick; any other policy gets a structured error naming the
+// lost release instead of the generic unknown-job failure.
+func droppedCommitment(st *State, p Policy, j task.Job) (bool, error) {
+	if st.faults == nil || !st.faults.DropRelease(st.set.Task(j.TaskID), j.Index) {
+		return false, nil
+	}
+	if _, ok := p.(DropAware); ok {
+		return true, nil
+	}
+	return false, fmt.Errorf("sim: policy %s committed to job %v whose release was dropped by fault injection",
+		p.Name(), j)
 }

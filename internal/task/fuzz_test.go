@@ -1,0 +1,65 @@
+package task_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nprt/internal/task"
+)
+
+// FuzzDecodeJSON hammers the external-input boundary: arbitrary bytes must
+// either decode into a valid set or come back as an error — never a panic —
+// and an accepted set must survive an encode/decode round trip unchanged.
+func FuzzDecodeJSON(f *testing.F) {
+	f.Add([]byte(`[{"name":"a","period":10,"wcet_accurate":4,"wcet_imprecise":2,"error":{"mean":1}}]`))
+	f.Add([]byte(`[{"name":"a","period":10,"wcet_accurate":4,"wcet_imprecise":2},
+	               {"name":"b","period":20,"wcet_accurate":8,"wcet_imprecise":3}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"x","period":-5,"wcet_accurate":4,"wcet_imprecise":2}]`))
+	// Imprecise WCET above accurate: invalid by construction.
+	f.Add([]byte(`[{"name":"x","period":10,"wcet_accurate":2,"wcet_imprecise":4}]`))
+	f.Add([]byte(`[{"name":"x","period":10,"wcet_accurate":4,"wcet_imprecise":2,"typo_field":1}]`))
+	// Hyper-period overflow bait: huge coprime periods.
+	f.Add([]byte(`[{"name":"x","period":4611686018427387903,"wcet_accurate":4,"wcet_imprecise":2},
+	               {"name":"y","period":4611686018427387902,"wcet_accurate":4,"wcet_imprecise":2}]`))
+	f.Add([]byte(`[{"name":"x","period":1e999}]`))
+	f.Add([]byte(`{"not":"an array"}`))
+	f.Add([]byte(`[{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := task.DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if s.Hyperperiod() <= 0 {
+			t.Fatalf("accepted set with hyper-period %d", s.Hyperperiod())
+		}
+		var buf bytes.Buffer
+		if err := s.EncodeJSON(&buf); err != nil {
+			t.Fatalf("re-encoding accepted set: %v", err)
+		}
+		s2, err := task.DecodeJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v\n%s", err, buf.String())
+		}
+		if got, want := s2.String(), s.String(); got != want {
+			t.Fatalf("round trip changed the set:\n%s\nvs\n%s", got, want)
+		}
+		// Every accepted task must hold the structural invariants the
+		// schedulers rely on (x <= w, positive period, ordered by period).
+		for i := 0; i < s.Len(); i++ {
+			tk := s.Task(i)
+			if tk.WCETImprecise > tk.WCETAccurate || tk.Period <= 0 {
+				t.Fatalf("accepted invalid task %+v", tk)
+			}
+			if i > 0 && s.Task(i-1).Period > tk.Period {
+				t.Fatalf("tasks not sorted by period at %d", i)
+			}
+			if strings.ContainsFunc(tk.Name, func(r rune) bool { return r < 0x20 || r == 0x7f }) {
+				// Names flow into CSV and log lines unescaped.
+				t.Fatalf("accepted task name with control character: %q", tk.Name)
+			}
+		}
+	})
+}

@@ -209,6 +209,13 @@ func (t *Task) Validate() error {
 	case t.Error.Mean < 0:
 		return fmt.Errorf("task %q: mean error %g must be non-negative", t.Name, t.Error.Mean)
 	}
+	// Names flow into CSV artifacts and log lines unescaped; control
+	// characters (found by fuzzing the JSON loader) would corrupt both.
+	for _, r := range t.Name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("task %q: name contains control character %q", t.Name, r)
+		}
+	}
 	prev := t.WCETImprecise
 	for i, lv := range t.ExtraLevels {
 		if lv.WCET < 1 || lv.WCET >= prev {
@@ -284,7 +291,13 @@ func New(tasks []Task) (*Set, error) {
 	return &Set{tasks: ts, hyper: hyper}, nil
 }
 
-// MustNew is New but panics on error; for tests and package-internal tables.
+// MustNew is New but panics on error. It exists for tests and for
+// package-internal tables whose contents are compile-time constants, where a
+// validation failure is a bug in this repository rather than a runtime
+// condition. Code handling external input — JSON files, generator output,
+// anything a user can influence — must call New and propagate the error
+// instead; the CLI front-ends map those errors to an "invalid input" exit
+// code rather than a crash.
 func MustNew(tasks []Task) *Set {
 	s, err := New(tasks)
 	if err != nil {

@@ -1,0 +1,108 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"nprt/internal/task"
+	"nprt/internal/trace"
+)
+
+// FuzzValidate decodes arbitrary bytes into a mutated trace — out-of-range
+// task IDs, reversed intervals, bogus modes and fault tags included — and
+// checks that the validator classifies rather than crashes, under every
+// option combination, and that validation is a pure function of its input.
+func FuzzValidate(f *testing.F) {
+	// One well-formed two-entry trace and one garbage blob as seeds; the
+	// fuzzer mutates from there.
+	var seed []byte
+	for _, e := range [][7]int64{
+		{0, 0, 0, 0, 3, 0, 10},  // task 0 job 0: start 0 finish 3
+		{1, 0, 1, 3, 10, 0, 20}, // task 1 job 0: start 3 finish 10
+	} {
+		for _, v := range e {
+			seed = binary.LittleEndian.AppendUint64(seed, uint64(v))
+		}
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01, 0x80, 0xff, 0x00}, 40))
+
+	s, err := task.New([]task.Task{
+		{Name: "a", Period: 10, WCETAccurate: 4, WCETImprecise: 2, Error: task.Dist{Mean: 1}},
+		{Name: "b", Period: 20, WCETAccurate: 8, WCETImprecise: 3, Error: task.Dist{Mean: 2}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := decodeFuzzTrace(data)
+		for _, opt := range []trace.Options{
+			{},
+			{RequireDeadlines: true},
+			{WCETBounds: true, Set: s},
+			{RequireDeadlines: true, WCETBounds: true, Set: s},
+			{RequireDeadlines: true, WCETBounds: true, Set: s, AllowFaults: true},
+			{WCETBounds: true}, // Set missing: bounds check must degrade, not crash
+		} {
+			vs1 := trace.Validate(tr, opt)
+			vs2 := trace.Validate(tr, opt)
+			if !reflect.DeepEqual(vs1, vs2) {
+				t.Fatalf("validation not deterministic under %+v", opt)
+			}
+			for _, v := range vs1 {
+				if v.Index < 0 || v.Index >= tr.Len() {
+					t.Fatalf("violation indexes entry %d outside trace of %d", v.Index, tr.Len())
+				}
+			}
+		}
+		// The derived statistics must also tolerate arbitrary entries.
+		_ = tr.DeadlineMisses()
+		_ = tr.TotalError()
+		_ = tr.Busy()
+		// WriteCSV's contract requires the trace's tasks to exist in the set.
+		inRange := true
+		for _, e := range tr.Entries {
+			if e.Job.TaskID < 0 || e.Job.TaskID >= s.Len() {
+				inRange = false
+				break
+			}
+		}
+		if inRange {
+			if err := tr.WriteCSV(&bytes.Buffer{}, s); err != nil {
+				t.Fatalf("WriteCSV: %v", err)
+			}
+		}
+	})
+}
+
+// decodeFuzzTrace deterministically maps bytes to trace entries: seven int64
+// fields per entry (task, index, mode, start, finish, fault, deadline).
+func decodeFuzzTrace(data []byte) *trace.Trace {
+	tr := &trace.Trace{}
+	const fields = 7
+	for len(data) >= fields*8 && tr.Len() < 256 {
+		var v [fields]int64
+		for i := range v {
+			v[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		data = data[fields*8:]
+		tr.Append(trace.Entry{
+			Job: task.Job{
+				TaskID:   int(v[0] % 8), // mostly in range, sometimes negative/out of range
+				Index:    int(v[1] % 1024),
+				Release:  v[3] % 4096,
+				Deadline: v[6] % 4096,
+			},
+			Mode:   task.Mode(v[2] % 3),
+			Start:  v[3] % 4096,
+			Finish: v[4] % 4096,
+			Error:  float64(v[1]%100) / 10,
+			Fault:  trace.FaultTag(v[5] % 6),
+		})
+	}
+	return tr
+}

@@ -16,13 +16,48 @@ import (
 	"nprt/internal/task"
 )
 
+// FaultTag marks how an execution deviated from the fault-free model. The
+// zero value (FaultNone) is a clean run, so pre-existing traces and tests
+// are unaffected.
+type FaultTag uint8
+
+const (
+	// FaultNone is a clean execution.
+	FaultNone FaultTag = iota
+	// FaultOverrun marks an execution that ran past its declared WCET
+	// (a budget-model violation that was allowed to complete).
+	FaultOverrun
+	// FaultKilled marks a job a watchdog terminated at its declared WCET
+	// budget; the job produced no result.
+	FaultKilled
+	// FaultDied marks a job that crashed mid-execution and produced no
+	// result.
+	FaultDied
+)
+
+// String names the tag for violation messages and CSV export.
+func (f FaultTag) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultOverrun:
+		return "overrun"
+	case FaultKilled:
+		return "killed"
+	case FaultDied:
+		return "died"
+	}
+	return fmt.Sprintf("fault%d", uint8(f))
+}
+
 // Entry is one executed job.
 type Entry struct {
 	Job    task.Job
 	Mode   task.Mode
 	Start  task.Time
 	Finish task.Time
-	Error  float64 // sampled imprecision error; 0 for accurate runs
+	Error  float64  // sampled imprecision error; 0 for accurate runs
+	Fault  FaultTag // FaultNone unless fault injection marked the run
 }
 
 // Duration returns the executed time of the entry.
@@ -41,7 +76,7 @@ func (tr *Trace) Len() int { return len(tr.Entries) }
 
 // Violation is one broken schedule invariant.
 type Violation struct {
-	Kind  string // "overlap", "early-start", "deadline", "order", "duplicate", "negative-duration"
+	Kind  string // "overlap", "early-start", "deadline", "duplicate", "negative-duration", "wcet", "fault", "fault-label", "unknown-task"
 	Index int    // entry index in the trace
 	Msg   string
 }
@@ -61,6 +96,15 @@ type Options struct {
 	WCETBounds bool
 	// Set must be provided when WCETBounds is on.
 	Set *task.Set
+	// AllowFaults accepts entries carrying a fault tag and checks them
+	// against the fault model instead: an overrun entry must exceed its
+	// mode's WCET (it is exempt from the WCET bound), killed/died entries
+	// must still respect it, and faulted entries are exempt from the
+	// deadline requirement (a faulted job never delivers a timely result;
+	// miss accounting happens in the simulator). When off — the default —
+	// any fault tag is itself a violation, preserving the strict pre-fault
+	// oracle.
+	AllowFaults bool
 }
 
 // Validate checks the non-preemptive uniprocessor invariants:
@@ -91,7 +135,8 @@ func Validate(tr *Trace, opt Options) []Violation {
 			vs = append(vs, Violation{"early-start", i,
 				fmt.Sprintf("%v starts at %d before release %d", e.Job, e.Start, e.Job.Release)})
 		}
-		if opt.RequireDeadlines && e.Finish > e.Job.Deadline {
+		if opt.RequireDeadlines && e.Finish > e.Job.Deadline &&
+			!(opt.AllowFaults && e.Fault != FaultNone) {
 			vs = append(vs, Violation{"deadline", i,
 				fmt.Sprintf("%v finishes at %d after deadline %d", e.Job, e.Finish, e.Job.Deadline)})
 		}
@@ -101,11 +146,33 @@ func Validate(tr *Trace, opt Options) []Violation {
 		} else {
 			seen[e.Job.Key()] = i
 		}
+		if e.Fault != FaultNone && !opt.AllowFaults {
+			vs = append(vs, Violation{"fault", i,
+				fmt.Sprintf("%v carries fault tag %s but faults are not allowed", e.Job, e.Fault)})
+		}
 		if opt.WCETBounds && opt.Set != nil {
-			w := opt.Set.Task(e.Job.TaskID).WCET(e.Mode)
-			if e.Duration() > w {
-				vs = append(vs, Violation{"wcet", i,
-					fmt.Sprintf("%v ran %d > WCET %d in %s mode", e.Job, e.Duration(), w, e.Mode)})
+			// A trace from an untrusted source (or a mutated one under fuzzing)
+			// can reference tasks the set does not contain; report it instead
+			// of indexing out of range.
+			if e.Job.TaskID < 0 || e.Job.TaskID >= opt.Set.Len() {
+				vs = append(vs, Violation{"unknown-task", i,
+					fmt.Sprintf("%v references task %d outside set of %d tasks",
+						e.Job, e.Job.TaskID, opt.Set.Len())})
+			} else {
+				w := opt.Set.Task(e.Job.TaskID).WCET(e.Mode)
+				switch {
+				case opt.AllowFaults && e.Fault == FaultOverrun:
+					// An overrun entry is exempt from the bound but must actually
+					// exceed it, or the tag is a lie.
+					if e.Duration() <= w {
+						vs = append(vs, Violation{"fault-label", i,
+							fmt.Sprintf("%v tagged overrun but ran %d <= WCET %d in %s mode",
+								e.Job, e.Duration(), w, e.Mode)})
+					}
+				case e.Duration() > w:
+					vs = append(vs, Violation{"wcet", i,
+						fmt.Sprintf("%v ran %d > WCET %d in %s mode", e.Job, e.Duration(), w, e.Mode)})
+				}
 			}
 		}
 		if e.Finish > prevFinish {
@@ -211,7 +278,7 @@ func Gantt(tr *Trace, s *task.Set, scale task.Time, limit int) string {
 func (tr *Trace) WriteCSV(w io.Writer, s *task.Set) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"task", "index", "mode", "release", "start",
-		"finish", "deadline", "error", "response", "lateness"}); err != nil {
+		"finish", "deadline", "error", "response", "lateness", "fault"}); err != nil {
 		return err
 	}
 	for _, e := range tr.Entries {
@@ -226,6 +293,7 @@ func (tr *Trace) WriteCSV(w io.Writer, s *task.Set) error {
 			strconv.FormatFloat(e.Error, 'f', 6, 64),
 			strconv.FormatInt(e.Finish-e.Job.Release, 10),
 			strconv.FormatInt(e.Finish-e.Job.Deadline, 10),
+			e.Fault.String(),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

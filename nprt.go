@@ -16,7 +16,11 @@
 //     complete DP(C) search (§V);
 //   - a deterministic discrete-event simulator, trace validation, workload
 //     generators for the paper's testcases, and an experiment harness that
-//     regenerates every table and figure of the evaluation.
+//     regenerates every table and figure of the evaluation;
+//   - robustness machinery: seeded fault injection (WCET overruns, aborts,
+//     dropped releases) with selectable overrun containment, and a
+//     resilient offline planner that degrades ILP+Post+OA → Flipped EDF →
+//     EDF+ESR with recorded provenance.
 //
 // Quick start:
 //
@@ -128,6 +132,64 @@ type JitterSampler = sim.JitterSampler
 // releases and are rejected by the engine under jitter.
 func NewRandomJitter(s *TaskSet, dists []Dist, seed uint64) JitterSampler {
 	return sim.NewRandomJitter(s, dists, seed)
+}
+
+// Fault injection and overrun containment (docs/ALGORITHMS.md §8).
+
+type (
+	// FaultRates parameterizes seeded fault injection: WCET-overrun,
+	// mid-execution-abort and dropped-release probabilities with their
+	// magnitudes; see SimConfig.Faults.
+	FaultRates = sim.FaultRates
+	// FaultSampler decides per-job fault verdicts; FaultPlan is the
+	// deterministic seeded implementation.
+	FaultSampler = sim.FaultSampler
+	// Containment selects what the engine does when a job overruns its
+	// declared WCET; see SimConfig.Containment.
+	Containment = sim.Containment
+	// FaultStats is a run's fault accounting (SimResult.Faults): injected
+	// events, watchdog kills, downgrades, and the faulted/cascaded miss
+	// split.
+	FaultStats = sim.FaultStats
+)
+
+// Overrun containment policies.
+const (
+	// RunToCompletion lets an overrunning job keep the processor (baseline).
+	RunToCompletion = sim.RunToCompletion
+	// AbortAtBudget kills the job at its declared WCET; the fallback error
+	// is charged and the miss stays local to the faulted job.
+	AbortAtBudget = sim.AbortAtBudget
+	// DowngradeOnOverrun forces the task's subsequent jobs to its deepest
+	// imprecise level until one completes fault-free.
+	DowngradeOnOverrun = sim.DowngradeOnOverrun
+)
+
+// NewFaultPlan builds the deterministic fault sampler: the verdict for job
+// (task, index) is a pure function of (seed, task, index), so different
+// policies or containments run against identical fault scenarios. A
+// zero-rate plan is bit-identical to no injection at all.
+func NewFaultPlan(seed uint64, rates FaultRates) FaultSampler {
+	return sim.NewFaultPlan(seed, rates)
+}
+
+// Resilient offline planning.
+
+// PlanProvenance records which rung of the degradation chain produced a
+// plan, the ILP attempts and budget spent, and every rung failure.
+type PlanProvenance = offline.PlanProvenance
+
+// ResilientOptions configures ResilientPlan's ILP budget and retry/backoff
+// behaviour.
+type ResilientOptions = offline.ResilientOptions
+
+// ResilientPlan produces a scheduling policy through a degradation chain:
+// ILP+Post+OA under a time budget (with retry and budget backoff), then
+// Flipped EDF, then the online EDF+ESR. It returns the first rung that
+// holds together with its provenance; an error means even the online rung
+// was not constructible.
+func ResilientPlan(s *TaskSet, opt ResilientOptions) (Policy, *PlanProvenance, error) {
+	return offline.ResilientPlan(s, opt)
 }
 
 // ValidateTrace checks the non-preemptive schedule invariants of a result's
