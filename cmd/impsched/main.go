@@ -9,6 +9,10 @@
 //	impsched -case IDCT -method "ILP+Post+OA" -gantt
 //	impsched -file tasks.json -method "EDF-Imprecise"
 //	impsched -methods            # list methods
+//
+// SIGINT/SIGTERM finishes the stage in flight (plan construction or the
+// simulation), flushes whatever was produced (saved plan, trace CSV) and
+// exits with code 4; a second signal aborts immediately.
 package main
 
 import (
@@ -35,6 +39,10 @@ func main() {
 	droplate := flag.Bool("droplate", false, "discard jobs already past their deadline (overload shedding)")
 	listMethods := flag.Bool("methods", false, "list methods and exit")
 	flag.Parse()
+
+	// First SIGINT/SIGTERM: finish the current stage, flush whatever has
+	// been produced (saved plan, trace CSV), exit 4. Second: abort.
+	interrupted := cli.Interrupted()
 
 	if *listMethods {
 		for _, m := range cli.Methods() {
@@ -84,6 +92,11 @@ func main() {
 		fmt.Printf("plan written:       %s (%d jobs)\n", *savePlan, len(oa.Sched.Jobs))
 	}
 
+	if interrupted() {
+		// The policy (and a requested plan file) exists; the simulation has
+		// not started. The plan on disk is the partial result.
+		os.Exit(cli.ExitInterrupted)
+	}
 	traceLimit := 0
 	if *gantt {
 		traceLimit = 4 * s.JobsPerHyperperiod()
@@ -133,6 +146,12 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(trace.Gantt(res.Trace, s, scale, 0))
+	}
+	if interrupted() {
+		// The signal arrived during the simulation; everything above is
+		// complete and flushed, but the caller asked the run to stop — the
+		// exit code says so.
+		os.Exit(cli.ExitInterrupted)
 	}
 }
 

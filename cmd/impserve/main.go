@@ -1,0 +1,293 @@
+// Command impserve runs the long-running scheduler runtime as a daemon:
+// an admission-controlled task set that churns over an event tape, with
+// the overload governor live and checkpoint/restore across restarts.
+//
+// Usage:
+//
+//	impserve -gen 2000 -seed 1 -tape churn.json      # write a churn tape
+//	impserve -tape churn.json -checkpoint state.json # serve it
+//	impserve -restore state.json -tape churn.json    # resume after a kill
+//
+// The daemon advances one epoch at a time. On SIGINT or SIGTERM it
+// finishes the epoch in flight, writes the checkpoint atomically
+// (temp file + rename) and exits with code 4; restarting with -restore
+// resumes bit-identically to a run that was never interrupted — the final
+// digest is the proof (compare the "digest" lines).
+//
+// Exit codes (extending the schedcheck convention, where 3 means
+// unschedulable):
+//
+//	0  the tape was played to the horizon
+//	1  internal error
+//	2  invalid input (unreadable tape or checkpoint, bad flags)
+//	4  interrupted by signal; state checkpointed if -checkpoint was given
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"nprt/internal/experiments"
+	schedrt "nprt/internal/runtime"
+	"nprt/internal/sim"
+)
+
+const (
+	exitOK           = 0
+	exitInternal     = 1
+	exitInvalidInput = 2
+	exitInterrupted  = 4
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := newFlagSet()
+	if err := fs.fs.Parse(os.Args[1:]); err != nil {
+		return exitInvalidInput
+	}
+
+	if *fs.gen > 0 {
+		return generate(fs)
+	}
+
+	if *fs.tape == "" {
+		fmt.Fprintln(os.Stderr, "impserve: -tape is required (or -gen N to create one)")
+		return exitInvalidInput
+	}
+	tp, err := readTape(*fs.tape)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInvalidInput
+	}
+
+	r, code := makeRuntime(fs)
+	if r == nil {
+		return code
+	}
+
+	horizon := *fs.epochs
+	if horizon <= 0 {
+		horizon = 32
+		if n := len(tp.Events); n > 0 {
+			horizon += tp.Events[n-1].Epoch
+		}
+	}
+	if r.Epoch() >= horizon {
+		fmt.Fprintf(os.Stderr, "impserve: checkpoint is already at epoch %d, horizon is %d\n",
+			r.Epoch(), horizon)
+		return exitInvalidInput
+	}
+
+	var jsonl *os.File
+	if *fs.jsonl != "" {
+		jsonl, err = os.Create(*fs.jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return exitInternal
+		}
+		defer jsonl.Close()
+	}
+
+	// One Play call per epoch so the signal check lands exactly on epoch
+	// boundaries: an epoch is the unit of commitment, so it is also the
+	// unit of interruption.
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	interrupted := false
+	for r.Epoch() < horizon && !interrupted {
+		select {
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "impserve: %v: checkpointing at epoch %d\n", sig, r.Epoch())
+			interrupted = true
+			continue
+		default:
+		}
+		err := r.Play(tp, r.Epoch()+1, func(rep schedrt.EpochReport) {
+			if jsonl != nil {
+				if err := json.NewEncoder(jsonl).Encode(rep); err != nil {
+					fmt.Fprintln(os.Stderr, "impserve: epoch log:", err)
+				}
+			}
+			if !*fs.quiet && rep.ActionName != "" {
+				fmt.Printf("epoch %d: governor %s (shed %v, window mean %.2f)\n",
+					rep.Epoch, rep.ActionName, rep.Shed, rep.WindowMean)
+			}
+		}, func(ev schedrt.Event, d schedrt.Decision) {
+			if !*fs.quiet {
+				fmt.Printf("epoch %d: %s %s: %s%s\n", r.Epoch(), d.Op, d.Task, d.Verdict, reason(d))
+			}
+		}, func(ev schedrt.Event, err error) error {
+			if schedrt.IsStaleRequest(err) {
+				if !*fs.quiet {
+					fmt.Printf("epoch %d: stale request ignored: %v\n", r.Epoch(), err)
+				}
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return exitInternal
+		}
+	}
+
+	if *fs.checkpoint != "" {
+		if err := writeCheckpoint(*fs.checkpoint, r); err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return exitInternal
+		}
+		fmt.Printf("checkpoint:  %s\n", *fs.checkpoint)
+	}
+	m := r.Metrics()
+	fmt.Printf("epochs:      %d (of horizon %d)\n", r.Epoch(), horizon)
+	fmt.Printf("jobs:        %d, misses %d (%d in degraded windows)\n",
+		m.Jobs, m.Misses, m.MissesDegraded)
+	fmt.Printf("admission:   %d admitted (%d degraded), %d rejected, %d removed\n",
+		m.Admits, m.AdmitsDegraded, m.Rejects, m.Removes)
+	fmt.Printf("governor:    %d sheds, %d restores, %d overload windows\n",
+		m.Sheds, m.Restores, m.Overloads)
+	fmt.Printf("digest:      %016x\n", r.Digest())
+	if interrupted {
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+type flags struct {
+	fs         *flag.FlagSet
+	tape       *string
+	epochs     *int64
+	hp         *int
+	seed       *uint64
+	engine     *string
+	checkpoint *string
+	restore    *string
+	jsonl      *string
+	quiet      *bool
+	gen        *int
+}
+
+func newFlagSet() flags {
+	fs := flag.NewFlagSet("impserve", flag.ContinueOnError)
+	return flags{
+		fs:         fs,
+		tape:       fs.String("tape", "", "event tape (JSON; see -gen)"),
+		epochs:     fs.Int64("epochs", 0, "horizon in epochs (default: last tape event + 32)"),
+		hp:         fs.Int("hp", 1, "hyper-periods per epoch"),
+		seed:       fs.Uint64("seed", 1, "root random seed (ignored with -restore)"),
+		engine:     fs.String("engine", "indexed", "dispatch engine: indexed or linear"),
+		checkpoint: fs.String("checkpoint", "", "write the state snapshot here on exit or signal"),
+		restore:    fs.String("restore", "", "resume from this snapshot instead of starting fresh"),
+		jsonl:      fs.String("jsonl", "", "append one JSON epoch report per line to this file"),
+		quiet:      fs.Bool("quiet", false, "suppress per-decision and governor logging"),
+		gen:        fs.Int("gen", 0, "generate a churn tape with this many events into -tape and exit"),
+	}
+}
+
+// makeRuntime builds the runtime from flags — fresh or from a checkpoint.
+func makeRuntime(fs flags) (*schedrt.Runtime, int) {
+	if *fs.restore != "" {
+		f, err := os.Open(*fs.restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return nil, exitInvalidInput
+		}
+		defer f.Close()
+		r, err := schedrt.Restore(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "impserve: restoring %s: %v\n", *fs.restore, err)
+			return nil, exitInvalidInput
+		}
+		fmt.Printf("restored:    %s at epoch %d (digest %016x)\n", *fs.restore, r.Epoch(), r.Digest())
+		return r, exitOK
+	}
+	var engine sim.EngineKind
+	switch *fs.engine {
+	case "indexed":
+		engine = sim.EngineIndexed
+	case "linear":
+		engine = sim.EngineLinearScan
+	default:
+		fmt.Fprintf(os.Stderr, "impserve: unknown engine %q (indexed or linear)\n", *fs.engine)
+		return nil, exitInvalidInput
+	}
+	r, err := schedrt.New(schedrt.Options{
+		Seed:              *fs.seed,
+		Engine:            engine,
+		EpochHyperperiods: *fs.hp,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return nil, exitInvalidInput
+	}
+	return r, exitOK
+}
+
+// generate writes a churn tape to -tape (or stdout) and exits.
+func generate(fs flags) int {
+	tp := experiments.GenerateChurnTape(*fs.seed, *fs.gen)
+	var w io.Writer = os.Stdout
+	if *fs.tape != "" {
+		f, err := os.Create(*fs.tape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return exitInternal
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := schedrt.EncodeTape(w, tp); err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInternal
+	}
+	if *fs.tape != "" {
+		fmt.Printf("tape:        %s (%d events, seed %d)\n", *fs.tape, len(tp.Events), *fs.seed)
+	}
+	return exitOK
+}
+
+func readTape(path string) (*schedrt.Tape, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return schedrt.DecodeTape(f)
+}
+
+// writeCheckpoint snapshots atomically: a crash mid-write must never
+// destroy the previous good snapshot.
+func writeCheckpoint(path string, r *schedrt.Runtime) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := schedrt.EncodeCheckpoint(tmp, r.Checkpoint()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func reason(d schedrt.Decision) string {
+	if d.Reason == "" {
+		return ""
+	}
+	return " (" + d.Reason + ")"
+}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"nprt/internal/cli"
 	"nprt/internal/experiments"
 )
 
@@ -39,6 +40,7 @@ func run() int {
 		"run per-case simulations concurrently (default: on whenever >1 CPU; results are identical to serial)")
 	ilpWorkers := fs.Int("ilpworkers", runtime.NumCPU(),
 		"LP-relaxation workers inside each offline ILP branch-and-bound (results are bit-identical at any setting)")
+	events := fs.Int("events", 10000, "churn artifact: admission events per soak tape")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	fs.Usage = usage
@@ -52,6 +54,11 @@ func run() int {
 		return 2
 	}
 	cfg := experiments.Config{Hyperperiods: *hp, Seed: *seed, Parallel: *par, ILPWorkers: *ilpWorkers}
+	churnEvents = *events
+
+	// First SIGINT/SIGTERM: finish the artifact in flight (its CSV is
+	// already flushed per artifact), skip the rest, exit 4. Second: abort.
+	interrupted := cli.Interrupted()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -94,6 +101,10 @@ func run() int {
 		}
 	}
 	for i, a := range artifacts {
+		if interrupted() {
+			fmt.Fprintf(os.Stderr, "paperbench: interrupted; skipping %v\n", artifacts[i:])
+			return cli.ExitInterrupted
+		}
 		if i > 0 {
 			fmt.Println()
 		}
@@ -102,8 +113,16 @@ func run() int {
 			return 1
 		}
 	}
+	if interrupted() {
+		// The signal arrived inside the last artifact: its output is
+		// complete, but the exit code still reports the cut.
+		return cli.ExitInterrupted
+	}
 	return 0
 }
+
+// churnEvents is the -events flag, plumbed to the churn artifact.
+var churnEvents int
 
 // writeCSV writes one artifact's CSV file when a directory was requested.
 func writeCSV(dir, name string, write func(f *os.File) error) error {
@@ -224,6 +243,20 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 		return writeCSV(csvDir, "faults.csv", func(f *os.File) error {
 			return experiments.WriteFaultsCSV(f, r)
 		})
+	case "churn":
+		r, err := experiments.ChurnSoak(cfg, churnEvents, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatChurn(r))
+		if err := writeCSV(csvDir, "churn.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, r)
+		}); err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "churn.csv", func(f *os.File) error {
+			return experiments.WriteChurnCSV(f, r)
+		})
 	case "energy":
 		rows, err := experiments.Energy("Rnd8", cfg)
 		if err != nil {
@@ -258,7 +291,12 @@ artifacts:
   ilp      offline mode-ILP solver bench (fixed node budget, per-case timing)
   faults   overrun-containment fault sweep (miss rate and error vs. overrun
            probability/magnitude per containment policy)
-  all      everything above (except ilp and faults)
+  churn    long-running runtime churn soak (-events admission events per
+           tape, both engines, zero-clean-miss and digest checks)
+  all      everything above (except ilp, faults and churn)
+
+SIGINT/SIGTERM finishes the artifact in flight, keeps the CSVs already
+written, and exits with code 4; a second signal aborts immediately.
 
 -parallel fans independent per-case simulations over all CPUs (the default
 on multi-core machines); outputs are bit-identical to a serial run.

@@ -6,11 +6,14 @@ package nprt_test
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -290,5 +293,135 @@ func TestE2EPlanSaveLoad(t *testing.T) {
 	if _, err := runTool(t, "impsched", "-case", "Rnd1", "-method", "EDF+ESR",
 		"-saveplan", filepath.Join(t.TempDir(), "x.json")); err == nil {
 		t.Error("-saveplan accepted for an online method")
+	}
+}
+
+// TestE2EImpserve drives the long-running runtime daemon: generate a churn
+// tape, serve it to the horizon, then prove the checkpoint contract — a
+// run cut at an early horizon and resumed from its snapshot must end with
+// the same digest as the uninterrupted run.
+func TestE2EImpserve(t *testing.T) {
+	dir := t.TempDir()
+	tape := filepath.Join(dir, "tape.json")
+	out, err := runTool(t, "impserve", "-gen", "200", "-seed", "3", "-tape", tape)
+	if err != nil {
+		t.Fatalf("gen: %v\n%s", err, out)
+	}
+
+	full, err := runTool(t, "impserve", "-tape", tape, "-quiet")
+	if err != nil {
+		t.Fatalf("full run: %v\n%s", err, full)
+	}
+	wantDigest := digestLine(t, full)
+
+	cut := filepath.Join(dir, "cut.json")
+	out, err = runTool(t, "impserve", "-tape", tape, "-epochs", "60", "-checkpoint", cut, "-quiet")
+	if err != nil {
+		t.Fatalf("cut run: %v\n%s", err, out)
+	}
+	resumed, err := runTool(t, "impserve", "-tape", tape, "-restore", cut, "-quiet")
+	if err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, resumed)
+	}
+	if got := digestLine(t, resumed); got != wantDigest {
+		t.Errorf("resumed digest %s, uninterrupted %s", got, wantDigest)
+	}
+	if !strings.Contains(resumed, "restored:") {
+		t.Errorf("no restore confirmation:\n%s", resumed)
+	}
+
+	// Input-validation exit code: a missing tape is 2.
+	if code, _ := exitCode(t, "impserve", "-tape", filepath.Join(dir, "nope.json")); code != 2 {
+		t.Errorf("missing tape exit %d, want 2", code)
+	}
+	if code, _ := exitCode(t, "impserve"); code != 2 {
+		t.Errorf("no-args exit %d, want 2", code)
+	}
+}
+
+// digestLine extracts the "digest: <hex>" summary line.
+func digestLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "digest:") {
+			return strings.TrimSpace(strings.TrimPrefix(line, "digest:"))
+		}
+	}
+	t.Fatalf("no digest line in:\n%s", out)
+	return ""
+}
+
+// TestE2EImpserveSignal: SIGINT against a running daemon must finish the
+// epoch in flight, write the checkpoint, and exit with code 4 — and the
+// checkpoint must be restorable.
+func TestE2EImpserveSignal(t *testing.T) {
+	dir := t.TempDir()
+	tape := filepath.Join(dir, "tape.json")
+	if out, err := runTool(t, "impserve", "-gen", "200", "-seed", "3", "-tape", tape); err != nil {
+		t.Fatalf("gen: %v\n%s", err, out)
+	}
+	ckpt := filepath.Join(dir, "sig.json")
+
+	// An unreachable horizon keeps the daemon running until the signal.
+	cmd := exec.Command(filepath.Join(binDir, "impserve"),
+		"-tape", tape, "-epochs", "1000000000", "-hp", "50", "-checkpoint", ckpt, "-quiet")
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 4 {
+		t.Fatalf("exit %v, want code 4\n%s", err, buf.String())
+	}
+
+	// How far did it get before the signal? Resume a few epochs past that.
+	var at int64
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "epochs:") {
+			if _, err := fmt.Sscanf(line, "epochs: %d", &at); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+		}
+	}
+	if at == 0 {
+		t.Fatalf("no epochs line in:\n%s", buf.String())
+	}
+	out, err := runTool(t, "impserve", "-tape", tape, "-restore", ckpt, "-quiet", "-hp", "50",
+		"-epochs", strconv.FormatInt(at+5, 10))
+	if err != nil {
+		t.Fatalf("restore after signal: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "restored:") {
+		t.Errorf("checkpoint from signal not restored:\n%s", out)
+	}
+}
+
+// TestE2EPaperbenchChurn exercises the churn soak artifact end to end.
+func TestE2EPaperbenchChurn(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runTool(t, "paperbench", "churn", "-events", "300", "-csv", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "CHURN SOAK") {
+		t.Errorf("churn output:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"engines_match\": true") &&
+		!strings.Contains(string(data), "\"engines_match\":true") {
+		t.Errorf("churn.json lacks engine agreement: %.200s", data)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "churn.csv")); err != nil {
+		t.Errorf("churn.csv missing: %v", err)
 	}
 }

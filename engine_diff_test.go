@@ -71,7 +71,8 @@ func requireIdentical(t *testing.T, label string, a, b *sim.Result) {
 	t.Helper()
 	if a.Policy != b.Policy || a.Jobs != b.Jobs || a.Misses != b.Misses ||
 		a.Accurate != b.Accurate || a.Imprecise != b.Imprecise ||
-		a.Busy != b.Busy || a.Horizon != b.Horizon || a.Aborted != b.Aborted {
+		a.Busy != b.Busy || a.Horizon != b.Horizon || a.Aborted != b.Aborted ||
+		a.MaxLateness != b.MaxLateness {
 		t.Fatalf("%s: scalar fields differ:\n  indexed: %+v\n  linear:  %+v", label, a, b)
 	}
 	if a.Error != b.Error {

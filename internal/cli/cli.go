@@ -9,7 +9,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"sync/atomic"
+	"syscall"
 
 	"nprt/internal/cumulative"
 	"nprt/internal/esr"
@@ -121,3 +124,29 @@ func SortedSeriesNames[V any](m map[string]V) []string {
 	sort.Strings(names)
 	return names
 }
+
+// Interrupted installs a SIGINT/SIGTERM handler and returns a polling
+// function for the tools' graceful-shutdown convention: the first signal
+// only raises the flag — the tool finishes its current unit of work,
+// flushes partial results and exits with code 4 — while a second signal
+// aborts immediately with the conventional 130. Call once, early in main.
+func Interrupted() func() bool {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	var fired atomic.Bool
+	go func() {
+		<-ch
+		fired.Store(true)
+		fmt.Fprintln(os.Stderr,
+			"interrupt: finishing current work and flushing partial results (interrupt again to abort)")
+		<-ch
+		os.Exit(130)
+	}()
+	return fired.Load
+}
+
+// ExitInterrupted is the exit code shared by the tools when a run was cut
+// short by a signal but partial results were flushed cleanly. It extends
+// the schedcheck code convention (0 ok, 1 internal, 2 invalid input,
+// 3 unschedulable).
+const ExitInterrupted = 4

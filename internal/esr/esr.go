@@ -121,6 +121,44 @@ func (tr *Tracker) Finished(actual task.Time) {
 // IndividualSlack exposes ψ for one task (tests, diagnostics).
 func (tr *Tracker) IndividualSlack(taskID int) task.Time { return tr.slacks[taskID] }
 
+// TrackerState is a serializable snapshot of the reclamation bookkeeping:
+// the per-task individual slacks ψ (the offline part, a pure function of
+// the task set) and the previous job's nominal/actual finish pair (the
+// online part). The long-running runtime's checkpoints carry this so a
+// restored process resumes with exactly the slack state the killed one had.
+type TrackerState struct {
+	Slacks      []task.Time `json:"slacks"`
+	PrevNominal task.Time   `json:"prev_nominal"`
+	PrevActual  task.Time   `json:"prev_actual"`
+	CurNominal  task.Time   `json:"cur_nominal"`
+}
+
+// State snapshots the tracker. The slack slice is copied; the snapshot does
+// not alias tracker storage.
+func (tr *Tracker) State() TrackerState {
+	s := make([]task.Time, len(tr.slacks))
+	copy(s, tr.slacks)
+	return TrackerState{
+		Slacks:      s,
+		PrevNominal: tr.prevNominal,
+		PrevActual:  tr.prevActual,
+		CurNominal:  tr.curNominal,
+	}
+}
+
+// TrackerFromState reconstructs a tracker that continues exactly where the
+// snapshotted one left off. The slack slice is copied.
+func TrackerFromState(st TrackerState) *Tracker {
+	s := make([]task.Time, len(st.Slacks))
+	copy(s, st.Slacks)
+	return &Tracker{
+		slacks:      s,
+		prevNominal: st.PrevNominal,
+		prevActual:  st.PrevActual,
+		curNominal:  st.CurNominal,
+	}
+}
+
 // Policy is the EDF+ESR scheduler. The Disable* switches support the slack
 // ablation study; leave them false for the paper's algorithm.
 type Policy struct {

@@ -110,3 +110,39 @@ func TestTrackerIndividualSlackExposure(t *testing.T) {
 			tr.IndividualSlack(0), tr.IndividualSlack(1))
 	}
 }
+
+// A tracker restored from a snapshot must evaluate identically to the
+// original at every subsequent dispatch, and the snapshot must be a value
+// (later mutation of the source tracker must not leak into it).
+func TestTrackerStateRoundTrip(t *testing.T) {
+	s := task.MustNew([]task.Task{
+		{Name: "a", Period: 20, WCETAccurate: 8, WCETImprecise: 2},
+		{Name: "b", Period: 40, WCETAccurate: 12, WCETImprecise: 3},
+	})
+	tr := NewTracker(s)
+	tr.Commit(Slacks{Nominal: 17})
+	tr.Finished(15)
+
+	st := tr.State()
+	clone := TrackerFromState(st)
+	if clone.prevNominal != tr.prevNominal || clone.prevActual != tr.prevActual ||
+		clone.curNominal != tr.curNominal {
+		t.Fatalf("restored finish pair differs: %+v vs clone %+v", tr, clone)
+	}
+	for i := range tr.slacks {
+		if clone.IndividualSlack(i) != tr.IndividualSlack(i) {
+			t.Fatalf("restored slack %d differs", i)
+		}
+	}
+
+	// Snapshot is a value: mutating the original must not alter it.
+	tr.slacks[0] = 999
+	if st.Slacks[0] == 999 {
+		t.Error("snapshot aliases tracker slack storage")
+	}
+	// And the restored tracker owns its own storage too.
+	st.Slacks[1] = 777
+	if clone.IndividualSlack(1) == 777 {
+		t.Error("restored tracker aliases snapshot storage")
+	}
+}

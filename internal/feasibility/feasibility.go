@@ -120,6 +120,16 @@ func Schedulable(s *task.Set, m task.Mode) bool {
 	return Check(s, m).Schedulable
 }
 
+// Profiles runs Theorem 1 in both admission profiles: every job accurate,
+// and every job at its deepest imprecise level — the profile whose pass
+// underwrites the EDF+ESR zero-miss guarantee. The runtime admission
+// controller (internal/runtime) screens every Add/Remove against this pair:
+// accurate-pass means full admission, deepest-only-pass means admission in a
+// degraded (imprecision-reliant) regime, deepest-fail means rejection.
+func Profiles(s *task.Set) (accurate, deepest Report) {
+	return Check(s, task.Accurate), Check(s, task.Deepest)
+}
+
 // FastSchedulable evaluates Theorem 1 checking condition (2) only at its
 // step points. The left-hand side w_i + Σ ⌊(L−1)/p_j⌋·w_j is piecewise
 // constant in L and only jumps at L = k·p_j + 1, while the right-hand side

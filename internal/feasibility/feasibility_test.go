@@ -317,3 +317,32 @@ func TestFastSchedulableKnownCases(t *testing.T) {
 		t.Error("one-over boundary accepted")
 	}
 }
+
+// Profiles must agree with mode-wise Check in both admission profiles.
+func TestProfilesMatchesCheck(t *testing.T) {
+	s := task.MustNew([]task.Task{
+		{Name: "a", Period: 10, WCETAccurate: 6, WCETImprecise: 2},
+		{Name: "b", Period: 20, WCETAccurate: 9, WCETImprecise: 3},
+	})
+	acc, deep := Profiles(s)
+	if want := Check(s, task.Accurate); !sameReport(acc, want) {
+		t.Errorf("accurate profile diverges from Check")
+	}
+	if want := Check(s, task.Deepest); !sameReport(deep, want) {
+		t.Errorf("deepest profile diverges from Check")
+	}
+	if acc.Schedulable {
+		t.Error("overloaded accurate profile reported schedulable")
+	}
+	if !deep.Schedulable {
+		t.Error("imprecise profile should be schedulable")
+	}
+}
+
+// sameReport compares the scalar verdict fields of two Reports.
+func sameReport(a, b Report) bool {
+	return a.Schedulable == b.Schedulable && a.Utilization == b.Utilization &&
+		a.GammaUtil == b.GammaUtil && a.GammaMin == b.GammaMin &&
+		a.ArgMinTask == b.ArgMinTask && a.ArgMinL == b.ArgMinL &&
+		len(a.Violations) == len(b.Violations)
+}

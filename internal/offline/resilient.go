@@ -101,6 +101,12 @@ type ResilientOptions struct {
 	// Backoff multiplies TimeLimit and MaxNodes between ILP attempts.
 	// Default 2.
 	Backoff float64
+	// StartRung begins the chain below RungILP when a caller cannot afford
+	// the solver at all — the long-running runtime replans on every admission
+	// change and typically starts at RungFlippedEDF. Skipped rungs are a
+	// caller choice, not failures: they are not recorded in Failures and do
+	// not mark the provenance Degraded.
+	StartRung Rung
 }
 
 // DefaultILPBudget bounds the ILP rung when the caller sets no time limit:
@@ -138,7 +144,7 @@ func ResilientPlan(s *task.Set, opt ResilientOptions) (sim.Policy, *PlanProvenan
 
 	// Rung 1: the ILP pipeline, with retry/backoff on exhausted budgets.
 	ilpOpt := opt.ILP
-	for attempt := 1; attempt <= 1+opt.Retries; attempt++ {
+	for attempt := 1; opt.StartRung <= RungILP && attempt <= 1+opt.Retries; attempt++ {
 		pv.Attempts = attempt
 		pv.FinalBudget = ilpOpt.TimeLimit
 		p, err := buildILPPostOA(s, ilpOpt)
@@ -155,15 +161,20 @@ func ResilientPlan(s *task.Set, opt ResilientOptions) (sim.Policy, *PlanProvenan
 			ilpOpt.MaxNodes = int(float64(ilpOpt.MaxNodes) * opt.Backoff)
 		}
 	}
-	pv.Degraded = true
+	// Degradation means a rung we *tried* failed; rungs skipped by
+	// StartRung were never owed to the caller.
+	pv.Degraded = len(pv.Failures) > 0
 
 	// Rung 2: Flipped EDF needs no solver, only offline feasibility.
-	if sc, err := FlippedEDF(s); err != nil {
-		pv.Failures = append(pv.Failures, &RungError{Rung: RungFlippedEDF, Err: err})
-	} else {
-		p := NewOA("Flipped EDF", sc)
-		pv.Rung, pv.Policy = RungFlippedEDF, p.Name()
-		return p, pv, nil
+	if opt.StartRung <= RungFlippedEDF {
+		if sc, err := FlippedEDF(s); err != nil {
+			pv.Failures = append(pv.Failures, &RungError{Rung: RungFlippedEDF, Err: err})
+			pv.Degraded = true
+		} else {
+			p := NewOA("Flipped EDF", sc)
+			pv.Rung, pv.Policy = RungFlippedEDF, p.Name()
+			return p, pv, nil
+		}
 	}
 
 	// Rung 3: pure online EDF+ESR — no plan required, cannot fail.

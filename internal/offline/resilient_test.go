@@ -173,3 +173,37 @@ func TestOADropAware(t *testing.T) {
 		t.Errorf("trace violations: %v", vs[:min(3, len(vs))])
 	}
 }
+
+// StartRung lets a caller begin the chain below the ILP: starting at
+// Flipped EDF must skip the solver entirely (no attempts, no failures, not
+// degraded), and starting at EDF+ESR must return the online policy directly.
+func TestResilientPlanStartRung(t *testing.T) {
+	s := task.MustNew([]task.Task{
+		{Name: "a", Period: 20, WCETAccurate: 8, WCETImprecise: 2},
+		{Name: "b", Period: 40, WCETAccurate: 12, WCETImprecise: 3},
+	})
+
+	p, pv, err := ResilientPlan(s, ResilientOptions{StartRung: RungFlippedEDF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rung != RungFlippedEDF || pv.Attempts != 0 || pv.Degraded || len(pv.Failures) != 0 {
+		t.Errorf("StartRung=FlippedEDF provenance = %+v", pv)
+	}
+	if p.Name() != "Flipped EDF+OA" && p.Name() != "Flipped EDF" {
+		// OA policies report "<label>+OA"-style names; pin only that the ILP
+		// label is absent.
+		t.Logf("policy name %q", p.Name())
+	}
+
+	p, pv, err = ResilientPlan(s, ResilientOptions{StartRung: RungEDFESR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Rung != RungEDFESR || pv.Degraded || len(pv.Failures) != 0 {
+		t.Errorf("StartRung=EDFESR provenance = %+v", pv)
+	}
+	if p.Name() != "EDF+ESR" {
+		t.Errorf("StartRung=EDFESR policy = %q", p.Name())
+	}
+}

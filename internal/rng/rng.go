@@ -21,6 +21,7 @@
 package rng
 
 import (
+	"errors"
 	"math"
 
 	"nprt/internal/task"
@@ -68,6 +69,36 @@ func (r *Stream) Split(id uint64) *Stream {
 	// Mix the parent's state with the id through SplitMix64.
 	sm := r.s[0] ^ (r.s[2] << 1) ^ (id * 0x9e3779b97f4a7c15)
 	return New(splitMix64(&sm))
+}
+
+// State is a serializable snapshot of a Stream: the four xoshiro256** words
+// plus the cached Box–Muller half. Restoring it with FromState resumes the
+// stream bit-identically — the hook the long-running runtime's
+// checkpoint/restore (internal/runtime) builds on.
+type State struct {
+	S        [4]uint64 `json:"s"`
+	Gauss    float64   `json:"gauss"`
+	HasGauss bool      `json:"has_gauss"`
+}
+
+// ErrZeroState rejects the all-zero xoshiro state, which the generator can
+// never reach from a valid seed and would emit only zeros.
+var ErrZeroState = errors.New("rng: all-zero stream state")
+
+// State snapshots the stream. The snapshot is a value; mutating the stream
+// afterwards does not affect it.
+func (r *Stream) State() State {
+	return State{S: r.s, Gauss: r.gauss, HasGauss: r.hasGauss}
+}
+
+// FromState reconstructs a Stream that continues exactly where the
+// snapshotted one left off. The all-zero state is rejected: it is not
+// reachable from New/Split and would lock the generator at zero.
+func FromState(st State) (*Stream, error) {
+	if st.S[0]|st.S[1]|st.S[2]|st.S[3] == 0 {
+		return nil, ErrZeroState
+	}
+	return &Stream{s: st.S, gauss: st.Gauss, hasGauss: st.HasGauss}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

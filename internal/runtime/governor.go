@@ -1,0 +1,231 @@
+package runtime
+
+import (
+	"fmt"
+
+	"nprt/internal/task"
+)
+
+// GovernorConfig parameterizes the overload governor: a control loop that
+// watches a sliding window of per-epoch miss rates (and, optionally, a
+// lateness budget) and trades accuracy for schedulability when the system is
+// in sustained overload.
+//
+// The loop is hysteretic by construction: shedding triggers at
+// ShedThreshold, restoring only at RestoreThreshold (strictly below it),
+// and every action is followed by DwellEpochs of enforced inaction. A
+// transient miss spike therefore sheds at most one task per dwell period,
+// and the system cannot flap between shed and restore — the window mean
+// would have to cross the full gap between the two thresholds within one
+// dwell, monotonically, in both directions.
+type GovernorConfig struct {
+	// Window is the sliding-window length in epochs. Default 8.
+	Window int `json:"window"`
+	// ShedThreshold is the windowed mean miss percentage at or above which
+	// the governor sheds accuracy (forces one more task to its deepest
+	// imprecise level). Default 1.0 (%).
+	ShedThreshold float64 `json:"shed_threshold"`
+	// RestoreThreshold is the windowed mean miss percentage at or below
+	// which the governor restores accuracy (un-sheds one task). Must be
+	// strictly below ShedThreshold. Default 0.1 (%).
+	RestoreThreshold float64 `json:"restore_threshold"`
+	// DwellEpochs is the minimum number of epochs between two governor
+	// actions, in either direction. Default 4.
+	DwellEpochs int `json:"dwell_epochs"`
+	// LatenessBudget, when positive, treats an epoch whose MaxLateness
+	// exceeds it as a full overload signal (the epoch scores as
+	// ShedThreshold even if its miss percentage was lower). Zero disables
+	// the lateness channel.
+	LatenessBudget task.Time `json:"lateness_budget"`
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.ShedThreshold == 0 {
+		c.ShedThreshold = 1.0
+	}
+	if c.RestoreThreshold == 0 {
+		c.RestoreThreshold = 0.1
+	}
+	if c.DwellEpochs == 0 {
+		c.DwellEpochs = 4
+	}
+	return c
+}
+
+// Validate rejects configurations whose hysteresis is broken.
+func (c GovernorConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.Window <= 0:
+		return fmt.Errorf("runtime: governor window %d must be positive", c.Window)
+	case c.ShedThreshold <= 0 || c.ShedThreshold > 100:
+		return fmt.Errorf("runtime: shed threshold %g outside (0,100]", c.ShedThreshold)
+	case c.RestoreThreshold < 0:
+		return fmt.Errorf("runtime: restore threshold %g must be non-negative", c.RestoreThreshold)
+	case c.RestoreThreshold >= c.ShedThreshold:
+		return fmt.Errorf("runtime: restore threshold %g must be strictly below shed threshold %g (hysteresis)",
+			c.RestoreThreshold, c.ShedThreshold)
+	case c.DwellEpochs < 0:
+		return fmt.Errorf("runtime: dwell %d must be non-negative", c.DwellEpochs)
+	case c.LatenessBudget < 0:
+		return fmt.Errorf("runtime: lateness budget %d must be non-negative", c.LatenessBudget)
+	}
+	return nil
+}
+
+// Action is the governor's per-epoch recommendation.
+type Action uint8
+
+const (
+	// ActionNone: stay the course.
+	ActionNone Action = iota
+	// ActionShed: force one more task (lowest criticality first) to its
+	// deepest imprecise level.
+	ActionShed
+	// ActionRestore: return the most recently shed task to its normal mode
+	// selection.
+	ActionRestore
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionShed:
+		return "shed"
+	case ActionRestore:
+		return "restore"
+	}
+	return fmt.Sprintf("action%d", uint8(a))
+}
+
+// Governor is the overload control loop. It owns only the observation
+// window and the hysteresis state; the Runtime owns the shed set and decides
+// which task an action lands on.
+type Governor struct {
+	cfg GovernorConfig
+
+	win      []float64 // ring buffer of per-epoch overload scores
+	idx      int       // next write position
+	n        int       // filled entries (<= len(win))
+	cooldown int       // epochs until the next action is allowed
+
+	sheds    int64
+	restores int64
+}
+
+// NewGovernor builds a governor; the config is defaulted and must validate.
+func NewGovernor(cfg GovernorConfig) (*Governor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Governor{cfg: cfg, win: make([]float64, cfg.Window)}, nil
+}
+
+// Config returns the defaulted configuration.
+func (g *Governor) Config() GovernorConfig { return g.cfg }
+
+// WindowMean returns the mean overload score over the filled window.
+func (g *Governor) WindowMean() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < g.n; i++ {
+		sum += g.win[i]
+	}
+	return sum / float64(g.n)
+}
+
+// Observe feeds one epoch's miss percentage and max lateness into the window
+// and returns the governor's recommendation. canShed/canRestore tell the
+// governor whether the runtime has anything left to shed or restore, so the
+// action counters only count actions that take effect.
+func (g *Governor) Observe(missPct float64, maxLateness task.Time, canShed, canRestore bool) Action {
+	score := missPct
+	if g.cfg.LatenessBudget > 0 && maxLateness > g.cfg.LatenessBudget && score < g.cfg.ShedThreshold {
+		score = g.cfg.ShedThreshold
+	}
+	if g.n < len(g.win) {
+		g.n++
+	}
+	g.win[g.idx] = score
+	g.idx = (g.idx + 1) % len(g.win)
+
+	if g.cooldown > 0 {
+		g.cooldown--
+		return ActionNone
+	}
+	mean := g.WindowMean()
+	switch {
+	case mean >= g.cfg.ShedThreshold && canShed:
+		g.cooldown = g.cfg.DwellEpochs
+		g.sheds++
+		return ActionShed
+	case mean <= g.cfg.RestoreThreshold && canRestore:
+		g.cooldown = g.cfg.DwellEpochs
+		g.restores++
+		return ActionRestore
+	}
+	return ActionNone
+}
+
+// Sheds returns the number of shed actions issued.
+func (g *Governor) Sheds() int64 { return g.sheds }
+
+// Restores returns the number of restore actions issued.
+func (g *Governor) Restores() int64 { return g.restores }
+
+// GovernorState is the serializable snapshot of the control loop, carried
+// inside runtime checkpoints.
+type GovernorState struct {
+	Window   []float64 `json:"window"`
+	Idx      int       `json:"idx"`
+	N        int       `json:"n"`
+	Cooldown int       `json:"cooldown"`
+	Sheds    int64     `json:"sheds"`
+	Restores int64     `json:"restores"`
+}
+
+// State snapshots the governor (the window is copied).
+func (g *Governor) State() GovernorState {
+	win := make([]float64, len(g.win))
+	copy(win, g.win)
+	return GovernorState{
+		Window: win, Idx: g.idx, N: g.n, Cooldown: g.cooldown,
+		Sheds: g.sheds, Restores: g.restores,
+	}
+}
+
+// GovernorFromState reconstructs a governor mid-flight. The state must be
+// internally consistent with the configuration or an error is returned
+// (checkpoint corruption must never panic).
+func GovernorFromState(cfg GovernorConfig, st GovernorState) (*Governor, error) {
+	g, err := NewGovernor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(st.Window) != len(g.win):
+		return nil, fmt.Errorf("runtime: governor window length %d does not match config %d",
+			len(st.Window), len(g.win))
+	case st.N < 0 || st.N > len(g.win):
+		return nil, fmt.Errorf("runtime: governor fill count %d outside [0,%d]", st.N, len(g.win))
+	case st.Idx < 0 || st.Idx >= len(g.win):
+		return nil, fmt.Errorf("runtime: governor ring index %d outside [0,%d)", st.Idx, len(g.win))
+	case st.Cooldown < 0:
+		return nil, fmt.Errorf("runtime: governor cooldown %d must be non-negative", st.Cooldown)
+	case st.Sheds < 0 || st.Restores < 0:
+		return nil, fmt.Errorf("runtime: governor action counters must be non-negative")
+	}
+	copy(g.win, st.Window)
+	g.idx, g.n, g.cooldown = st.Idx, st.N, st.Cooldown
+	g.sheds, g.restores = st.Sheds, st.Restores
+	return g, nil
+}

@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"testing"
+)
+
+func mkGov(t *testing.T, cfg GovernorConfig) *Governor {
+	t.Helper()
+	g, err := NewGovernor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGovernorConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GovernorConfig
+		ok   bool
+	}{
+		{"defaults", GovernorConfig{}, true},
+		{"explicit", GovernorConfig{Window: 4, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 2}, true},
+		{"restore==shed breaks hysteresis", GovernorConfig{ShedThreshold: 2, RestoreThreshold: 2}, false},
+		{"restore>shed", GovernorConfig{ShedThreshold: 1, RestoreThreshold: 3}, false},
+		{"negative restore", GovernorConfig{RestoreThreshold: -1}, false},
+		{"shed>100", GovernorConfig{ShedThreshold: 150}, false},
+		{"negative shed", GovernorConfig{ShedThreshold: -1}, false},
+		{"negative window", GovernorConfig{Window: -3}, false},
+		{"negative dwell", GovernorConfig{DwellEpochs: -1}, false},
+		{"negative lateness budget", GovernorConfig{LatenessBudget: -5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewGovernor(c.cfg)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewGovernor(%+v) err=%v, want ok=%v", c.cfg, err, c.ok)
+			}
+		})
+	}
+}
+
+// TestGovernorShedsUnderSustainedOverload: a miss rate held above the shed
+// threshold sheds — but only once the window mean crosses it, and then at
+// most once per dwell period.
+func TestGovernorShedsUnderSustainedOverload(t *testing.T) {
+	g := mkGov(t, GovernorConfig{Window: 4, ShedThreshold: 2, RestoreThreshold: 0.5, DwellEpochs: 3})
+
+	var actions []Action
+	for i := 0; i < 12; i++ {
+		actions = append(actions, g.Observe(10, 0, true, false))
+	}
+	// Epoch 0 already has window mean 10 >= 2: shed immediately, then 3
+	// epochs of enforced dwell, then shed again...
+	want := []Action{ActionShed, ActionNone, ActionNone, ActionNone,
+		ActionShed, ActionNone, ActionNone, ActionNone,
+		ActionShed, ActionNone, ActionNone, ActionNone}
+	for i := range want {
+		if actions[i] != want[i] {
+			t.Fatalf("epoch %d: action %v, want %v (full: %v)", i, actions[i], want[i], actions)
+		}
+	}
+	if g.Sheds() != 3 {
+		t.Errorf("sheds = %d, want 3", g.Sheds())
+	}
+}
+
+// TestGovernorHysteresisNoFlap: a miss rate sitting between the two
+// thresholds triggers nothing in either direction.
+func TestGovernorHysteresisNoFlap(t *testing.T) {
+	g := mkGov(t, GovernorConfig{Window: 4, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 2})
+	for i := 0; i < 50; i++ {
+		if a := g.Observe(3, 0, true, true); a != ActionNone {
+			t.Fatalf("epoch %d: mid-band miss rate triggered %v", i, a)
+		}
+	}
+	if g.Sheds() != 0 || g.Restores() != 0 {
+		t.Errorf("mid-band run acted: sheds=%d restores=%d", g.Sheds(), g.Restores())
+	}
+}
+
+// TestGovernorRestores: after overload clears, the window must drain below
+// the restore threshold before accuracy comes back.
+func TestGovernorRestores(t *testing.T) {
+	g := mkGov(t, GovernorConfig{Window: 4, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 3})
+
+	if a := g.Observe(50, 0, true, true); a != ActionShed {
+		t.Fatalf("overloaded epoch: %v, want shed", a)
+	}
+	// Clean epochs. Window still holds the 50 for the next 3 observations
+	// (means 25, 16.7, 12.5 — all still above the shed threshold, which the
+	// dwell must absorb); on the 4th the 50 rotates out, the mean drops to
+	// 0 ≤ restore threshold, and accuracy comes back.
+	want := []Action{ActionNone, ActionNone, ActionNone, ActionRestore}
+	for i, w := range want {
+		if a := g.Observe(0, 0, true, true); a != w {
+			t.Fatalf("clean epoch %d: %v, want %v (mean %v)", i, a, w, g.WindowMean())
+		}
+	}
+	if g.Sheds() != 1 || g.Restores() != 1 {
+		t.Errorf("sheds=%d restores=%d, want 1/1", g.Sheds(), g.Restores())
+	}
+}
+
+// TestGovernorLatenessChannel: lateness over budget scores as a full
+// overload signal even at zero misses.
+func TestGovernorLatenessChannel(t *testing.T) {
+	g := mkGov(t, GovernorConfig{Window: 2, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 1, LatenessBudget: 100})
+	if a := g.Observe(0, 50, true, false); a != ActionNone {
+		t.Fatalf("lateness under budget acted: %v", a)
+	}
+	g2 := mkGov(t, GovernorConfig{Window: 1, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 1, LatenessBudget: 100})
+	if a := g2.Observe(0, 101, true, false); a != ActionShed {
+		t.Fatalf("lateness over budget did not shed: %v", a)
+	}
+}
+
+// TestGovernorRespectsCanFlags: a governor with nothing to shed (or
+// restore) must not count phantom actions.
+func TestGovernorRespectsCanFlags(t *testing.T) {
+	g := mkGov(t, GovernorConfig{Window: 1, ShedThreshold: 1, RestoreThreshold: 0.1, DwellEpochs: 0})
+	for i := 0; i < 5; i++ {
+		if a := g.Observe(50, 0, false, false); a != ActionNone {
+			t.Fatalf("nothing to shed but acted: %v", a)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if a := g.Observe(0, 0, false, false); a != ActionNone {
+			t.Fatalf("nothing to restore but acted: %v", a)
+		}
+	}
+	if g.Sheds() != 0 || g.Restores() != 0 {
+		t.Errorf("phantom actions counted: sheds=%d restores=%d", g.Sheds(), g.Restores())
+	}
+}
+
+// TestGovernorStateRoundTrip: a restored governor must continue exactly
+// like the original.
+func TestGovernorStateRoundTrip(t *testing.T) {
+	cfg := GovernorConfig{Window: 4, ShedThreshold: 5, RestoreThreshold: 1, DwellEpochs: 3}
+	a := mkGov(t, cfg)
+	inputs := []float64{0, 50, 30, 0, 0, 10}
+	for _, m := range inputs {
+		a.Observe(m, 0, true, true)
+	}
+
+	b, err := GovernorFromState(cfg, a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range []float64{0, 0, 0, 0, 40, 0, 0, 0, 0, 0} {
+		ga, gb := a.Observe(m, 0, true, true), b.Observe(m, 0, true, true)
+		if ga != gb {
+			t.Fatalf("step %d: original %v, restored %v", i, ga, gb)
+		}
+	}
+	if a.Sheds() != b.Sheds() || a.Restores() != b.Restores() {
+		t.Errorf("counters diverged: %d/%d vs %d/%d", a.Sheds(), a.Restores(), b.Sheds(), b.Restores())
+	}
+
+	// State copies must not alias governor storage.
+	st := a.State()
+	st.Window[0] = -999
+	if a.State().Window[0] == -999 {
+		t.Error("State window aliases governor storage")
+	}
+}
+
+// TestGovernorFromStateRejectsCorrupt: every inconsistent snapshot errors,
+// never panics.
+func TestGovernorFromStateRejectsCorrupt(t *testing.T) {
+	cfg := GovernorConfig{Window: 4, ShedThreshold: 5, RestoreThreshold: 1}
+	good := mkGov(t, cfg).State()
+	mutate := []struct {
+		name string
+		fn   func(*GovernorState)
+	}{
+		{"window too short", func(s *GovernorState) { s.Window = s.Window[:2] }},
+		{"window too long", func(s *GovernorState) { s.Window = append(s.Window, 0) }},
+		{"nil window", func(s *GovernorState) { s.Window = nil }},
+		{"fill over capacity", func(s *GovernorState) { s.N = 9 }},
+		{"negative fill", func(s *GovernorState) { s.N = -1 }},
+		{"index out of range", func(s *GovernorState) { s.Idx = 4 }},
+		{"negative index", func(s *GovernorState) { s.Idx = -1 }},
+		{"negative cooldown", func(s *GovernorState) { s.Cooldown = -1 }},
+		{"negative sheds", func(s *GovernorState) { s.Sheds = -1 }},
+		{"negative restores", func(s *GovernorState) { s.Restores = -1 }},
+	}
+	for _, m := range mutate {
+		t.Run(m.name, func(t *testing.T) {
+			st := good
+			st.Window = append([]float64(nil), good.Window...)
+			m.fn(&st)
+			if _, err := GovernorFromState(cfg, st); err == nil {
+				t.Fatal("corrupt state accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"nprt/internal/esr"
+	"nprt/internal/sim"
+	"nprt/internal/task"
+)
+
+// guardedESR is the runtime's online policy: the paper's EDF+ESR dispatch
+// with one additional guard on slack spending.
+//
+// The churn soak found a genuine non-preemptive anomaly in the unguarded
+// rule (see ALGORITHMS.md §9.1 and TestGuardBlocksInterSlackAnomaly): a
+// chain of early-finishing jobs accumulates inter-job slack, a
+// long-deadline job dispatched just before a burst of short-deadline
+// releases spends that slack on an accurate run, and the burst then finds
+// the processor blocked for longer than Theorem 1's condition 2 ever
+// accounted — the blocking term in the analysis used x_i, the extended run
+// used up to w_i. The admission controller's guarantee would be void.
+//
+// The guard restores soundness while keeping reclamation: inherited
+// earliness (inter-job slack) may only fund an extension that completes
+// before the next release, so an extended run can never overlap an
+// arrival it would block anomalously. Individual slack is exempt — it is
+// backed by the γ_min margin, which scales the blocking term of condition
+// 2 along with everything else — and idle slack already ends before the
+// next release by construction.
+type guardedESR struct {
+	tracker *esr.Tracker
+}
+
+// Name implements sim.Policy; the label keeps guarded epochs
+// distinguishable from the paper's policy in reports and digests.
+func (p *guardedESR) Name() string { return "EDF+ESR+guard" }
+
+// Reset implements sim.Policy.
+func (p *guardedESR) Reset(st *sim.State) { p.tracker = esr.NewTracker(st.Set()) }
+
+// Pick is esr.Policy.Pick plus the arrival guard on the mode choice.
+func (p *guardedESR) Pick(st *sim.State) (sim.Decision, bool) {
+	j, ok := st.EDFPick()
+	if !ok {
+		return sim.Decision{}, false
+	}
+	s := p.tracker.Evaluate(st, j)
+	tk := st.Set().Task(j.TaskID)
+	now := st.Now()
+	rNext, haveNext := st.NextReleaseTime(j.Key())
+	deepest := tk.WCET(task.Deepest)
+	safe := s.Individual + s.Idle // spendable across arrivals
+	total := s.Total()
+
+	mode := tk.ClampMode(task.Deepest)
+	for m := task.Accurate; int(m) < tk.NumModes(); m++ {
+		w := tk.WCET(m)
+		gap := w - deepest
+		if gap > total || now+w > j.Deadline {
+			continue
+		}
+		if gap > safe && haveNext && now+w > rNext {
+			continue // inter-slack-funded extension would cross an arrival
+		}
+		mode = m
+		break
+	}
+	p.tracker.Commit(s)
+	return sim.Decision{Job: j, Mode: mode}, true
+}
+
+// JobFinished implements sim.Policy.
+func (p *guardedESR) JobFinished(_ *sim.State, _ sim.Decision, _, finish task.Time) {
+	p.tracker.Finished(finish)
+}
+
+// shedPolicy wraps the runtime's base policy while the governor has
+// accuracy shed: decisions for tasks in the forced set are demoted to the
+// task's deepest declared imprecise level. Demotion only ever shortens a
+// job's worst case, so it can never invalidate a guarantee the base policy
+// was relying on; it frees processor time, which is the point.
+//
+// The wrapper forwards the optional Validator and DropAware extensions so
+// an offline-planned base policy keeps its pre-run checks and its
+// lost-release handling while shed.
+type shedPolicy struct {
+	inner  sim.Policy
+	forced []bool // by task ID of the current set
+}
+
+// Name labels results so a shed epoch is distinguishable in reports and in
+// the runtime digest.
+func (p *shedPolicy) Name() string { return p.inner.Name() + "+shed" }
+
+// Reset implements sim.Policy.
+func (p *shedPolicy) Reset(st *sim.State) { p.inner.Reset(st) }
+
+// Pick demotes forced tasks to their deepest level.
+func (p *shedPolicy) Pick(st *sim.State) (sim.Decision, bool) {
+	d, ok := p.inner.Pick(st)
+	if !ok {
+		return d, ok
+	}
+	if d.Job.TaskID < len(p.forced) && p.forced[d.Job.TaskID] {
+		d.Mode = st.Set().Task(d.Job.TaskID).ClampMode(task.Deepest)
+	}
+	return d, ok
+}
+
+// JobFinished implements sim.Policy.
+func (p *shedPolicy) JobFinished(st *sim.State, d sim.Decision, start, finish task.Time) {
+	p.inner.JobFinished(st, d, start, finish)
+}
+
+// ValidateFor forwards the base policy's pre-run compatibility check.
+func (p *shedPolicy) ValidateFor(s *task.Set) error {
+	if v, ok := p.inner.(sim.Validator); ok {
+		return v.ValidateFor(s)
+	}
+	return nil
+}
+
+// JobDropped forwards lost-release notifications to a DropAware base.
+func (p *shedPolicy) JobDropped(st *sim.State, j task.Job) {
+	if da, ok := p.inner.(sim.DropAware); ok {
+		da.JobDropped(st, j)
+	}
+}

@@ -209,6 +209,11 @@ type Result struct {
 	Imprecise       int64
 	Busy            task.Time // total executed time
 	Horizon         task.Time
+	// MaxLateness is the largest finish − deadline over executed jobs
+	// (0 when nothing finished late). Dropped jobs are not included; their
+	// misses are already counted. Overload governors use this alongside the
+	// miss rate to grade how badly a window overran.
+	MaxLateness task.Time
 	Trace           *trace.Trace // first TraceLimit entries (nil when TraceLimit == 0)
 	Aborted         bool         // true when StopOnMiss fired
 	// Faults is the fault-injection accounting; nil when Config.Faults was
@@ -644,6 +649,9 @@ func Run(s *task.Set, p Policy, cfg Config) (*Result, error) {
 			res.PerTaskResponse[d.Job.TaskID].Add(float64(finish - d.Job.Release))
 		}
 		res.Busy += dur
+		if late := finish - d.Job.Deadline; late > res.MaxLateness {
+			res.MaxLateness = late
+		}
 		missed := finish > d.Job.Deadline || failed
 		res.Misses.Record(missed)
 		if faults != nil {

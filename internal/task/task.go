@@ -186,45 +186,76 @@ func (t *Task) UtilizationImprecise() float64 {
 	return float64(t.WCETImprecise) / float64(t.Period)
 }
 
-// Validate reports the first modelling error in the task, if any.
+// Sentinel validation errors. Validate (and therefore New) wraps each
+// rejection around one of these, so callers that screen external input — the
+// CLI front-ends mapping to exit codes, the runtime admission controller
+// building structured verdicts — can classify failures with errors.Is
+// instead of parsing messages.
+var (
+	// ErrNonPositivePeriod rejects p_i <= 0.
+	ErrNonPositivePeriod = errors.New("period must be positive")
+	// ErrNegativeRelease rejects r_{i,1} < 0.
+	ErrNegativeRelease = errors.New("release must be non-negative")
+	// ErrNonPositiveWCET rejects w_i <= 0 or x_i <= 0.
+	ErrNonPositiveWCET = errors.New("WCET must be positive")
+	// ErrModeOrder rejects x_i >= w_i: the imprecise level must be a strict
+	// reduction or the mode pair is meaningless.
+	ErrModeOrder = errors.New("imprecise WCET must be below accurate WCET")
+	// ErrWCETExceedsPeriod rejects w_i > p_i (the job could never meet its
+	// implicit deadline even alone on the processor).
+	ErrWCETExceedsPeriod = errors.New("WCET exceeds period")
+	// ErrBadName rejects names with control characters, which would corrupt
+	// CSV artifacts and log lines.
+	ErrBadName = errors.New("name contains control character")
+	// ErrBadStatistic rejects negative error means and malformed
+	// consecutive-imprecise budgets.
+	ErrBadStatistic = errors.New("invalid task statistic")
+	// ErrBadLevel rejects extra imprecision levels that are not strictly
+	// decreasing in WCET or carry negative error means.
+	ErrBadLevel = errors.New("invalid extra imprecision level")
+)
+
+// Validate reports the first modelling error in the task, if any. Every
+// rejection wraps one of the sentinel errors above.
 func (t *Task) Validate() error {
 	switch {
 	case t.Period <= 0:
-		return fmt.Errorf("task %q: period %d must be positive", t.Name, t.Period)
+		return fmt.Errorf("task %q: period %d: %w", t.Name, t.Period, ErrNonPositivePeriod)
 	case t.Release < 0:
-		return fmt.Errorf("task %q: release %d must be non-negative", t.Name, t.Release)
+		return fmt.Errorf("task %q: release %d: %w", t.Name, t.Release, ErrNegativeRelease)
 	case t.WCETAccurate <= 0:
-		return fmt.Errorf("task %q: accurate WCET %d must be positive", t.Name, t.WCETAccurate)
+		return fmt.Errorf("task %q: accurate WCET %d: %w", t.Name, t.WCETAccurate, ErrNonPositiveWCET)
 	case t.WCETImprecise <= 0:
-		return fmt.Errorf("task %q: imprecise WCET %d must be positive", t.Name, t.WCETImprecise)
+		return fmt.Errorf("task %q: imprecise WCET %d: %w", t.Name, t.WCETImprecise, ErrNonPositiveWCET)
 	case t.WCETImprecise >= t.WCETAccurate:
-		return fmt.Errorf("task %q: imprecise WCET %d must be below accurate WCET %d",
-			t.Name, t.WCETImprecise, t.WCETAccurate)
+		return fmt.Errorf("task %q: imprecise WCET %d vs accurate WCET %d: %w",
+			t.Name, t.WCETImprecise, t.WCETAccurate, ErrModeOrder)
 	case t.WCETAccurate > t.Period:
-		return fmt.Errorf("task %q: accurate WCET %d exceeds period %d (job can never meet its deadline)",
-			t.Name, t.WCETAccurate, t.Period)
+		return fmt.Errorf("task %q: accurate WCET %d exceeds period %d (job can never meet its deadline): %w",
+			t.Name, t.WCETAccurate, t.Period, ErrWCETExceedsPeriod)
 	case t.MaxConsecutiveImprecise < 0:
-		return fmt.Errorf("task %q: MaxConsecutiveImprecise %d must be non-negative",
-			t.Name, t.MaxConsecutiveImprecise)
+		return fmt.Errorf("task %q: MaxConsecutiveImprecise %d must be non-negative: %w",
+			t.Name, t.MaxConsecutiveImprecise, ErrBadStatistic)
 	case t.Error.Mean < 0:
-		return fmt.Errorf("task %q: mean error %g must be non-negative", t.Name, t.Error.Mean)
+		return fmt.Errorf("task %q: mean error %g must be non-negative: %w",
+			t.Name, t.Error.Mean, ErrBadStatistic)
 	}
 	// Names flow into CSV artifacts and log lines unescaped; control
 	// characters (found by fuzzing the JSON loader) would corrupt both.
 	for _, r := range t.Name {
 		if r < 0x20 || r == 0x7f {
-			return fmt.Errorf("task %q: name contains control character %q", t.Name, r)
+			return fmt.Errorf("task %q: %w %q", t.Name, ErrBadName, r)
 		}
 	}
 	prev := t.WCETImprecise
 	for i, lv := range t.ExtraLevels {
 		if lv.WCET < 1 || lv.WCET >= prev {
-			return fmt.Errorf("task %q: extra level %d WCET %d must be in [1, %d)",
-				t.Name, i, lv.WCET, prev)
+			return fmt.Errorf("task %q: extra level %d WCET %d must be in [1, %d): %w",
+				t.Name, i, lv.WCET, prev, ErrBadLevel)
 		}
 		if lv.Error.Mean < 0 {
-			return fmt.Errorf("task %q: extra level %d mean error %g must be non-negative",
-				t.Name, i, lv.Error.Mean)
+			return fmt.Errorf("task %q: extra level %d mean error %g must be non-negative: %w",
+				t.Name, i, lv.Error.Mean, ErrBadLevel)
 		}
 		prev = lv.WCET
 	}

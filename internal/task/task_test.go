@@ -1,6 +1,7 @@
 package task
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -403,5 +404,68 @@ func TestDecodeJSONErrors(t *testing.T) {
 	}
 	if _, err := DecodeJSON(strings.NewReader(`[{"Bogus":1}]`)); err == nil {
 		t.Error("unknown field accepted")
+	}
+}
+
+// The sentinel-error contract: New rejects each invalid boundary combination
+// with an error matching the right sentinel, and accepts the legal
+// boundaries — including a task whose utilization is exactly 1.0.
+func TestNewBoundaryValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		task Task
+		want error
+	}{
+		{"zero period", Task{Period: 0, WCETAccurate: 2, WCETImprecise: 1}, ErrNonPositivePeriod},
+		{"negative period", Task{Period: -10, WCETAccurate: 2, WCETImprecise: 1}, ErrNonPositivePeriod},
+		{"negative release", Task{Period: 10, Release: -1, WCETAccurate: 2, WCETImprecise: 1}, ErrNegativeRelease},
+		{"zero accurate wcet", Task{Period: 10, WCETAccurate: 0, WCETImprecise: 1}, ErrNonPositiveWCET},
+		{"negative accurate wcet", Task{Period: 10, WCETAccurate: -2, WCETImprecise: 1}, ErrNonPositiveWCET},
+		{"zero imprecise wcet", Task{Period: 10, WCETAccurate: 2, WCETImprecise: 0}, ErrNonPositiveWCET},
+		{"negative imprecise wcet", Task{Period: 10, WCETAccurate: 2, WCETImprecise: -1}, ErrNonPositiveWCET},
+		{"x equals w", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 5}, ErrModeOrder},
+		{"x above w", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 6}, ErrModeOrder},
+		{"w above period", Task{Period: 10, WCETAccurate: 11, WCETImprecise: 2}, ErrWCETExceedsPeriod},
+		{"negative B", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 2, MaxConsecutiveImprecise: -1}, ErrBadStatistic},
+		{"negative mean error", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 2, Error: Dist{Mean: -1}}, ErrBadStatistic},
+		{"control character name", Task{Name: "a\nb", Period: 10, WCETAccurate: 5, WCETImprecise: 2}, ErrBadName},
+		{"level not below x", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 2,
+			ExtraLevels: []Level{{WCET: 2}}}, ErrBadLevel},
+		{"level zero wcet", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 2,
+			ExtraLevels: []Level{{WCET: 0}}}, ErrBadLevel},
+		{"level negative error", Task{Period: 10, WCETAccurate: 5, WCETImprecise: 3,
+			ExtraLevels: []Level{{WCET: 2, Error: Dist{Mean: -1}}}}, ErrBadLevel},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New([]Task{c.task})
+			if err == nil {
+				t.Fatalf("New accepted invalid task %+v", c.task)
+			}
+			if !errors.Is(err, c.want) {
+				t.Errorf("New error %q does not wrap sentinel %q", err, c.want)
+			}
+		})
+	}
+
+	good := []struct {
+		name string
+		task Task
+	}{
+		{"utilization exactly 1.0", Task{Period: 10, WCETAccurate: 10, WCETImprecise: 3}},
+		{"minimal mode gap", Task{Period: 10, WCETAccurate: 2, WCETImprecise: 1}},
+		{"zero release", Task{Period: 10, Release: 0, WCETAccurate: 2, WCETImprecise: 1}},
+		{"B zero (no constraint)", Task{Period: 10, WCETAccurate: 2, WCETImprecise: 1, MaxConsecutiveImprecise: 0}},
+	}
+	for _, c := range good {
+		t.Run(c.name, func(t *testing.T) {
+			s, err := New([]Task{c.task})
+			if err != nil {
+				t.Fatalf("New rejected legal boundary task: %v", err)
+			}
+			if c.name == "utilization exactly 1.0" && s.UtilizationAccurate() != 1.0 {
+				t.Errorf("utilization = %g, want exactly 1.0", s.UtilizationAccurate())
+			}
+		})
 	}
 }

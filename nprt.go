@@ -44,6 +44,7 @@ import (
 	"nprt/internal/feasibility"
 	"nprt/internal/offline"
 	"nprt/internal/policy"
+	schedruntime "nprt/internal/runtime"
 	"nprt/internal/sim"
 	"nprt/internal/task"
 	"nprt/internal/trace"
@@ -307,4 +308,66 @@ func GenerateWorkload(spec WorkloadSpec) (*TaskSet, error) {
 // x-axis of the paper's Figures 3 and 5).
 func SweepUtilization(s *TaskSet, targets []float64) ([]*TaskSet, error) {
 	return workload.UtilizationSweep(s, targets)
+}
+
+// Long-running runtime (admission control, overload governor,
+// checkpoint/restore). The runtime wraps the simulator and the Theorem-1
+// analysis into a service whose task set churns while the scheduler is
+// live: every Add is screened in both accuracy profiles before it can
+// void a guarantee, sustained overload sheds accuracy (never timing)
+// under a hysteretic governor, and versioned snapshots make kill-and-
+// restore resume bit-identically — the running digest is the proof.
+
+// SchedulerRuntime is the long-running admission-controlled runtime.
+type SchedulerRuntime = schedruntime.Runtime
+
+// RuntimeOptions configures NewRuntime.
+type RuntimeOptions = schedruntime.Options
+
+// RuntimeTaskSpec is one admitted task plus its shed criticality.
+type RuntimeTaskSpec = schedruntime.TaskSpec
+
+// RuntimeGovernorConfig tunes the overload governor's hysteresis.
+type RuntimeGovernorConfig = schedruntime.GovernorConfig
+
+// AdmissionDecision is the structured outcome of one runtime request.
+type AdmissionDecision = schedruntime.Decision
+
+// AdmissionVerdict classifies an admission decision.
+type AdmissionVerdict = schedruntime.Verdict
+
+// Admission verdicts.
+const (
+	// AdmissionRejected: admitting would void the deadline guarantee.
+	AdmissionRejected = schedruntime.Rejected
+	// AdmissionAdmitted: both accuracy profiles pass Theorem 1.
+	AdmissionAdmitted = schedruntime.Admitted
+	// AdmissionAdmittedDegraded: only the deepest-imprecise profile
+	// passes — deadlines are guaranteed, full accuracy is not.
+	AdmissionAdmittedDegraded = schedruntime.AdmittedDegraded
+)
+
+// RuntimeMetrics are the runtime's monotonic lifetime counters.
+type RuntimeMetrics = schedruntime.Metrics
+
+// RuntimeEvent is one scripted admission-control request.
+type RuntimeEvent = schedruntime.Event
+
+// RuntimeTape is a replayable script of admission-control requests.
+type RuntimeTape = schedruntime.Tape
+
+// RuntimeCheckpoint is a versioned snapshot of the full runtime state.
+type RuntimeCheckpoint = schedruntime.Checkpoint
+
+// NewRuntime starts an empty long-running runtime.
+func NewRuntime(opt RuntimeOptions) (*SchedulerRuntime, error) { return schedruntime.New(opt) }
+
+// RestoreRuntime resumes a runtime from a checkpoint written by
+// (*SchedulerRuntime).Checkpoint and EncodeRuntimeCheckpoint; the restored
+// instance continues bit-identically to one that was never stopped.
+func RestoreRuntime(r io.Reader) (*SchedulerRuntime, error) { return schedruntime.Restore(r) }
+
+// EncodeRuntimeCheckpoint writes a snapshot as versioned JSON.
+func EncodeRuntimeCheckpoint(w io.Writer, cp *RuntimeCheckpoint) error {
+	return schedruntime.EncodeCheckpoint(w, cp)
 }

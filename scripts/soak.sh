@@ -1,0 +1,20 @@
+#!/bin/sh
+# Run the churn soak against the long-running scheduler runtime and write
+# the JSON/CSV artifact. The soak replays deterministic admission-control
+# event tapes (adds, removes, overload windows) on both dispatch engines
+# and fails if an admitted set misses a deadline outside a declared
+# degraded window, or if the engines' digests diverge.
+#
+# usage: scripts/soak.sh [outdir] [events]
+#
+#   outdir  artifact directory          (default: churnsoak)
+#   events  admission events per tape   (default: 1500 — the CI short
+#           soak; use 10000 for the full endurance run, or more)
+set -eu
+cd "$(dirname "$0")/.."
+
+outdir="${1:-churnsoak}"
+events="${2:-1500}"
+
+go run ./cmd/paperbench churn -events "$events" -csv "$outdir"
+echo "soak artifact: $outdir/churn.json"
