@@ -5,13 +5,19 @@ package nprt_test
 // toolchain on PATH (always true under `go test`).
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -424,4 +430,297 @@ func TestE2EPaperbenchChurn(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "churn.csv")); err != nil {
 		t.Errorf("churn.csv missing: %v", err)
 	}
+}
+
+// TestE2EImpserveDurable proves the -dir mode contract: journaling is
+// invisible to the run identity (durable digest == in-memory digest), and
+// a process killed at an fsync boundary recovers bit-identically.
+func TestE2EImpserveDurable(t *testing.T) {
+	dir := t.TempDir()
+	tape := filepath.Join(dir, "tape.json")
+	if out, err := runTool(t, "impserve", "-gen", "24", "-seed", "7", "-tape", tape); err != nil {
+		t.Fatalf("gen: %v\n%s", err, out)
+	}
+
+	mem, err := runTool(t, "impserve", "-tape", tape, "-quiet")
+	if err != nil {
+		t.Fatalf("in-memory run: %v\n%s", err, mem)
+	}
+	wantDigest := digestLine(t, mem)
+
+	dur, err := runTool(t, "impserve", "-tape", tape, "-quiet", "-dir", filepath.Join(dir, "clean"))
+	if err != nil {
+		t.Fatalf("durable run: %v\n%s", err, dur)
+	}
+	if got := digestLine(t, dur); got != wantDigest {
+		t.Errorf("durable digest %s, in-memory %s", got, wantDigest)
+	}
+	var fsyncs int
+	if _, err := fmt.Sscanf(fieldLine(t, dur, "fsyncs:"), "%d", &fsyncs); err != nil || fsyncs == 0 {
+		t.Fatalf("no fsyncs count in:\n%s", dur)
+	}
+
+	// Kill mid-run at an fsync boundary; the recovery run must resume from
+	// durable state and finish with the uncrashed digest.
+	crashDir := filepath.Join(dir, "crash")
+	code, out := exitCode(t, "impserve", "-tape", tape, "-quiet", "-dir", crashDir,
+		"-crash-after-fsync", strconv.Itoa(fsyncs/2))
+	if code != 7 {
+		t.Fatalf("crash run exit %d, want 7\n%s", code, out)
+	}
+	rec, err := runTool(t, "impserve", "-tape", tape, "-quiet", "-dir", crashDir)
+	if err != nil {
+		t.Fatalf("recovery run: %v\n%s", err, rec)
+	}
+	if !strings.Contains(rec, "restored:") {
+		t.Errorf("no restore confirmation:\n%s", rec)
+	}
+	if got := digestLine(t, rec); got != wantDigest {
+		t.Errorf("recovered digest %s, uncrashed %s", got, wantDigest)
+	}
+}
+
+// fieldLine extracts the value of a "label:  value" summary line.
+func fieldLine(t *testing.T, out, label string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, label) {
+			return strings.TrimSpace(strings.TrimPrefix(line, label))
+		}
+	}
+	t.Fatalf("no %q line in:\n%s", label, out)
+	return ""
+}
+
+// TestE2EImpserveSweep runs the self-exec crash-point sweep on a small
+// tape and checks the JSON artifact: every kill point recovered.
+func TestE2EImpserveSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep re-executes the binary dozens of times; skipped with -short")
+	}
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "sweep.json")
+	out, err := runTool(t, "impserve", "-sweep", "-gen", "8", "-seed", "5",
+		"-sweep-engine", "indexed", "-sweep-out", artifact)
+	if err != nil {
+		t.Fatalf("sweep: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "crash points recovered") {
+		t.Errorf("sweep summary missing:\n%s", out)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Engines []struct {
+			Engine string `json:"engine"`
+			Fsyncs int    `json:"fsyncs"`
+			AllOK  bool   `json:"all_ok"`
+		} `json:"engines"`
+		AllOK bool `json:"all_ok"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact: %v\n%.200s", err, data)
+	}
+	if !report.AllOK || len(report.Engines) != 1 || !report.Engines[0].AllOK {
+		t.Errorf("sweep artifact not all-ok: %+v", report)
+	}
+	if report.Engines[0].Fsyncs < 10 {
+		t.Errorf("suspiciously few crash points: %d", report.Engines[0].Fsyncs)
+	}
+}
+
+// TestE2EImpserveStrict pins -strict tape validation: churn tapes carry
+// deliberate stale events and must be rejected with line numbers, while a
+// clean tape passes.
+func TestE2EImpserveStrict(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{
+  "events": [
+    {"epoch": 0, "op": "remove", "name": "ghost"}
+  ]
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := exitCode(t, "impserve", "-tape", bad, "-strict", "-epochs", "2", "-quiet")
+	if code != 2 {
+		t.Fatalf("strict ghost-remove exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "line 3") || !strings.Contains(out, "unknown task") {
+		t.Errorf("strict rejection lacks line/cause:\n%s", out)
+	}
+	// The same tape is tolerated (stale request) without -strict.
+	if code, out := exitCode(t, "impserve", "-tape", bad, "-epochs", "2", "-quiet"); code != 0 {
+		t.Errorf("lenient ghost-remove exit %d, want 0\n%s", code, out)
+	}
+	// A generated churn tape deliberately contains stale events: strict
+	// mode must refuse it too.
+	tape := filepath.Join(dir, "churn.json")
+	if out, err := runTool(t, "impserve", "-gen", "64", "-seed", "3", "-tape", tape); err != nil {
+		t.Fatalf("gen: %v\n%s", err, out)
+	}
+	if code, out := exitCode(t, "impserve", "-tape", tape, "-strict", "-epochs", "2", "-quiet"); code != 2 {
+		t.Errorf("strict churn tape exit %d, want 2\n%s", code, out)
+	}
+}
+
+// TestE2EImpserveServe drives the supervised HTTP service: readiness
+// flips after recovery, admissions land over HTTP, SIGTERM drains
+// gracefully (exit 0), and a restart restores the admitted state.
+func TestE2EImpserveServe(t *testing.T) {
+	dir := t.TempDir()
+	stateDir := filepath.Join(dir, "state")
+
+	start := func() (*exec.Cmd, string, *lockedBuf) {
+		cmd := exec.Command(filepath.Join(binDir, "impserve"),
+			"-dir", stateDir, "-listen", "127.0.0.1:0", "-epoch-interval", "10ms")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := &lockedBuf{}
+		cmd.Stderr = buf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// First line announces the bound address; everything after goes to
+		// the shared buffer (locked: the drain goroutine keeps writing
+		// while the test reads) for later assertions.
+		sc := bufio.NewScanner(stdout)
+		var addr string
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(buf, line)
+			if strings.HasPrefix(line, "listening:") {
+				addr = strings.TrimSpace(strings.TrimPrefix(line, "listening:"))
+				break
+			}
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatalf("no listening line; output so far:\n%s", buf.String())
+		}
+		go func() {
+			for sc.Scan() {
+				fmt.Fprintln(buf, sc.Text())
+			}
+		}()
+		return cmd, "http://" + addr, buf
+	}
+
+	waitReady := func(base string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("service never became ready: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	cmd, base, _ := start()
+	waitReady(base)
+
+	// Admit one task over HTTP.
+	body := `{"op":"add","task":{"task":{"Name":"web1","Period":40,"WCETAccurate":8,"WCETImprecise":3,
+		"ExecAccurate":{"Mean":4,"Sigma":1,"Min":1,"Max":8},
+		"ExecImprecise":{"Mean":1.5,"Sigma":0.4,"Min":1,"Max":3},
+		"Error":{"Mean":2,"Sigma":0.5}}}}`
+	resp, err := http.Post(base+"/admit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit: %d: %s", resp.StatusCode, admitOut)
+	}
+	// Malformed admissions are rejected at the door.
+	resp, err = http.Post(base+"/admit", "application/json", strings.NewReader(`{"op":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad admit: %d, want 400", resp.StatusCode)
+	}
+
+	// /state reflects the admission.
+	resp, err = http.Get(base + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		Ready    bool   `json:"ready"`
+		Tasks    int    `json:"tasks"`
+		Admitted uint64 `json:"admitted"`
+		Digest   string `json:"digest"`
+	}
+	if err := json.Unmarshal(stateOut, &st); err != nil {
+		t.Fatalf("state: %v\n%s", err, stateOut)
+	}
+	if !st.Ready || st.Tasks != 1 || st.Admitted != 1 || st.Digest == "" {
+		t.Errorf("state after admit: %s", stateOut)
+	}
+
+	// Graceful drain on SIGTERM: exit 0 and a drained marker.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve exit: %v", err)
+	}
+
+	// Restart on the same directory: state restores, service is ready
+	// again, and the admitted task survived the restart.
+	cmd, base, buf := start()
+	waitReady(base)
+	resp, err = http.Get(base + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateOut, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(stateOut, &st); err != nil {
+		t.Fatalf("state: %v\n%s", err, stateOut)
+	}
+	if st.Tasks != 1 {
+		t.Errorf("restarted state lost the task: %s", stateOut)
+	}
+	if !strings.Contains(buf.String(), "restored:") {
+		t.Errorf("restart printed no restore line:\n%s", buf.String())
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}
+
+// lockedBuf is a mutex-guarded output sink: the child-process drain
+// goroutine writes while the test goroutine reads.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
 }

@@ -1,0 +1,606 @@
+// Package journal is a crash-only write-ahead log for the long-running
+// scheduler runtime: an append-only sequence of typed records, framed with
+// explicit lengths and CRC32C checksums, split across rotating segment
+// files.
+//
+// The durability contract is the crash-only one: the writer may die at any
+// instruction — between two byte writes, between a write and its fsync,
+// half-way through a segment rotation — and the reader must always recover
+// the longest valid prefix of what was durably written, never panic on the
+// garbage past it, and never mistake garbage for a record. Three mechanisms
+// carry that contract:
+//
+//   - framing: every record is [u32 length][u32 CRC32C(body)][body], where
+//     body = [u8 type][u64 index][payload]. A torn tail — partial length
+//     word, partial body, or a body whose checksum does not match — marks
+//     the end of the valid prefix. Record indices are assigned by the
+//     writer, strictly contiguous from 1; a non-contiguous index is treated
+//     exactly like a bad checksum.
+//   - segment headers: each segment file opens with a magic string, a
+//     format version and the index of its first record, checksummed
+//     separately, so a half-created segment (or a file that is not a
+//     journal at all) is detected before any record is believed.
+//   - explicit fsync: Append buffers nothing but promises nothing either;
+//     durability is claimed only by Sync, which fsyncs the active segment.
+//     Callers journal a mutation and Sync *before* applying it — the
+//     write-ahead discipline — so an applied mutation is always replayable.
+//
+// Rotation seals the active segment once it crosses Options.SegmentBytes;
+// sealed segments are immutable and CompactTo deletes the ones a checkpoint
+// has made redundant. Recovery (Open) truncates the torn tail of the last
+// segment and discards any segments past a corrupt one, restoring the
+// invariant that the on-disk journal is exactly one valid record prefix.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type tags a record's payload. The journal itself is payload-agnostic;
+// types exist so a replayer can dispatch without sniffing JSON.
+type Type uint8
+
+const (
+	// TypeEvent is a runtime request (add/remove/overload), journaled
+	// before it is applied.
+	TypeEvent Type = 1
+	// TypeEpoch is an epoch-completion record (epoch number, post-epoch
+	// digest), journaled after the epoch ran.
+	TypeEpoch Type = 2
+	// TypeMark is a checkpoint marker (observability only; recovery uses
+	// the checkpoint's own journal position, not the marker).
+	TypeMark Type = 3
+)
+
+// String names the record type.
+func (t Type) String() string {
+	switch t {
+	case TypeEvent:
+		return "event"
+	case TypeEpoch:
+		return "epoch"
+	case TypeMark:
+		return "mark"
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+// Record is one journal entry. Index is assigned by the writer,
+// contiguous from 1.
+type Record struct {
+	Index   uint64
+	Type    Type
+	Payload []byte
+}
+
+// Format constants. The magic doubles as a human-readable file signature;
+// the version is the frame-format version, bumped on any layout change.
+const (
+	version    = 1
+	headerSize = 24 // magic[8] + version u32 + base index u64 + header CRC u32
+	frameSize  = 8  // length u32 + body CRC u32
+	bodyMin    = 9  // type u8 + index u64
+
+	// maxBody bounds the length word so a corrupt frame cannot demand an
+	// absurd allocation. Runtime records are well under a kilobyte.
+	maxBody = 16 << 20
+)
+
+var magic = [8]byte{'N', 'P', 'R', 'T', 'W', 'A', 'L', '1'}
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64 — the same checksum ext4, Btrfs and iSCSI use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal errors.
+var (
+	// ErrMissingRecords reports a gap: the caller asked to replay from an
+	// index the remaining segments no longer cover (a checkpoint and its
+	// compaction got out of sync, or a segment file was deleted by hand).
+	ErrMissingRecords = errors.New("journal: records missing before first segment")
+	// ErrClosed rejects use after Close.
+	ErrClosed = errors.New("journal: writer is closed")
+)
+
+// Options parameterizes a Writer. The zero value is usable.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches it, the next Append seals it and starts a new one.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// AfterSync, when non-nil, runs after every successful fsync (segment
+	// data, new-segment creation, directory entries). The crash-point
+	// sweep uses it to kill the process at every durability boundary.
+	AfterSync func()
+	// NoSync disables fsync entirely (tests that only care about framing).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// segName formats a segment file name from its base index. Fixed-width hex
+// keeps lexicographic order equal to numeric order.
+func segName(base uint64) string {
+	return fmt.Sprintf("seg-%016x.wal", base)
+}
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal")
+	if len(mid) != 16 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(mid, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// listSegments returns the journal's segment base indices, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if base, ok := parseSegName(e.Name()); ok {
+			bases = append(bases, base)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// encodeHeader renders a segment header for the given base index.
+func encodeHeader(base uint64) []byte {
+	h := make([]byte, headerSize)
+	copy(h, magic[:])
+	binary.LittleEndian.PutUint32(h[8:], version)
+	binary.LittleEndian.PutUint64(h[12:], base)
+	binary.LittleEndian.PutUint32(h[20:], crc32.Checksum(h[:20], castagnoli))
+	return h
+}
+
+// decodeHeader validates a segment header and returns its base index.
+func decodeHeader(h []byte) (uint64, bool) {
+	if len(h) < headerSize || [8]byte(h[:8]) != magic {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint32(h[8:]) != version {
+		return 0, false
+	}
+	if crc32.Checksum(h[:20], castagnoli) != binary.LittleEndian.Uint32(h[20:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(h[12:]), true
+}
+
+// encodeRecord renders one framed record.
+func encodeRecord(t Type, index uint64, payload []byte) []byte {
+	body := len(payload) + bodyMin
+	buf := make([]byte, frameSize+body)
+	binary.LittleEndian.PutUint32(buf, uint32(body))
+	buf[frameSize] = byte(t)
+	binary.LittleEndian.PutUint64(buf[frameSize+1:], index)
+	copy(buf[frameSize+bodyMin:], payload)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[frameSize:], castagnoli))
+	return buf
+}
+
+// decodeRecord parses the frame at data[off:]. ok is false on any torn or
+// corrupt frame — which, per the crash-only contract, simply ends the valid
+// prefix. wantIndex is the contiguity check; a mismatch is corruption.
+func decodeRecord(data []byte, off int, wantIndex uint64) (rec Record, next int, ok bool) {
+	if off+frameSize > len(data) {
+		return rec, 0, false // torn length/CRC words
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	if n < bodyMin || n > maxBody {
+		return rec, 0, false
+	}
+	if off+frameSize+n > len(data) {
+		return rec, 0, false // torn body
+	}
+	body := data[off+frameSize : off+frameSize+n]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[off+4:]) {
+		return rec, 0, false
+	}
+	rec.Type = Type(body[0])
+	rec.Index = binary.LittleEndian.Uint64(body[1:])
+	if rec.Index != wantIndex {
+		return rec, 0, false
+	}
+	rec.Payload = append([]byte(nil), body[bodyMin:]...)
+	return rec, off + frameSize + n, true
+}
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Writer is the append side of the journal. Not safe for concurrent use.
+type Writer struct {
+	dir    string
+	opt    Options
+	f      *os.File // active segment
+	size   int64    // bytes written to the active segment
+	bases  []uint64 // all live segments, ascending; last is active
+	next   uint64   // index the next Append will get
+	dirty  bool     // appended since last Sync
+	closed bool
+}
+
+// Open recovers the journal in dir (creating it if empty) and returns a
+// writer positioned after the last valid record. Recovery truncates the
+// torn tail of the segment holding the first invalid byte and deletes
+// every segment after it, so the on-disk state is again exactly one valid
+// prefix. Recovered reports how many valid records survive; Truncated is
+// the number of garbage bytes discarded.
+func Open(dir string, opt Options) (w *Writer, err error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	bases, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scan segments in order, tracking the expected next index. The scan
+	// stops at the first invalid header or frame; everything after it is
+	// removed.
+	next := uint64(1)
+	if len(bases) > 0 {
+		// A compacted journal starts past index 1; trust the first
+		// surviving header for the starting point (it is checksummed, and
+		// a corrupt first header deletes the whole journal — the only
+		// honest option, since nothing valid remains).
+		if data, rerr := os.ReadFile(filepath.Join(dir, segName(bases[0]))); rerr == nil {
+			if base, ok := decodeHeader(data); ok && base == bases[0] {
+				next = base
+			}
+		}
+	}
+	keep := 0
+	broken := false
+	for _, base := range bases {
+		if broken || base != next {
+			// Past a corruption point, or a gap/overlap in the chain:
+			// unreachable records, delete.
+			if err := os.Remove(filepath.Join(dir, segName(base))); err != nil {
+				return nil, err
+			}
+			broken = true
+			continue
+		}
+		path := filepath.Join(dir, segName(base))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		hbase, ok := decodeHeader(data)
+		if !ok || hbase != base {
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			broken = true
+			continue
+		}
+		off := headerSize
+		for off < len(data) {
+			rec, n, ok := decodeRecord(data, off, next)
+			if !ok {
+				break
+			}
+			_ = rec
+			next++
+			off = n
+		}
+		if off < len(data) {
+			// Torn or corrupt tail: truncate to the last valid record.
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return nil, err
+			}
+			broken = true
+		}
+		keep++
+	}
+	bases = bases[:keep]
+
+	w = &Writer{dir: dir, opt: opt, bases: bases, next: next}
+	if len(bases) == 0 {
+		if err := w.newSegment(next); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	active := filepath.Join(dir, segName(bases[len(bases)-1]))
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.f, w.size = f, fi.Size()
+	return w, nil
+}
+
+// newSegment creates and durably registers a fresh segment whose first
+// record will carry index base.
+func (w *Writer) newSegment(base uint64) error {
+	path := filepath.Join(w.dir, segName(base))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeHeader(base)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.fsync(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.fsyncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, headerSize
+	w.bases = append(w.bases, base)
+	return nil
+}
+
+// fsync syncs one file and fires the crash hook.
+func (w *Writer) fsync(f *os.File) error {
+	if w.opt.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if w.opt.AfterSync != nil {
+		w.opt.AfterSync()
+	}
+	return nil
+}
+
+// fsyncDir syncs the journal directory and fires the crash hook.
+func (w *Writer) fsyncDir() error {
+	if w.opt.NoSync {
+		return nil
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	if w.opt.AfterSync != nil {
+		w.opt.AfterSync()
+	}
+	return nil
+}
+
+// LastIndex returns the index of the last appended record (0 if none).
+func (w *Writer) LastIndex() uint64 { return w.next - 1 }
+
+// Segments returns the number of live segment files (including active).
+func (w *Writer) Segments() int { return len(w.bases) }
+
+// Append frames one record and writes it to the active segment, rotating
+// first if the segment is full. The record is NOT durable until Sync
+// returns; write-ahead callers must Sync before applying the mutation the
+// record describes.
+func (w *Writer) Append(t Type, payload []byte) (uint64, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.size >= w.opt.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	idx := w.next
+	buf := encodeRecord(t, idx, payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, err
+	}
+	w.size += int64(len(buf))
+	w.next++
+	w.dirty = true
+	return idx, nil
+}
+
+// Sync makes every appended record durable. No-op when nothing was
+// appended since the last Sync (so the crash-point count tracks logical
+// commits, not call sites).
+func (w *Writer) Sync() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if !w.dirty {
+		return nil
+	}
+	if err := w.fsync(w.f); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// rotate seals the active segment and opens the next one.
+func (w *Writer) rotate() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return w.newSegment(w.next)
+}
+
+// CompactTo deletes sealed segments whose records are all covered by a
+// checkpoint at index idx (i.e. every record index ≤ idx). The active
+// segment is never deleted. Crash-safe: compaction only removes data the
+// checkpoint already made redundant, so dying between removals leaves
+// extra-but-harmless segments that the next compaction retries.
+func (w *Writer) CompactTo(idx uint64) error {
+	if w.closed {
+		return ErrClosed
+	}
+	removed := 0
+	for i := 0; i+1 < len(w.bases); i++ {
+		// Sealed segment i spans [bases[i], bases[i+1]-1].
+		if w.bases[i+1]-1 > idx {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(w.bases[i]))); err != nil {
+			return err
+		}
+		removed++
+	}
+	if removed > 0 {
+		w.bases = append(w.bases[:0], w.bases[removed:]...)
+		if err := w.fsyncDir(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards every segment and starts an empty journal whose next
+// record will carry index base+1. The store uses it when a checkpoint is
+// ahead of the recovered journal (the log was lost or corrupted past the
+// checkpoint): the checkpoint already covers indices ≤ base, and new
+// records must continue the numbering or replay's contiguity check would
+// reject them.
+func (w *Writer) Reset(base uint64) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	for _, b := range w.bases {
+		if err := os.Remove(filepath.Join(w.dir, segName(b))); err != nil {
+			return err
+		}
+	}
+	w.bases = w.bases[:0]
+	w.next = base + 1
+	w.dirty = false
+	if err := w.fsyncDir(); err != nil {
+		return err
+	}
+	return w.newSegment(w.next)
+}
+
+// Close syncs and releases the active segment.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	err := w.Sync()
+	w.closed = true
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats summarizes a Replay pass.
+type Stats struct {
+	// Records is the number of records delivered (index > from).
+	Records int
+	// Last is the index of the last valid record seen (0 if none).
+	Last uint64
+	// Torn reports that the scan ended at a torn or corrupt frame rather
+	// than a clean end-of-journal. After Open this is always false.
+	Torn bool
+}
+
+// Replay scans the journal in dir and calls fn for every valid record with
+// Index > from, in order. It never panics on corrupt input: the scan ends
+// at the first invalid header or frame (Stats.Torn). A non-nil error from
+// fn aborts the replay and is returned. Replay is read-only — pair it with
+// Open (which repairs the files) when the journal will be appended to.
+func Replay(dir string, from uint64, fn func(Record) error) (Stats, error) {
+	var st Stats
+	bases, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	if len(bases) == 0 {
+		return st, nil
+	}
+	if bases[0] > from+1 {
+		return st, fmt.Errorf("%w: journal starts at %d, need %d",
+			ErrMissingRecords, bases[0], from+1)
+	}
+	next := bases[0]
+	for _, base := range bases {
+		if base != next {
+			st.Torn = true
+			return st, nil
+		}
+		data, err := os.ReadFile(filepath.Join(dir, segName(base)))
+		if err != nil {
+			return st, err
+		}
+		hbase, ok := decodeHeader(data)
+		if !ok || hbase != base {
+			st.Torn = true
+			return st, nil
+		}
+		off := headerSize
+		for off < len(data) {
+			rec, n, ok := decodeRecord(data, off, next)
+			if !ok {
+				st.Torn = true
+				return st, nil
+			}
+			next, off = next+1, n
+			st.Last = rec.Index
+			if rec.Index > from {
+				st.Records++
+				if err := fn(rec); err != nil {
+					return st, err
+				}
+			}
+		}
+	}
+	return st, nil
+}

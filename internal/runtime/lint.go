@@ -1,0 +1,208 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Tape linting: decode-time rejection of scripts that would only fail
+// epochs later, mid-replay. The plain DecodeTape accepts stale requests
+// (remove of a never-admitted name, re-add of a live one) because churn
+// generators produce them deliberately and the runtime absorbs them; a
+// hand-written operational tape, though, almost certainly *means* every
+// event, so impserve's -strict mode runs LintTape and rejects the tape
+// with the offending line number instead of surfacing an ErrUnknownTask
+// at epoch 4000.
+//
+// The lint is static: it assumes every well-formed add is admitted (it
+// does not re-run Theorem-1 screening), so a tape that intentionally
+// re-adds a name whose first add the controller rejected will lint as a
+// duplicate. That is the right trade for a strict mode — such a tape is
+// relying on runtime state to discard events, which is exactly the
+// ambiguity strictness exists to forbid.
+
+// TapeIssue is one strict-mode finding, tied to its source location.
+type TapeIssue struct {
+	Event int   // index into Tape.Events
+	Line  int   // 1-based line in the decoded document; 0 when unknown
+	Err   error // the underlying complaint
+}
+
+// Error renders "line L, event E: problem".
+func (i TapeIssue) Error() string {
+	if i.Line > 0 {
+		return fmt.Sprintf("line %d, event %d: %v", i.Line, i.Event, i.Err)
+	}
+	return fmt.Sprintf("event %d: %v", i.Event, i.Err)
+}
+
+func (i TapeIssue) Unwrap() error { return i.Err }
+
+// Lint-specific complaints (ErrBadEvent covers the structural ones).
+var (
+	// ErrDuplicateAdd flags an add whose name is already live on the tape.
+	ErrDuplicateAdd = errors.New("duplicate add: task name is already live")
+	// ErrRemoveUnknown flags a remove of a name no prior add made live.
+	ErrRemoveUnknown = errors.New("remove of unknown task: no live add for this name")
+	// ErrEpochRegression flags an event scheduled before its predecessor.
+	ErrEpochRegression = errors.New("non-monotonic epoch")
+)
+
+// LintTape statically checks a tape: per-event structural validity
+// (Event.Validate plus task validation on adds), epoch monotonicity, and
+// the add/remove name discipline. lines, when non-nil, carries the
+// 1-based source line of each event (from DecodeTapeLines) and must be
+// the same length as tp.Events.
+func LintTape(tp *Tape, lines []int) []TapeIssue {
+	var issues []TapeIssue
+	report := func(i int, err error) {
+		line := 0
+		if lines != nil && i < len(lines) {
+			line = lines[i]
+		}
+		issues = append(issues, TapeIssue{Event: i, Line: line, Err: err})
+	}
+
+	live := make(map[string]bool)
+	last := int64(0)
+	for i := range tp.Events {
+		ev := &tp.Events[i]
+		if err := ev.Validate(); err != nil {
+			report(i, err)
+			continue
+		}
+		if ev.Epoch < last {
+			report(i, fmt.Errorf("%w: epoch %d after %d", ErrEpochRegression, ev.Epoch, last))
+		} else {
+			last = ev.Epoch
+		}
+		switch ev.Op {
+		case "add":
+			name := ev.Task.Task.Name
+			if err := ev.Task.Task.Validate(); err != nil {
+				report(i, err)
+				continue
+			}
+			if live[name] {
+				report(i, fmt.Errorf("%w: %q", ErrDuplicateAdd, name))
+				continue
+			}
+			live[name] = true
+		case "remove":
+			if !live[ev.Name] {
+				report(i, fmt.Errorf("%w: %q", ErrRemoveUnknown, ev.Name))
+				continue
+			}
+			delete(live, ev.Name)
+		}
+	}
+	return issues
+}
+
+// DecodeTapeLines decodes a tape while recording the 1-based source line
+// each event starts on. Unknown fields are rejected, as in DecodeTape;
+// unlike DecodeTape it does NOT run Tape.Validate — it exists for the
+// strict path, which wants every complaint tied to a line.
+func DecodeTapeLines(rd io.Reader) (*Tape, []int, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("runtime: reading tape: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+
+	expectDelim := func(d rune) error {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("runtime: decoding tape: %w", err)
+		}
+		if delim, ok := tok.(json.Delim); !ok || delim != json.Delim(d) {
+			return fmt.Errorf("runtime: decoding tape: expected %q, found %v", d, tok)
+		}
+		return nil
+	}
+
+	if err := expectDelim('{'); err != nil {
+		return nil, nil, err
+	}
+	tp := &Tape{}
+	var lines []int
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: decoding tape: %w", err)
+		}
+		key, _ := tok.(string)
+		if key != "events" {
+			return nil, nil, fmt.Errorf("runtime: decoding tape: unknown field %q", tok)
+		}
+		tok, err = dec.Token()
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: decoding tape: %w", err)
+		}
+		if tok == nil { // "events": null
+			continue
+		}
+		if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+			return nil, nil, fmt.Errorf("runtime: decoding tape: events must be an array, found %v", tok)
+		}
+		for dec.More() {
+			line := lineAt(data, dec.InputOffset())
+			var ev Event
+			if err := dec.Decode(&ev); err != nil {
+				return nil, nil, fmt.Errorf("runtime: decoding tape: line %d: %w", line, err)
+			}
+			tp.Events = append(tp.Events, ev)
+			lines = append(lines, line)
+		}
+		if err := expectDelim(']'); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := expectDelim('}'); err != nil {
+		return nil, nil, err
+	}
+	return tp, lines, nil
+}
+
+// lineAt returns the 1-based line of the first non-whitespace byte at or
+// after off.
+func lineAt(data []byte, off int64) int {
+	i := int(off)
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r' || data[i] == ',') {
+		i++
+	}
+	if i > len(data) {
+		i = len(data)
+	}
+	return 1 + bytes.Count(data[:i], []byte{'\n'})
+}
+
+// DecodeTapeStrict is the -strict entry point: decode with line tracking,
+// lint, and reject the tape if anything surfaced. The error enumerates up
+// to eight issues (line and event index each) so a broken script is fixed
+// in one round trip, not eight.
+func DecodeTapeStrict(rd io.Reader) (*Tape, error) {
+	tp, lines, err := DecodeTapeLines(rd)
+	if err != nil {
+		return nil, err
+	}
+	issues := LintTape(tp, lines)
+	if len(issues) == 0 {
+		return tp, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: strict tape validation failed (%d issue(s)):", len(issues))
+	for i, issue := range issues {
+		if i == 8 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(issues)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %v", issue)
+	}
+	return nil, fmt.Errorf("%s", b.String())
+}

@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// strictTape is a hand-written tape with one issue per line-numbered
+// event: a duplicate add (event 2), a remove of an unknown name (event 3),
+// and an epoch regression (event 4).
+const strictTapeJSON = `{
+  "events": [
+    {"epoch": 0, "op": "add", "task": {"task": {"Name": "a", "Period": 20,
+      "WCETAccurate": 6, "WCETImprecise": 2,
+      "ExecAccurate": {"Mean": 3, "Sigma": 1, "Min": 1, "Max": 6},
+      "ExecImprecise": {"Mean": 1, "Sigma": 0.2, "Min": 1, "Max": 2},
+      "Error": {"Mean": 2, "Sigma": 0.5}}}},
+    {"epoch": 1, "op": "remove", "name": "a"},
+    {"epoch": 2, "op": "add", "task": {"task": {"Name": "a", "Period": 20,
+      "WCETAccurate": 6, "WCETImprecise": 2,
+      "ExecAccurate": {"Mean": 3, "Sigma": 1, "Min": 1, "Max": 6},
+      "ExecImprecise": {"Mean": 1, "Sigma": 0.2, "Min": 1, "Max": 2},
+      "Error": {"Mean": 2, "Sigma": 0.5}}}}
+  ]
+}
+`
+
+func TestDecodeTapeLinesTracksLines(t *testing.T) {
+	tp, lines, err := DecodeTapeLines(strings.NewReader(strictTapeJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Events) != 3 || len(lines) != 3 {
+		t.Fatalf("decoded %d events, %d lines", len(tp.Events), len(lines))
+	}
+	if lines[0] != 3 || lines[1] != 8 || lines[2] != 9 {
+		t.Errorf("lines %v, want [3 8 9]", lines)
+	}
+}
+
+func TestDecodeTapeStrictAcceptsCleanTape(t *testing.T) {
+	tp, err := DecodeTapeStrict(strings.NewReader(strictTapeJSON))
+	if err != nil {
+		t.Fatalf("clean add/remove/re-add tape rejected: %v", err)
+	}
+	if len(tp.Events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(tp.Events))
+	}
+}
+
+func TestLintTapeFindsEveryIssueClass(t *testing.T) {
+	spec := func(name string) *TaskSpec {
+		tk := mkTask(name, 20, 6, 2)
+		return &TaskSpec{Task: tk}
+	}
+	tp := &Tape{Events: []Event{
+		{Epoch: 0, Op: "add", Task: spec("a")},
+		{Epoch: 1, Op: "add", Task: spec("a")}, // duplicate add
+		{Epoch: 2, Op: "remove", Name: "nope"}, // unknown remove
+		{Epoch: 1, Op: "remove", Name: "a"},    // epoch regression (still removes a)
+		{Epoch: 3, Op: "remove", Name: "a"},    // unknown again: a was removed
+		{Epoch: 4, Op: "frobnicate"},           // structural
+	}}
+	issues := LintTape(tp, []int{10, 20, 30, 40, 50, 60})
+	if len(issues) != 5 {
+		t.Fatalf("found %d issues, want 5: %v", len(issues), issues)
+	}
+	wantErrs := []error{ErrDuplicateAdd, ErrRemoveUnknown, ErrEpochRegression, ErrRemoveUnknown, ErrBadEvent}
+	wantEvents := []int{1, 2, 3, 4, 5}
+	wantLines := []int{20, 30, 40, 50, 60}
+	for i, issue := range issues {
+		if !errors.Is(issue, wantErrs[i]) {
+			t.Errorf("issue %d: %v, want %v", i, issue.Err, wantErrs[i])
+		}
+		if issue.Event != wantEvents[i] || issue.Line != wantLines[i] {
+			t.Errorf("issue %d at event %d line %d, want event %d line %d",
+				i, issue.Event, issue.Line, wantEvents[i], wantLines[i])
+		}
+	}
+}
+
+func TestDecodeTapeStrictRejectsWithLineNumbers(t *testing.T) {
+	bad := strings.Replace(strictTapeJSON,
+		`{"epoch": 1, "op": "remove", "name": "a"},`,
+		`{"epoch": 1, "op": "remove", "name": "ghost"},`, 1)
+	_, err := DecodeTapeStrict(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("tape with unknown remove and duplicate add accepted")
+	}
+	msg := err.Error()
+	// The ghost remove is on line 8; the now-duplicate re-add of "a"
+	// starts on line 9.
+	for _, want := range []string{"line 8", "line 9", "unknown task", "duplicate add"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("strict error missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestDecodeTapeStrictRejectsUnknownField(t *testing.T) {
+	if _, err := DecodeTapeStrict(strings.NewReader(`{"events": [], "extra": 1}`)); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	if _, err := DecodeTapeStrict(strings.NewReader(`{"events": null}`)); err != nil {
+		t.Errorf("null events rejected: %v", err)
+	}
+	if _, err := DecodeTapeStrict(strings.NewReader(`{"events": [{"epoch": 0, "op": "add", "typo": 1}]}`)); err == nil {
+		t.Error("unknown event field accepted")
+	}
+}

@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	runtimepkg "nprt/internal/runtime"
+)
+
+// Server is the HTTP control plane over one durable store. The store is
+// not safe for concurrent use, so a single engine goroutine owns it;
+// handlers communicate with the engine through a *bounded* admission
+// queue and read state from an atomically-published snapshot. The
+// boundedness is the load-shedding contract: when the queue is full the
+// server answers 503 with Retry-After instead of queueing unboundedly,
+// and anything it *did* accept is guaranteed to be applied — the drain
+// path flushes the queue before the engine exits, so there is no
+// accepted-then-dropped window.
+type Server struct {
+	opt Options
+
+	mu       sync.Mutex // guards draining + enqueue (the accept/drain race)
+	draining bool
+	queue    chan ticket
+
+	ready      atomic.Bool
+	state      atomic.Pointer[State]
+	stop       chan struct{}
+	engineDone chan struct{}
+	fatal      chan error
+
+	store *runtimepkg.Store
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64 // admission ran, verdict or stale error against it
+	shed     atomic.Uint64 // load-shed at the door: queue full or draining
+}
+
+// Options parameterizes New.
+type Options struct {
+	// QueueDepth bounds the admission queue (default 16).
+	QueueDepth int
+	// RequestTimeout bounds how long an /admit handler waits for the
+	// engine's reply (default 5s). The request may still be applied
+	// after the handler gives up — it was accepted and is durable.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with every 503 (default 1s).
+	RetryAfter time.Duration
+	// EpochInterval, when positive, has the engine run epochs on a
+	// timer. Zero disables automatic epochs (tape-driven or test use).
+	EpochInterval time.Duration
+	// CheckpointEvery checkpoints after every Nth epoch (0 = never).
+	CheckpointEvery int
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// State is the atomically-published view served by /state. It is a copy;
+// readers never touch the store.
+type State struct {
+	Ready    bool     `json:"ready"`
+	Draining bool     `json:"draining"`
+	Epoch    int64    `json:"epoch"`
+	Digest   string   `json:"digest"`
+	Tasks    int      `json:"tasks"`
+	Shed     []string `json:"shed,omitempty"`
+
+	EventsApplied uint64 `json:"events_applied"`
+	WALIndex      uint64 `json:"wal_index"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	LoadShed  uint64 `json:"load_shed"`
+	LastError string `json:"last_error,omitempty"`
+
+	Recovery *runtimepkg.RecoveryInfo `json:"recovery,omitempty"`
+}
+
+type ticket struct {
+	ev    runtimepkg.Event
+	reply chan admitReply // buffered(1): the engine never blocks on it
+}
+
+type admitReply struct {
+	dec runtimepkg.Decision
+	err error
+}
+
+// New builds a server in the not-ready state: /healthz answers 200,
+// /readyz and /admit answer 503 until Attach hands it a recovered store.
+// That ordering is what lets impserve bind the listener before replay —
+// probes see "alive but not ready" instead of connection refused.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:        opt,
+		queue:      make(chan ticket, opt.QueueDepth),
+		stop:       make(chan struct{}),
+		engineDone: make(chan struct{}),
+		fatal:      make(chan error, 1),
+	}
+	s.state.Store(&State{QueueCap: opt.QueueDepth})
+	return s
+}
+
+// Attach hands the server a recovered store, starts the engine goroutine,
+// and flips readiness. Call exactly once, after OpenStore returns — i.e.
+// after replay completed and the digest cross-checks passed.
+func (s *Server) Attach(st *runtimepkg.Store) {
+	s.store = st
+	s.ready.Store(true)
+	s.publish("")
+	// The engine starts only after the final direct publish: from here on,
+	// exactly one goroutine (it, then Shutdown after it exits) touches the
+	// store.
+	go s.engine()
+}
+
+// Fatal delivers at most one unrecoverable engine error (journal write
+// failure, replay-grade divergence). The serving loop should treat it as
+// its own failure and return, letting the supervisor restart via the
+// recovery path.
+func (s *Server) Fatal() <-chan error { return s.fatal }
+
+// Snapshot returns the current published state.
+func (s *Server) Snapshot() State { return *s.state.Load() }
+
+// Shutdown drains the server: no new admissions are accepted (503), the
+// engine applies everything already queued, then stops. The store is
+// left open — the caller closes it after Shutdown returns. Safe to call
+// before Attach (it just bars the door).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	s.ready.Store(false)
+	if already || s.store == nil {
+		return nil
+	}
+	close(s.stop)
+	select {
+	case <-s.engineDone:
+		s.publish("")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// engine owns the store: admissions, timed epochs, checkpoints. Exactly
+// one of these runs per Attach.
+func (s *Server) engine() {
+	defer close(s.engineDone)
+	var tick <-chan time.Time
+	if s.opt.EpochInterval > 0 {
+		tk := time.NewTicker(s.opt.EpochInterval)
+		defer tk.Stop()
+		tick = tk.C
+	}
+	epochs := 0
+	for {
+		select {
+		case t := <-s.queue:
+			if !s.serveTicket(t) {
+				return
+			}
+		case <-tick:
+			rep, err := s.store.RunEpoch()
+			if err != nil {
+				s.fail(fmt.Errorf("epoch: %w", err))
+				return
+			}
+			epochs++
+			if s.opt.CheckpointEvery > 0 && epochs%s.opt.CheckpointEvery == 0 {
+				if _, err := s.store.Checkpoint(); err != nil {
+					s.fail(fmt.Errorf("checkpoint: %w", err))
+					return
+				}
+			}
+			_ = rep
+			s.publish("")
+		case <-s.stop:
+			// Drain: every ticket that made it into the queue was
+			// accepted, so it gets applied before the engine exits. New
+			// enqueues are impossible — Shutdown set draining under the
+			// same mutex tryEnqueue holds.
+			for {
+				select {
+				case t := <-s.queue:
+					if !s.serveTicket(t) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serveTicket applies one accepted admission; false means the store
+// failed at the journal level and the engine must exit.
+func (s *Server) serveTicket(t ticket) bool {
+	// Live admissions carry the store's current epoch so the journaled
+	// event replays at the same position.
+	t.ev.Epoch = s.store.Epoch()
+	dec, err := s.store.Apply(t.ev)
+	if err != nil {
+		if runtimepkg.IsStaleRequest(err) {
+			s.rejected.Add(1)
+			s.publish("") // before the reply: the handler's client may read /state next
+			t.reply <- admitReply{dec: dec, err: err}
+			return true
+		}
+		// Journal-level failure: the store can no longer promise
+		// durability. Take the engine down, then tell the handler.
+		s.fail(fmt.Errorf("admit: %w", err))
+		t.reply <- admitReply{dec: dec, err: err}
+		return false
+	}
+	if dec.Verdict == runtimepkg.Rejected {
+		s.rejected.Add(1)
+	} else {
+		s.admitted.Add(1)
+	}
+	s.publish("")
+	t.reply <- admitReply{dec: dec}
+	return true
+}
+
+// fail publishes an unrecoverable engine error and stops readiness.
+// The engine returns right after; queued handlers time out (their
+// requests were accepted but durability is gone, which is exactly what
+// the restart will sort out from the journal).
+func (s *Server) fail(err error) {
+	s.logf("engine: fatal: %v", err)
+	s.ready.Store(false)
+	s.publish(err.Error())
+	select {
+	case s.fatal <- err:
+	default:
+	}
+}
+
+// publish refreshes the /state snapshot from the engine's view.
+func (s *Server) publish(lastErr string) {
+	prev := s.state.Load()
+	st := &State{
+		Ready:      s.ready.Load(),
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Admitted:   s.admitted.Load(),
+		Rejected:   s.rejected.Load(),
+		LoadShed:   s.shed.Load(),
+		LastError:  lastErr,
+	}
+	if lastErr == "" && prev != nil {
+		st.LastError = prev.LastError
+	}
+	s.mu.Lock()
+	st.Draining = s.draining
+	s.mu.Unlock()
+	if s.store != nil {
+		st.Epoch = s.store.Epoch()
+		st.Digest = fmt.Sprintf("%016x", s.store.Digest())
+		st.Tasks = len(s.store.Runtime().Tasks())
+		st.Shed = s.store.Runtime().ShedTasks()
+		st.EventsApplied = s.store.EventsApplied()
+		st.WALIndex = s.store.LastIndex()
+		rec := s.store.Recovery()
+		st.Recovery = &rec
+	}
+	s.state.Store(st)
+}
+
+// tryEnqueue admits a ticket into the bounded queue, or reports why not.
+// The mutex closes the accept/drain race: once Shutdown has set draining,
+// no ticket can slip into a queue nobody will drain.
+func (s *Server) tryEnqueue(t ticket) (ok, full bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, false
+	}
+	select {
+	case s.queue <- t:
+		return true, false
+	default:
+		return false, true
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Handler returns the control-plane mux:
+//
+//	GET  /healthz  200 while the process is alive (liveness)
+//	GET  /readyz   200 only between Attach (replay done) and Shutdown
+//	GET  /state    the published State snapshot, JSON
+//	POST /admit    an Event {"op": "add"|"remove"|"overload", ...};
+//	               200 decision JSON · 400 malformed · 409 stale ·
+//	               503 + Retry-After when shedding or not ready
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			s.unavailable(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.state.Load())
+	})
+	mux.HandleFunc("POST /admit", s.handleAdmit)
+	return mux
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.shed.Add(1)
+		s.unavailable(w, "not ready")
+		return
+	}
+	var ev runtimepkg.Event
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ev); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding event: %v", err))
+		return
+	}
+	ev.Epoch = 0 // the engine stamps the live epoch
+	if err := ev.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	t := ticket{ev: ev, reply: make(chan admitReply, 1)}
+	ok, full := s.tryEnqueue(t)
+	if !ok {
+		s.shed.Add(1)
+		if full {
+			s.unavailable(w, "admission queue full")
+		} else {
+			s.unavailable(w, "draining")
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	defer cancel()
+	select {
+	case rep := <-t.reply:
+		if rep.err != nil && !runtimepkg.IsStaleRequest(rep.err) {
+			httpError(w, http.StatusInternalServerError, rep.err.Error())
+			return
+		}
+		status := http.StatusOK
+		if rep.err != nil {
+			status = http.StatusConflict
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		out := struct {
+			Decision runtimepkg.Decision `json:"decision"`
+			Error    string              `json:"error,omitempty"`
+		}{Decision: rep.dec}
+		if rep.err != nil {
+			out.Error = rep.err.Error()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	case <-ctx.Done():
+		// Accepted and still queued: it WILL be applied (and is durable
+		// once it is). 504 tells the client its wait ended, not that the
+		// request was dropped.
+		httpError(w, http.StatusGatewayTimeout, "accepted; decision still pending")
+	}
+}
+
+// unavailable writes the load-shedding 503 with the Retry-After hint.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	secs := int(s.opt.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusServiceUnavailable, msg)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

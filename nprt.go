@@ -371,3 +371,34 @@ func RestoreRuntime(r io.Reader) (*SchedulerRuntime, error) { return schedruntim
 func EncodeRuntimeCheckpoint(w io.Writer, cp *RuntimeCheckpoint) error {
 	return schedruntime.EncodeCheckpoint(w, cp)
 }
+
+// Crash-only durable runtime. DurableRuntime wraps a SchedulerRuntime in
+// a write-ahead journal plus generational checkpoints: every mutation is
+// journaled (CRC32C-framed, fsynced) before it is applied, and OpenDurable
+// recovers from the newest good checkpoint plus a digest-cross-checked
+// replay — killing the process at any instruction loses nothing that was
+// acknowledged. cmd/impserve's -sweep mode proves this mechanically by
+// killing a run at every fsync boundary.
+
+// DurableRuntime is the journal-backed runtime store.
+type DurableRuntime = schedruntime.Store
+
+// DurableOptions configures OpenDurable.
+type DurableOptions = schedruntime.StoreOptions
+
+// DurableRecovery reports what OpenDurable found and rebuilt.
+type DurableRecovery = schedruntime.RecoveryInfo
+
+// OpenDurable recovers (or initializes) the durable runtime in dir.
+func OpenDurable(dir string, opt DurableOptions) (*DurableRuntime, error) {
+	return schedruntime.OpenStore(dir, opt)
+}
+
+// DecodeRuntimeTapeStrict decodes a tape and rejects, with line numbers,
+// any event that relies on runtime state to be ignored: duplicate adds,
+// removes of unknown names, non-monotonic epochs. Use it for hand-written
+// operational tapes; generated churn tapes carry stale events by design
+// and need the lenient decoder.
+func DecodeRuntimeTapeStrict(r io.Reader) (*RuntimeTape, error) {
+	return schedruntime.DecodeTapeStrict(r)
+}
