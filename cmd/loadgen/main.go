@@ -1,0 +1,401 @@
+// Command loadgen drives an impserve admission endpoint and reports
+// latency and throughput, so the group-commit ingest path has a measured
+// number instead of a believed one.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -mode closed -conns 16 -duration 10s
+//	loadgen -url ... -mode open -rate 2000 -duration 10s -out report.json
+//	loadgen -url ... -batch 32                 # POST /admit/batch
+//	loadgen -url ... -p99-max 50ms -fail-on-error   # smoke assertion
+//
+// Two load models:
+//
+//   - closed: -conns clients, each with ONE outstanding request — the
+//     classic closed loop. Latency is measured from send to response.
+//     Throughput self-adjusts to the server; queues cannot build.
+//   - open: requests fire on a fixed schedule of -rate per second,
+//     regardless of how the server is doing. Latency is measured from the
+//     SCHEDULED send time, so server-side queueing is charged to the
+//     request that suffered it (no coordinated omission).
+//
+// The event stream is deterministic in -seed: adds and removes over a
+// cyclic task-name set, so the server's working set stays bounded and a
+// rerun with the same seed offers the same work. Duplicate adds and
+// unknown removes come back 409 (stale); that is expected churn, counted
+// separately from errors.
+//
+// Latencies land in an HDR-style histogram (log2 buckets, 64 sub-buckets:
+// ≤1.6% relative error), from which the report takes p50/p90/p99/p999.
+// The report is JSON on stdout (or -out), ending with a scrape of the
+// server's /state so records-per-sync lands next to the latency it bought.
+//
+// Exit codes: 0 ok · 1 internal error · 2 bad flags · 3 assertion failed
+// (-p99-max exceeded or -fail-on-error with errors > 0).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	runtimepkg "nprt/internal/runtime"
+	"nprt/internal/task"
+)
+
+const (
+	exitOK           = 0
+	exitInternal     = 1
+	exitInvalidInput = 2
+	exitAssertFailed = 3
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// --- HDR-style histogram ------------------------------------------------
+
+// hist is a log2/64-sub-bucket histogram of nanosecond latencies, the
+// HdrHistogram layout at 6 bits of sub-bucket precision: values up to 64ns
+// are exact, beyond that the relative error is ≤ 2^-6.
+type hist struct {
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+const histBuckets = 58 * 64 // covers the full uint64 range
+
+func newHist() *hist { return &hist{counts: make([]uint64, histBuckets)} }
+
+func bucketIdx(v uint64) int {
+	if v < 64 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 7 // halvings to bring v into [64,128)
+	return exp*64 + int(v>>uint(exp))
+}
+
+// bucketValue is the midpoint of bucket i, the inverse of bucketIdx.
+func bucketValue(i int) uint64 {
+	if i < 64 {
+		return uint64(i)
+	}
+	exp := uint(i/64 - 1)
+	sub := uint64(i%64 + 64)
+	return sub<<exp + 1<<exp/2
+}
+
+func (h *hist) record(d time.Duration) {
+	v := uint64(d)
+	h.counts[bucketIdx(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the latency at fraction q (0 < q ≤ 1).
+func (h *hist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+func (h *hist) mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// --- seeded event stream ------------------------------------------------
+
+// events builds the n'th request payload: -batch events, each an add or a
+// remove over a cyclic name set. Deterministic in (seed, n).
+func events(seed uint64, n uint64, batch int) []runtimepkg.Event {
+	rng := rand.New(rand.NewSource(int64(seed ^ n*0x9e3779b97f4a7c15)))
+	evs := make([]runtimepkg.Event, batch)
+	for i := range evs {
+		name := fmt.Sprintf("lg%d", rng.Intn(16))
+		if rng.Intn(2) == 0 {
+			w := task.Time(8 + rng.Intn(8))
+			evs[i] = runtimepkg.Event{Op: "add", Task: &runtimepkg.TaskSpec{Task: task.Task{
+				Name: name, Period: task.Time(40 + 20*rng.Intn(3)),
+				WCETAccurate: w, WCETImprecise: w / 3,
+				ExecAccurate:  task.Dist{Mean: float64(w) * 0.6, Sigma: 1, Min: 1, Max: float64(w)},
+				ExecImprecise: task.Dist{Mean: float64(w) * 0.2, Sigma: 0.3, Min: 0.5, Max: float64(w) / 3},
+				Error:         task.Dist{Mean: 2, Sigma: 0.5},
+			}}}
+		} else {
+			evs[i] = runtimepkg.Event{Op: "remove", Name: name}
+		}
+	}
+	return evs
+}
+
+// --- report -------------------------------------------------------------
+
+type latencyReport struct {
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+type report struct {
+	Mode       string  `json:"mode"`
+	URL        string  `json:"url"`
+	Conns      int     `json:"conns"`
+	Batch      int     `json:"batch"`
+	TargetRate float64 `json:"target_rate,omitempty"`
+	Seed       uint64  `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+
+	Requests uint64 `json:"requests"`
+	Events   uint64 `json:"events"`
+	OK       uint64 `json:"ok"`
+	Stale    uint64 `json:"stale"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+
+	Latency latencyReport `json:"latency"`
+
+	ServerState json.RawMessage `json:"server_state,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// --- worker -------------------------------------------------------------
+
+type worker struct {
+	h      *hist
+	ok     uint64
+	stale  uint64
+	shed   uint64
+	errs   uint64
+	reqs   uint64
+	events uint64
+}
+
+func (w *worker) send(client *http.Client, url string, batch int, payload []byte) int {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	w.reqs++
+	w.events += uint64(batch)
+	if err != nil {
+		w.errs++
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		w.ok++
+	case resp.StatusCode == http.StatusConflict:
+		w.stale++
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		w.shed++
+		w.errs++
+	default:
+		w.errs++
+	}
+	return resp.StatusCode
+}
+
+func run() int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "impserve base URL")
+	mode := fs.String("mode", "closed", "load model: closed (conns with one outstanding request) or open (fixed schedule of -rate/s)")
+	conns := fs.Int("conns", 8, "concurrent client connections")
+	rate := fs.Float64("rate", 0, "open mode: target requests per second")
+	duration := fs.Duration("duration", 5*time.Second, "measured run length")
+	warmup := fs.Duration("warmup", 0, "discard samples from the first part of the run")
+	batch := fs.Int("batch", 1, "events per request (1: POST /admit, >1: POST /admit/batch)")
+	seed := fs.Uint64("seed", 1, "event-stream seed")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	p99Max := fs.Duration("p99-max", 0, "exit 3 if p99 latency exceeds this")
+	failOnError := fs.Bool("fail-on-error", false, "exit 3 if any request errored (including shed)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitInvalidInput
+	}
+	if *conns <= 0 || *batch <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -conns, -batch and -duration must be positive")
+		return exitInvalidInput
+	}
+	if *mode != "closed" && *mode != "open" {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (closed or open)\n", *mode)
+		return exitInvalidInput
+	}
+	if *mode == "open" && *rate <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: open mode needs -rate > 0")
+		return exitInvalidInput
+	}
+
+	endpoint := *url + "/admit"
+	if *batch > 1 {
+		endpoint = *url + "/admit/batch"
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *conns,
+			MaxIdleConnsPerHost: *conns,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	// Payloads are pre-marshaled round-robin so encoding cost stays out of
+	// the measured latency.
+	payloads := make([][]byte, 256)
+	for i := range payloads {
+		evs := events(*seed, uint64(i), *batch)
+		var buf []byte
+		var err error
+		if *batch == 1 {
+			buf, err = json.Marshal(evs[0])
+		} else {
+			buf, err = json.Marshal(evs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return exitInternal
+		}
+		payloads[i] = buf
+	}
+
+	workers := make([]*worker, *conns)
+	start := time.Now()
+	measureFrom := start.Add(*warmup)
+	end := start.Add(*warmup + *duration)
+	var seq atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < *conns; c++ {
+		w := &worker{h: newHist()}
+		workers[c] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := seq.Add(1) - 1
+				var sched time.Time
+				if *mode == "open" {
+					sched = start.Add(time.Duration(float64(n) / *rate * float64(time.Second)))
+					if sched.After(end) {
+						return
+					}
+					time.Sleep(time.Until(sched))
+				} else {
+					sched = time.Now()
+					if sched.After(end) {
+						return
+					}
+				}
+				w.send(client, endpoint, *batch, payloads[n%uint64(len(payloads))])
+				if sched.After(measureFrom) {
+					w.h.record(time.Since(sched))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(measureFrom)
+	if elapsed <= 0 {
+		elapsed = time.Since(start)
+	}
+
+	rep := report{
+		Mode: *mode, URL: *url, Conns: *conns, Batch: *batch,
+		TargetRate: *rate, Seed: *seed, DurationS: elapsed.Seconds(),
+	}
+	h := newHist()
+	for _, w := range workers {
+		h.merge(w.h)
+		rep.Requests += w.reqs
+		rep.Events += w.events
+		rep.OK += w.ok
+		rep.Stale += w.stale
+		rep.Shed += w.shed
+		rep.Errors += w.errs
+	}
+	rep.RequestsPerSec = float64(rep.Requests) / elapsed.Seconds()
+	rep.EventsPerSec = float64(rep.Events) / elapsed.Seconds()
+	rep.Latency = latencyReport{
+		P50Micros:  micros(h.quantile(0.50)),
+		P90Micros:  micros(h.quantile(0.90)),
+		P99Micros:  micros(h.quantile(0.99)),
+		P999Micros: micros(h.quantile(0.999)),
+		MaxMicros:  micros(time.Duration(h.max)),
+		MeanMicros: micros(h.mean()),
+	}
+	if resp, err := client.Get(*url + "/state"); err == nil {
+		if body, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
+			rep.ServerState = json.RawMessage(body)
+		}
+		resp.Body.Close()
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return exitInternal
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return exitInternal
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	code := exitOK
+	if *failOnError && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d errored requests (fail-on-error)\n", rep.Errors)
+		code = exitAssertFailed
+	}
+	if *p99Max > 0 && h.quantile(0.99) > *p99Max {
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %.0fµs exceeds bound %v\n", rep.Latency.P99Micros, *p99Max)
+		code = exitAssertFailed
+	}
+	return code
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -701,6 +702,188 @@ func TestE2EImpserveServe(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "restored:") {
 		t.Errorf("restart printed no restore line:\n%s", buf.String())
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}
+
+// TestE2EImpserveBatchIngest covers the group-commit ingest path end to
+// end against the real binary: /admit/batch decisions in order, commit
+// stats on /state, a loadgen run with zero errors, and a SIGTERM drain
+// racing concurrent admissions — every acknowledged admission must
+// survive into the restarted incarnation.
+func TestE2EImpserveBatchIngest(t *testing.T) {
+	dir := t.TempDir()
+	stateDir := filepath.Join(dir, "state")
+
+	start := func() (*exec.Cmd, string) {
+		cmd := exec.Command(filepath.Join(binDir, "impserve"),
+			"-dir", stateDir, "-listen", "127.0.0.1:0",
+			"-epoch-interval", "10ms", "-queue", "64", "-commit-delay", "200us")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		var addr string
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "listening:"); ok {
+				addr = strings.TrimSpace(rest)
+				break
+			}
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatal("no listening line")
+		}
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		base := "http://" + addr
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("service never became ready: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return cmd, base
+	}
+
+	addBody := func(name string) string {
+		return `{"op":"add","task":{"task":{"Name":"` + name + `","Period":40,"WCETAccurate":8,"WCETImprecise":3,
+			"ExecAccurate":{"Mean":4,"Sigma":1,"Min":1,"Max":8},
+			"ExecImprecise":{"Mean":1.5,"Sigma":0.4,"Min":1,"Max":3},
+			"Error":{"Mean":2,"Sigma":0.5}}}}`
+	}
+	readState := func(base string) (applied uint64, raw string) {
+		resp, err := http.Get(base + "/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			EventsApplied uint64 `json:"events_applied"`
+		}
+		if err := json.Unmarshal(out, &st); err != nil {
+			t.Fatalf("state: %v\n%s", err, out)
+		}
+		return st.EventsApplied, string(out)
+	}
+
+	cmd, base := start()
+
+	// Batch admission: duplicate b1 inside the batch → per-event error in
+	// position, the others admitted.
+	batch := "[" + addBody("b1") + "," + addBody("b2") + "," + addBody("b1") + "]"
+	resp, err := http.Post(base+"/admit/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch admit: %d: %s", resp.StatusCode, batchOut)
+	}
+	var decs struct {
+		Decisions []struct {
+			Error string `json:"error"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(batchOut, &decs); err != nil {
+		t.Fatalf("batch response: %v\n%s", err, batchOut)
+	}
+	if len(decs.Decisions) != 3 || decs.Decisions[0].Error != "" ||
+		decs.Decisions[1].Error != "" || decs.Decisions[2].Error == "" {
+		t.Fatalf("batch decisions out of order or miscounted: %s", batchOut)
+	}
+	applied, raw := readState(base)
+	if applied != 3 {
+		t.Errorf("events_applied %d after one 3-event batch, want 3: %s", applied, raw)
+	}
+	if !strings.Contains(raw, `"records_per_sync"`) {
+		t.Errorf("state has no commit stats: %s", raw)
+	}
+
+	// A short closed-loop loadgen run: zero errors at trivial load.
+	reportPath := filepath.Join(dir, "loadgen.json")
+	lg := exec.Command(filepath.Join(binDir, "loadgen"),
+		"-url", base, "-mode", "closed", "-conns", "4", "-batch", "2",
+		"-duration", "500ms", "-fail-on-error", "-out", reportPath)
+	if out, err := lg.CombinedOutput(); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	repOut, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Requests uint64 `json:"requests"`
+		Errors   uint64 `json:"errors"`
+	}
+	if err := json.Unmarshal(repOut, &rep); err != nil {
+		t.Fatalf("loadgen report: %v\n%s", err, repOut)
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("loadgen report: %s", repOut)
+	}
+
+	// SIGTERM racing concurrent admissions: every 200/409 answer is a
+	// durability promise; 503s (shed mid-drain) and connection errors
+	// (process gone) promise nothing.
+	before, _ := readState(base)
+	var accepted, attempts atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				attempts.Add(1)
+				resp, err := http.Post(base+"/admit", "application/json",
+					strings.NewReader(addBody(fmt.Sprintf("race%d-%d", g, i))))
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v", err)
+	}
+
+	cmd, base = start()
+	after, raw := readState(base)
+	if after < before+accepted.Load() {
+		t.Errorf("restart lost acknowledged admissions: %d applied, want ≥ %d+%d: %s",
+			after, before, accepted.Load(), raw)
+	}
+	if after > before+attempts.Load() {
+		t.Errorf("restart invented admissions: %d applied, only %d attempted after %d: %s",
+			after, attempts.Load(), before, raw)
 	}
 	cmd.Process.Signal(syscall.SIGTERM)
 	cmd.Wait()

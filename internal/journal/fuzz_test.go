@@ -27,14 +27,31 @@ func FuzzJournalReplay(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Mix serial and batched appends (group commit writes multi-record
+		// frames in one write) so the fuzzed damage lands on batched frame
+		// boundaries too. On-disk bytes are identical either way; this
+		// guards that claim.
 		const n = 12
 		var want [][]byte
-		for i := 0; i < n; i++ {
-			p := []byte(fmt.Sprintf("payload-%d", i))
-			want = append(want, p)
-			if _, err := w.Append(TypeEvent, p); err != nil {
+		i := 0
+		for _, sz := range []int{1, 3, 5, 2, 1} {
+			var batch []Pending
+			for j := 0; j < sz; j++ {
+				p := []byte(fmt.Sprintf("payload-%d", i))
+				want = append(want, p)
+				batch = append(batch, Pending{Type: TypeEvent, Payload: p})
+				i++
+			}
+			if sz == 1 {
+				if _, err := w.Append(batch[0].Type, batch[0].Payload); err != nil {
+					t.Fatal(err)
+				}
+			} else if _, err := w.AppendBatch(batch); err != nil {
 				t.Fatal(err)
 			}
+		}
+		if i != n {
+			t.Fatalf("built %d records, want %d", i, n)
 		}
 		if err := w.Close(); err != nil {
 			t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"nprt/internal/journal"
 )
@@ -48,6 +49,7 @@ type Store struct {
 
 	rt  *Runtime
 	wal *journal.Writer
+	gc  *journal.GroupCommitter
 
 	eventsApplied uint64 // lifetime count of journaled requests
 	rec           RecoveryInfo
@@ -68,6 +70,13 @@ type StoreOptions struct {
 	AfterSync func()
 	// NoSync disables fsync (fast tests; no durability).
 	NoSync bool
+	// CommitBatch caps the records per commit group
+	// (journal.GroupOptions.MaxBatch; default 64).
+	CommitBatch int
+	// CommitDelay is the group-commit stall window
+	// (journal.GroupOptions.MaxDelay; 0 defaults to 500µs, negative
+	// disables the stall).
+	CommitDelay time.Duration
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -205,6 +214,13 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 			return nil, err
 		}
 	}
+	// All request/epoch journaling goes through the group committer: a lone
+	// caller degenerates to Append+Sync, concurrent admissions (ApplyBatch,
+	// or Commit callers racing) share multi-record writes and fsyncs.
+	s.gc = journal.NewGroupCommitter(wal, journal.GroupOptions{
+		MaxBatch: opt.CommitBatch,
+		MaxDelay: opt.CommitDelay,
+	})
 
 	// 3. Replay the suffix, write-ahead semantics in reverse: requests are
 	// re-applied, epochs are re-run and must reproduce their recorded
@@ -280,15 +296,70 @@ func (s *Store) Apply(ev Event) (Decision, error) {
 	if err != nil {
 		return Decision{Op: ev.Op}, err
 	}
-	if _, err := s.wal.Append(journal.TypeEvent, payload); err != nil {
-		return Decision{Op: ev.Op}, err
-	}
-	if err := s.wal.Sync(); err != nil {
+	if _, err := s.gc.Commit(journal.TypeEvent, payload); err != nil {
 		return Decision{Op: ev.Op}, err
 	}
 	s.eventsApplied++
 	return s.rt.Apply(ev)
 }
+
+// ApplyBatch journals every structurally valid event of the batch under ONE
+// multi-record write and ONE covering fsync, then applies them in order —
+// the group-commit ingest path: N admissions, ~1 disk sync. Per-event
+// results come back positionally: decs[i]/errs[i] mirror evs[i], where
+// errs[i] is a validation or stale-request rejection of that event alone.
+// The returned error is fatal (journal write/sync failure, or an apply
+// error replay would also refuse): the batch's durability or the store's
+// integrity is in doubt and the caller must stop.
+//
+// Ordering is exactly serial Apply semantics: invalid events are rejected
+// before touching the journal, valid ones land in the journal in slice
+// order and are applied in that same order after the covering sync.
+func (s *Store) ApplyBatch(evs []Event) ([]Decision, []error, error) {
+	decs := make([]Decision, len(evs))
+	errs := make([]error, len(evs))
+	recs := make([]journal.Pending, 0, len(evs))
+	idx := make([]int, 0, len(evs)) // positions of journaled events
+	for i := range evs {
+		decs[i] = Decision{Op: evs[i].Op}
+		if err := evs[i].Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		payload, err := json.Marshal(evs[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		recs = append(recs, journal.Pending{Type: journal.TypeEvent, Payload: payload})
+		idx = append(idx, i)
+	}
+	if len(recs) == 0 {
+		return decs, errs, nil
+	}
+	if _, err := s.gc.CommitAll(recs); err != nil {
+		return decs, errs, err
+	}
+	s.eventsApplied += uint64(len(recs))
+	for _, i := range idx {
+		d, err := s.rt.Apply(evs[i])
+		if err != nil {
+			if IsStaleRequest(err) {
+				errs[i] = err
+				continue
+			}
+			// A journaled event replay would also fail on: recovery and the
+			// live state have diverged, stop before serving either.
+			return decs, errs, err
+		}
+		decs[i] = d
+	}
+	return decs, errs, nil
+}
+
+// CommitStats reports the group committer's amortization counters
+// (records per sync, stalls, sealed groups) for /state observability.
+func (s *Store) CommitStats() journal.GroupStats { return s.gc.Stats() }
 
 // RunEpoch runs one epoch and journals its result (epoch number, digest,
 // governor transition). The record is the epoch's commit: recovery re-runs
@@ -310,10 +381,8 @@ func (s *Store) RunEpoch() (EpochReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	if _, err := s.wal.Append(journal.TypeEpoch, payload); err != nil {
-		return rep, err
-	}
-	return rep, s.wal.Sync()
+	_, err = s.gc.Commit(journal.TypeEpoch, payload)
+	return rep, err
 }
 
 // Checkpoint writes a framed snapshot covering the journal so far, prunes
@@ -339,10 +408,7 @@ func (s *Store) Checkpoint() (string, error) {
 
 	// Mark the checkpoint in the log (observability; replay ignores it).
 	if payload, err := json.Marshal(markRecord{Epoch: s.rt.Epoch(), WALIndex: idx}); err == nil {
-		if _, err := s.wal.Append(journal.TypeMark, payload); err != nil {
-			return "", err
-		}
-		if err := s.wal.Sync(); err != nil {
+		if _, err := s.gc.Commit(journal.TypeMark, payload); err != nil {
 			return "", err
 		}
 	}
@@ -424,5 +490,13 @@ func (s *Store) PlayTape(tp *Tape, horizon int64,
 	return nil
 }
 
-// Close syncs and releases the journal. The store must not be used after.
-func (s *Store) Close() error { return s.wal.Close() }
+// Close flushes any open commit group — no record a caller was promised
+// durable (or is still waiting on) is abandoned — then syncs and releases
+// the journal. The store must not be used after.
+func (s *Store) Close() error {
+	err := s.gc.Close()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

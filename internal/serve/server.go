@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	goruntime "runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"nprt/internal/journal"
 	runtimepkg "nprt/internal/runtime"
 )
 
@@ -57,6 +59,9 @@ type Options struct {
 	EpochInterval time.Duration
 	// CheckpointEvery checkpoints after every Nth epoch (0 = never).
 	CheckpointEvery int
+	// MaxBatchEvents caps how many events one /admit/batch request may
+	// carry (default 256).
+	MaxBatchEvents int
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +75,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.MaxBatchEvents <= 0 {
+		o.MaxBatchEvents = 256
 	}
 	return o
 }
@@ -96,16 +104,31 @@ type State struct {
 	LastError string `json:"last_error,omitempty"`
 
 	Recovery *runtimepkg.RecoveryInfo `json:"recovery,omitempty"`
+	Commit   *CommitState             `json:"commit,omitempty"`
 }
 
+// CommitState is the group-commit amortization view on /state: the
+// journal's counters plus the derived records-per-sync ratio.
+type CommitState struct {
+	journal.GroupStats
+	RecordsPerSync float64 `json:"records_per_sync"`
+}
+
+// ticket is one accepted admission request: one event from /admit, or up
+// to MaxBatchEvents from /admit/batch. The events slice may alias a pooled
+// decoder's scratch — the engine reads it (and stamps Epoch) only until it
+// sends the reply, after which the handler recycles the decoder.
 type ticket struct {
-	ev    runtimepkg.Event
+	evs   []runtimepkg.Event
 	reply chan admitReply // buffered(1): the engine never blocks on it
 }
 
+// admitReply carries per-event results positionally (decs[i]/errs[i] for
+// ticket.evs[i]); err is a fatal store failure covering the whole ticket.
 type admitReply struct {
-	dec runtimepkg.Decision
-	err error
+	decs []runtimepkg.Decision
+	errs []error
+	err  error
 }
 
 // New builds a server in the not-ready state: /healthz answers 200,
@@ -181,10 +204,11 @@ func (s *Server) engine() {
 		tick = tk.C
 	}
 	epochs := 0
+	tickets := make([]ticket, 0, s.opt.QueueDepth)
 	for {
 		select {
 		case t := <-s.queue:
-			if !s.serveTicket(t) {
+			if !s.serveBatch(s.gather(tickets[:0], t)) {
 				return
 			}
 		case <-tick:
@@ -206,11 +230,13 @@ func (s *Server) engine() {
 			// Drain: every ticket that made it into the queue was
 			// accepted, so it gets applied before the engine exits. New
 			// enqueues are impossible — Shutdown set draining under the
-			// same mutex tryEnqueue holds.
+			// same mutex tryEnqueue holds. (Store.Close then flushes any
+			// commit group these batches leave open; the engine's batches
+			// are fully synced before reply, so this drain loses nothing.)
 			for {
 				select {
 				case t := <-s.queue:
-					if !s.serveTicket(t) {
+					if !s.serveBatch(s.gather(tickets[:0], t)) {
 						return
 					}
 				default:
@@ -221,33 +247,93 @@ func (s *Server) engine() {
 	}
 }
 
-// serveTicket applies one accepted admission; false means the store
-// failed at the journal level and the engine must exit.
-func (s *Server) serveTicket(t ticket) bool {
-	// Live admissions carry the store's current epoch so the journaled
-	// event replays at the same position.
-	t.ev.Epoch = s.store.Epoch()
-	dec, err := s.store.Apply(t.ev)
-	if err != nil {
-		if runtimepkg.IsStaleRequest(err) {
-			s.rejected.Add(1)
-			s.publish("") // before the reply: the handler's client may read /state next
-			t.reply <- admitReply{dec: dec, err: err}
-			return true
+// gather collects the commit group for one engine wake-up: the ticket
+// that woke it, everything already queued, and — only when it has company
+// — a brief yield-spin for the stragglers racing this drain (clients
+// resubmitting right after the previous batch's replies). A lone ticket
+// commits immediately: the serial path keeps serial latency.
+func (s *Server) gather(tickets []ticket, t ticket) []ticket {
+	tickets = append(tickets, t)
+	drain := func() {
+		for len(tickets) < cap(tickets) {
+			select {
+			case t2 := <-s.queue:
+				tickets = append(tickets, t2)
+			default:
+				return
+			}
 		}
+	}
+	drain()
+	if len(tickets) == 1 {
+		goruntime.Gosched()
+		drain()
+	}
+	if len(tickets) > 1 {
+		for empty := 0; len(tickets) < cap(tickets) && empty < 4; {
+			before := len(tickets)
+			goruntime.Gosched()
+			drain()
+			if len(tickets) == before {
+				empty++
+			} else {
+				empty = 0
+			}
+		}
+	}
+	return tickets
+}
+
+// serveBatch applies one gathered batch: every event of every ticket is
+// journaled under one covering fsync (Store.ApplyBatch), then counted
+// exactly once — a batch member and a lone /admit event hit the admitted/
+// rejected counters identically. false means the store failed at the
+// journal level and the engine must exit.
+func (s *Server) serveBatch(tickets []ticket) bool {
+	// Live admissions carry the store's current epoch so the journaled
+	// events replay at the same position.
+	epoch := s.store.Epoch()
+	var evs []runtimepkg.Event
+	if len(tickets) == 1 {
+		evs = tickets[0].evs
+	} else {
+		total := 0
+		for i := range tickets {
+			total += len(tickets[i].evs)
+		}
+		evs = make([]runtimepkg.Event, 0, total)
+		for i := range tickets {
+			evs = append(evs, tickets[i].evs...)
+		}
+	}
+	for i := range evs {
+		evs[i].Epoch = epoch
+	}
+
+	decs, errs, err := s.store.ApplyBatch(evs)
+	if err != nil {
 		// Journal-level failure: the store can no longer promise
-		// durability. Take the engine down, then tell the handler.
+		// durability. Take the engine down, then tell the handlers.
 		s.fail(fmt.Errorf("admit: %w", err))
-		t.reply <- admitReply{dec: dec, err: err}
+		for i := range tickets {
+			tickets[i].reply <- admitReply{err: err}
+		}
 		return false
 	}
-	if dec.Verdict == runtimepkg.Rejected {
-		s.rejected.Add(1)
-	} else {
-		s.admitted.Add(1)
+	for i := range evs {
+		if errs[i] != nil || decs[i].Verdict == runtimepkg.Rejected {
+			s.rejected.Add(1)
+		} else {
+			s.admitted.Add(1)
+		}
 	}
-	s.publish("")
-	t.reply <- admitReply{dec: dec}
+	s.publish("") // before the replies: a handler's client may read /state next
+	off := 0
+	for i := range tickets {
+		n := len(tickets[i].evs)
+		tickets[i].reply <- admitReply{decs: decs[off : off+n], errs: errs[off : off+n]}
+		off += n
+	}
 	return true
 }
 
@@ -292,6 +378,8 @@ func (s *Server) publish(lastErr string) {
 		st.WALIndex = s.store.LastIndex()
 		rec := s.store.Recovery()
 		st.Recovery = &rec
+		cs := s.store.CommitStats()
+		st.Commit = &CommitState{GroupStats: cs, RecordsPerSync: cs.RecordsPerSync()}
 	}
 	s.state.Store(st)
 }
@@ -326,7 +414,10 @@ func (s *Server) logf(format string, args ...any) {
 //	GET  /state    the published State snapshot, JSON
 //	POST /admit    an Event {"op": "add"|"remove"|"overload", ...};
 //	               200 decision JSON · 400 malformed · 409 stale ·
-//	               503 + Retry-After when shedding or not ready
+//	               503 + Retry-After when shedding, saturated or not ready
+//	POST /admit/batch  a JSON array of Events (≤ MaxBatchEvents); 200 with
+//	               {"decisions": [...]} — one entry per event, in order,
+//	               each carrying its decision or its own error
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +439,14 @@ func (s *Server) Handler() http.Handler {
 		enc.Encode(s.state.Load())
 	})
 	mux.HandleFunc("POST /admit", s.handleAdmit)
+	mux.HandleFunc("POST /admit/batch", s.handleAdmitBatch)
 	return mux
+}
+
+// decisionEntry is one per-event result in an admit response.
+type decisionEntry struct {
+	Decision runtimepkg.Decision `json:"decision"`
+	Error    string              `json:"error,omitempty"`
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -357,20 +455,105 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w, "not ready")
 		return
 	}
-	var ev runtimepkg.Event
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&ev); err != nil {
+	// Pooled zero-allocation decode: the ticket's event lives in the
+	// decoder's scratch, so the decoder goes back to the pool only after
+	// the engine's reply — and is deliberately leaked to the GC on
+	// timeout, when the engine may still read it.
+	d := getDecoder()
+	evs, err := d.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		putDecoder(d)
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding event: %v", err))
 		return
 	}
-	ev.Epoch = 0 // the engine stamps the live epoch
-	if err := ev.Validate(); err != nil {
+	evs[0].Epoch = 0 // the engine stamps the live epoch
+	if err := evs[0].Validate(); err != nil {
+		putDecoder(d)
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	t := ticket{ev: ev, reply: make(chan admitReply, 1)}
+	t := ticket{evs: evs, reply: make(chan admitReply, 1)}
+	ok, full := s.tryEnqueue(t)
+	if !ok {
+		putDecoder(d)
+		s.shed.Add(1)
+		if full {
+			s.unavailable(w, "admission queue full")
+		} else {
+			s.unavailable(w, "draining")
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	defer cancel()
+	select {
+	case rep := <-t.reply:
+		putDecoder(d)
+		if rep.err != nil {
+			httpError(w, http.StatusInternalServerError, rep.err.Error())
+			return
+		}
+		evErr := rep.errs[0]
+		if evErr != nil && !runtimepkg.IsStaleRequest(evErr) {
+			httpError(w, http.StatusInternalServerError, evErr.Error())
+			return
+		}
+		status := http.StatusOK
+		if evErr != nil {
+			status = http.StatusConflict
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		out := decisionEntry{Decision: rep.decs[0]}
+		if evErr != nil {
+			out.Error = evErr.Error()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	case <-ctx.Done():
+		// The engine is saturated: the request was accepted and WILL be
+		// applied (durably), but this client's wait is over. Shed it with
+		// the same 503 + Retry-After contract as the front door, so
+		// clients see one overload signal, not two.
+		s.shed.Add(1)
+		s.unavailable(w, "engine saturated; accepted admission still pending")
+	}
+}
+
+func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.shed.Add(1)
+		s.unavailable(w, "not ready")
+		return
+	}
+	var evs []runtimepkg.Event
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&evs); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding events: %v", err))
+		return
+	}
+	if len(evs) > s.opt.MaxBatchEvents {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d events exceeds the %d-event limit", len(evs), s.opt.MaxBatchEvents))
+		return
+	}
+	out := struct {
+		Decisions []decisionEntry `json:"decisions"`
+	}{Decisions: []decisionEntry{}}
+	if len(evs) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+	for i := range evs {
+		evs[i].Epoch = 0 // the engine stamps the live epoch
+	}
+
+	t := ticket{evs: evs, reply: make(chan admitReply, 1)}
 	ok, full := s.tryEnqueue(t)
 	if !ok {
 		s.shed.Add(1)
@@ -386,31 +569,24 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	select {
 	case rep := <-t.reply:
-		if rep.err != nil && !runtimepkg.IsStaleRequest(rep.err) {
+		if rep.err != nil {
 			httpError(w, http.StatusInternalServerError, rep.err.Error())
 			return
 		}
-		status := http.StatusOK
-		if rep.err != nil {
-			status = http.StatusConflict
+		for i := range rep.decs {
+			e := decisionEntry{Decision: rep.decs[i]}
+			if rep.errs[i] != nil {
+				e.Error = rep.errs[i].Error()
+			}
+			out.Decisions = append(out.Decisions, e)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(status)
-		out := struct {
-			Decision runtimepkg.Decision `json:"decision"`
-			Error    string              `json:"error,omitempty"`
-		}{Decision: rep.dec}
-		if rep.err != nil {
-			out.Error = rep.err.Error()
-		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(out)
 	case <-ctx.Done():
-		// Accepted and still queued: it WILL be applied (and is durable
-		// once it is). 504 tells the client its wait ended, not that the
-		// request was dropped.
-		httpError(w, http.StatusGatewayTimeout, "accepted; decision still pending")
+		s.shed.Add(1)
+		s.unavailable(w, "engine saturated; accepted batch still pending")
 	}
 }
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke the live ingest path: boot impserve, run a short low-rate loadgen
+# pass (single admits, then batches), and assert zero errors and a sane
+# p99. Writes the loadgen reports into a directory for CI to upload.
+#
+# usage: scripts/loadgen_smoke.sh [outdir]
+#
+#   outdir   report directory (default: loadsmoke)
+#
+# The rate is deliberately far below capacity (the group-commit bench
+# sustains tens of thousands of admits/s; this asks for hundreds), so any
+# error or a p99 above the generous bound means the ingest path broke, not
+# that the machine was slow.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-loadsmoke}"
+mkdir -p "$outdir"
+
+bin="$(mktemp -d "${TMPDIR:-/tmp}/loadgen_smoke.XXXXXX")"
+addr="127.0.0.1:18097"
+pid=""
+cleanup() {
+  if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bin/impserve" ./cmd/impserve
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+"$bin/impserve" -dir "$bin/state" -listen "$addr" -quiet &
+pid=$!
+
+# Wait for readiness (the listener binds before the store attaches).
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+"$bin/loadgen" -url "http://$addr" -mode open -rate 300 -conns 8 \
+  -duration 3s -warmup 500ms -p99-max 250ms -fail-on-error \
+  -out "$outdir/loadgen_single.json"
+
+"$bin/loadgen" -url "http://$addr" -mode open -rate 50 -conns 4 -batch 16 \
+  -duration 3s -warmup 500ms -p99-max 250ms -fail-on-error \
+  -out "$outdir/loadgen_batch.json"
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "wrote $outdir/loadgen_single.json $outdir/loadgen_batch.json" >&2
