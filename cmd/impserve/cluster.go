@@ -1,0 +1,287 @@
+// Cluster modes: with -shards N > 1 the durable tape and serve modes run
+// a partition-aware router over N shard stores instead of one store. The
+// contract is unchanged — same tape, same exit codes, same signal
+// handling, same crash-only recovery — the state is just wider.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nprt/internal/cluster"
+	schedrt "nprt/internal/runtime"
+	"nprt/internal/serve"
+)
+
+// clusterStoreOptions is the per-shard store template shared by both
+// cluster modes — the same knobs runDurable/runServe hand OpenStore.
+func clusterStoreOptions(fs flags, opts schedrt.Options, fsyncs *int) schedrt.StoreOptions {
+	return schedrt.StoreOptions{
+		Runtime:     opts,
+		AfterSync:   crashHook(fs, fsyncs),
+		CommitBatch: *fs.commitBatch,
+		CommitDelay: *fs.commitDelay,
+	}
+}
+
+func printClusterRecovery(fs flags, c *cluster.Cluster) {
+	rec := c.Recovery()
+	replayed := 0
+	for _, sr := range rec.Shards {
+		replayed += sr.ReplayedEvents + sr.ReplayedEpochs
+	}
+	if rec.Cursor == 0 && replayed == 0 && rec.ReplayedPlacements == 0 {
+		return
+	}
+	fmt.Printf("restored:    %s at epoch %d (cursor %d, %d placements replayed, %d adopted, %d dropped)\n",
+		*fs.dir, c.Epoch(), rec.Cursor, rec.ReplayedPlacements, rec.Adopted, rec.Dropped)
+}
+
+// clusterDigest folds the per-shard digests into one run identity, so the
+// sweep's single digest line compares whole-cluster recoveries.
+func clusterDigest(c *cluster.Cluster) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range c.Digests() {
+		binary.BigEndian.PutUint64(buf[:], d)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func printClusterSummary(c *cluster.Cluster, horizon int64) {
+	m := c.Metrics()
+	fmt.Printf("shards:      %d (placement %s)\n", len(c.Shards()), c.Policy().Name())
+	fmt.Printf("epochs:      %d (of horizon %d)\n", c.Epoch(), horizon)
+	fmt.Printf("jobs:        %d, misses %d (%d in degraded windows)\n",
+		m.Jobs, m.Misses, m.MissesDegraded)
+	fmt.Printf("admission:   %d admitted (%d degraded), %d rejected, %d removed\n",
+		m.Admits, m.AdmitsDegraded, m.Rejects, m.Removes)
+	for _, sh := range c.Shards() {
+		fmt.Printf("shard %03d:   %d tasks, digest %016x\n", sh.ID, sh.Resident(), sh.Store.Digest())
+	}
+	fmt.Printf("digest:      %016x\n", clusterDigest(c))
+}
+
+// runDurableCluster is runDurable at cluster width: the tape plays one
+// epoch at a time (the signal boundary) through the serial router — the
+// durable resume contract (skip exactly the journaled sequence prefix)
+// holds only when events become durable in tape order. -shard-parallel
+// opts into the concurrent group-commit drive for throughput runs that
+// accept replay-from-checkpoint on interruption.
+func runDurableCluster(fs flags) int {
+	if *fs.tape == "" {
+		fmt.Fprintln(os.Stderr, "impserve: -dir needs -tape (or -listen for the HTTP service)")
+		return exitInvalidInput
+	}
+	if *fs.restore != "" || *fs.checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "impserve: -dir manages its own checkpoints; drop -restore/-checkpoint")
+		return exitInvalidInput
+	}
+	tp, err := readTape(*fs.tape, *fs.strict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInvalidInput
+	}
+	opts, code := runtimeOptions(fs)
+	if code != exitOK {
+		return code
+	}
+
+	fsyncs := 0
+	c, err := cluster.Open(*fs.dir, cluster.Options{
+		Shards:    *fs.shards,
+		Placement: *fs.placement,
+		Store:     clusterStoreOptions(fs, opts, &fsyncs),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "impserve: opening cluster %s: %v\n", *fs.dir, err)
+		return exitInvalidInput
+	}
+	defer c.Close()
+	printClusterRecovery(fs, c)
+
+	horizon := tapeHorizon(fs, tp)
+	jsonl, code := openJSONL(fs)
+	if jsonl != nil {
+		defer jsonl.Close()
+	} else if code != exitOK {
+		return code
+	}
+
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	onEpoch := func(rep cluster.ShardEpoch) {
+		if jsonl != nil {
+			if err := json.NewEncoder(jsonl).Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "impserve: epoch log:", err)
+			}
+		}
+		if !*fs.quiet && rep.Report.ActionName != "" {
+			fmt.Printf("epoch %d: shard %d governor %s (shed %v, window mean %.2f)\n",
+				rep.Report.Epoch, rep.Shard, rep.Report.ActionName, rep.Report.Shed, rep.Report.WindowMean)
+		}
+	}
+	onDecision := func(ev schedrt.Event, res cluster.Result) {
+		if !*fs.quiet {
+			fmt.Printf("epoch %d: shard %d: %s %s: %s%s\n",
+				c.Epoch(), res.Shard, res.Decision.Op, res.Decision.Task,
+				res.Decision.Verdict, reason(res.Decision))
+		}
+	}
+
+	every := *fs.ckptEvery
+	interrupted := false
+	for c.Epoch() < horizon && !interrupted {
+		select {
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "impserve: %v: state is durable at epoch %d\n", sig, c.Epoch())
+			interrupted = true
+			continue
+		default:
+		}
+		err := c.PlayTape(tp, c.Epoch()+1, *fs.shardParallel, 0,
+			onEpoch, onDecision, staleTolerant(fs, c.Epoch))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "impserve:", err)
+			return exitInternal
+		}
+		if every > 0 && c.Epoch()%int64(every) == 0 {
+			if err := c.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "impserve:", err)
+				return exitInternal
+			}
+		}
+	}
+
+	if err := c.Checkpoint(); err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInternal
+	}
+	printClusterSummary(c, horizon)
+	fmt.Printf("fsyncs:      %d\n", fsyncs)
+	if interrupted {
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+// runServeCluster is runServe at cluster width: the same bind-first
+// listener, handler indirection and supervisor, but each incarnation
+// recovers the whole cluster and attaches the partition-aware server —
+// every /admit routes through placement, /state aggregates the shards.
+func runServeCluster(fs flags) int {
+	opts, code := runtimeOptions(fs)
+	if code != exitOK {
+		return code
+	}
+
+	ln, err := net.Listen("tcp", *fs.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInvalidInput
+	}
+	fmt.Printf("listening:   %s (%d shards, placement %s)\n", ln.Addr(), *fs.shards, *fs.placement)
+
+	var current atomic.Pointer[http.Handler]
+	httpSrv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := current.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			if r.URL.Path == "/healthz" {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error": "restarting"}`, http.StatusServiceUnavailable)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fsyncs := 0
+	sup := &serve.Supervisor{
+		MaxRestarts: *fs.maxRestarts,
+		OnRestart: func(attempt int, err error, delay time.Duration) {
+			fmt.Fprintf(os.Stderr, "impserve: incarnation %d died (%v); restarting in %v\n", attempt, err, delay)
+		},
+	}
+	err = sup.Run(ctx, func(ctx context.Context) error {
+		c, err := cluster.Open(*fs.dir, cluster.Options{
+			Shards:      *fs.shards,
+			Placement:   *fs.placement,
+			Store:       clusterStoreOptions(fs, opts, &fsyncs),
+			RelaxedMeta: true,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		printClusterRecovery(fs, c)
+
+		srv := cluster.NewServer(cluster.ServeOptions{
+			QueueDepth:      *fs.queue,
+			EpochInterval:   *fs.epochEvery,
+			CheckpointEvery: *fs.ckptEvery,
+			Logf:            func(f string, a ...any) { fmt.Fprintf(os.Stderr, "impserve: "+f+"\n", a...) },
+		})
+		h := srv.Handler()
+		current.Store(&h)
+		defer current.Store(nil)
+		srv.Attach(c)
+
+		select {
+		case err := <-srv.Fatal():
+			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(shctx)
+			return err
+		case <-ctx.Done():
+			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shctx); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			fmt.Printf("drained:     epoch %d\n", c.Epoch())
+			fmt.Printf("epochs:      %d\n", c.Epoch())
+			fmt.Printf("digest:      %016x\n", clusterDigest(c))
+			return nil
+		}
+	})
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		return exitOK
+	case errors.Is(err, serve.ErrRestartBudget):
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitBudget
+	default:
+		fmt.Fprintln(os.Stderr, "impserve:", err)
+		return exitInternal
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"nprt/internal/cluster"
 	"nprt/internal/experiments"
 	schedrt "nprt/internal/runtime"
 	"nprt/internal/serve"
@@ -77,6 +78,14 @@ func main() {
 func run() int {
 	fs := newFlagSet()
 	if err := fs.fs.Parse(os.Args[1:]); err != nil {
+		return exitInvalidInput
+	}
+	if *fs.shards < 1 {
+		fmt.Fprintln(os.Stderr, "impserve: -shards must be at least 1")
+		return exitInvalidInput
+	}
+	if *fs.shards > 1 && *fs.dir == "" && !*fs.sweep {
+		fmt.Fprintln(os.Stderr, "impserve: -shards needs -dir (shard stores are durable)")
 		return exitInvalidInput
 	}
 
@@ -164,6 +173,9 @@ func run() int {
 // crash-only store — every mutation journaled before it is applied, a
 // checkpoint every -checkpoint-every epochs, recovery on open.
 func runDurable(fs flags) int {
+	if *fs.shards > 1 {
+		return runDurableCluster(fs)
+	}
 	if *fs.tape == "" {
 		fmt.Fprintln(os.Stderr, "impserve: -dir needs -tape (or -listen for the HTTP service)")
 		return exitInvalidInput
@@ -266,6 +278,9 @@ func runServe(fs flags) int {
 	if *fs.tape != "" {
 		fmt.Fprintln(os.Stderr, "impserve: -listen and -tape are exclusive; the service admits over HTTP")
 		return exitInvalidInput
+	}
+	if *fs.shards > 1 {
+		return runServeCluster(fs)
 	}
 	opts, code := runtimeOptions(fs)
 	if code != exitOK {
@@ -462,6 +477,15 @@ func runSweep(fs flags) int {
 	if *fs.epochs > 0 {
 		common = append(common, "-epochs", fmt.Sprint(*fs.epochs))
 	}
+	// The sweep proves whatever width it is asked about: with -shards the
+	// children run the cluster tape mode, and the digest line under
+	// comparison is the folded whole-cluster digest.
+	if *fs.shards > 1 {
+		common = append(common, "-shards", fmt.Sprint(*fs.shards))
+		if *fs.placement != "" {
+			common = append(common, "-placement", *fs.placement)
+		}
+	}
 	for _, eng := range engines {
 		args := append([]string{"-engine", eng}, common...)
 		baseDir := filepath.Join(root, eng+"-baseline")
@@ -577,6 +601,10 @@ type flags struct {
 	sweep       *bool
 	sweepOut    *string
 	sweepEngine *string
+
+	shards        *int
+	placement     *string
+	shardParallel *bool
 }
 
 func newFlagSet() flags {
@@ -607,6 +635,10 @@ func newFlagSet() flags {
 		sweep:       fs.Bool("sweep", false, "run the crash-point sweep (kill at every fsync, verify recovery digests) and exit"),
 		sweepOut:    fs.String("sweep-out", "", "sweep mode: write the JSON artifact here"),
 		sweepEngine: fs.String("sweep-engine", "", "sweep mode: restrict to one engine (default: both)"),
+
+		shards:        fs.Int("shards", 1, "durable modes: partition the state across this many shard stores"),
+		placement:     fs.String("placement", "", "cluster placement policy: "+strings.Join(cluster.PolicyNames(), ", ")+" (default first-fit)"),
+		shardParallel: fs.Bool("shard-parallel", false, "cluster tape mode: concurrent group-commit drive (durable resume needs the serial default)"),
 	}
 }
 

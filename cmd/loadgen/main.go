@@ -1,6 +1,6 @@
-// Command loadgen drives an impserve admission endpoint and reports
-// latency and throughput, so the group-commit ingest path has a measured
-// number instead of a believed one.
+// Command loadgen drives one or more impserve admission endpoints and
+// reports latency and throughput, so the group-commit ingest path has a
+// measured number instead of a believed one.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	loadgen -url ... -mode open -rate 2000 -duration 10s -out report.json
 //	loadgen -url ... -batch 32                 # POST /admit/batch
 //	loadgen -url ... -p99-max 50ms -fail-on-error   # smoke assertion
+//	loadgen -target http://h1:8080 -target http://h2:8080 ...  # fan out
 //
 // Two load models:
 //
@@ -19,15 +20,23 @@
 //     SCHEDULED send time, so server-side queueing is charged to the
 //     request that suffered it (no coordinated omission).
 //
+// With repeated -target flags the stream round-robins across endpoints
+// request by request (client-side sharding); the report carries one
+// latency block per target next to the merged totals.
+//
 // The event stream is deterministic in -seed: adds and removes over a
-// cyclic task-name set, so the server's working set stays bounded and a
-// rerun with the same seed offers the same work. Duplicate adds and
-// unknown removes come back 409 (stale); that is expected churn, counted
-// separately from errors.
+// cyclic set of -names task names, so the server's working set stays
+// bounded and a rerun with the same seed offers the same work. Widening
+// -names raises the offered admission load past one scheduler's Theorem-1
+// capacity — the knob the cluster-scaling benchmark turns. Duplicate adds
+// and unknown removes come back 409 (stale); that is expected churn,
+// counted separately from errors. Responses are parsed for verdicts, so
+// the report separates *admitted* adds (the capacity headline) from
+// feasibility rejections.
 //
 // Latencies land in an HDR-style histogram (log2 buckets, 64 sub-buckets:
 // ≤1.6% relative error), from which the report takes p50/p90/p99/p999.
-// The report is JSON on stdout (or -out), ending with a scrape of the
+// The report is JSON on stdout (or -out), ending with a scrape of each
 // server's /state so records-per-sync lands next to the latency it bought.
 //
 // Exit codes: 0 ok · 1 internal error · 2 bad flags · 3 assertion failed
@@ -147,12 +156,13 @@ func (h *hist) mean() time.Duration {
 // --- seeded event stream ------------------------------------------------
 
 // events builds the n'th request payload: -batch events, each an add or a
-// remove over a cyclic name set. Deterministic in (seed, n).
-func events(seed uint64, n uint64, batch int) []runtimepkg.Event {
+// remove over a cyclic set of `names` task names. Deterministic in
+// (seed, n, names).
+func events(seed uint64, n uint64, batch, names int) []runtimepkg.Event {
 	rng := rand.New(rand.NewSource(int64(seed ^ n*0x9e3779b97f4a7c15)))
 	evs := make([]runtimepkg.Event, batch)
 	for i := range evs {
-		name := fmt.Sprintf("lg%d", rng.Intn(16))
+		name := fmt.Sprintf("lg%d", rng.Intn(names))
 		if rng.Intn(2) == 0 {
 			w := task.Time(8 + rng.Intn(8))
 			evs[i] = runtimepkg.Event{Op: "add", Task: &runtimepkg.TaskSpec{Task: task.Task{
@@ -180,14 +190,27 @@ type latencyReport struct {
 	MeanMicros float64 `json:"mean_us"`
 }
 
+// targetReport is one endpoint's slice of a multi-target run.
+type targetReport struct {
+	URL      string        `json:"url"`
+	Requests uint64        `json:"requests"`
+	OK       uint64        `json:"ok"`
+	Stale    uint64        `json:"stale"`
+	Shed     uint64        `json:"shed"`
+	Errors   uint64        `json:"errors"`
+	Admits   uint64        `json:"admits"`
+	Latency  latencyReport `json:"latency"`
+}
+
 type report struct {
-	Mode       string  `json:"mode"`
-	URL        string  `json:"url"`
-	Conns      int     `json:"conns"`
-	Batch      int     `json:"batch"`
-	TargetRate float64 `json:"target_rate,omitempty"`
-	Seed       uint64  `json:"seed"`
-	DurationS  float64 `json:"duration_s"`
+	Mode       string   `json:"mode"`
+	URLs       []string `json:"urls"`
+	Conns      int      `json:"conns"`
+	Batch      int      `json:"batch"`
+	Names      int      `json:"names"`
+	TargetRate float64  `json:"target_rate,omitempty"`
+	Seed       uint64   `json:"seed"`
+	DurationS  float64  `json:"duration_s"`
 
 	Requests uint64 `json:"requests"`
 	Events   uint64 `json:"events"`
@@ -196,61 +219,140 @@ type report struct {
 	Shed     uint64 `json:"shed"`
 	Errors   uint64 `json:"errors"`
 
+	// Admits counts add events whose decision came back admitted (either
+	// profile); AddRejects counts feasibility rejections. Their split is
+	// what distinguishes a saturated scheduler (flat Admits, climbing
+	// AddRejects) from a scaled one.
+	Admits     uint64 `json:"admits"`
+	AddRejects uint64 `json:"add_rejects"`
+
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+	AdmitsPerSec   float64 `json:"admits_per_sec"`
 
-	Latency latencyReport `json:"latency"`
+	Latency latencyReport  `json:"latency"`
+	Targets []targetReport `json:"targets,omitempty"`
 
-	ServerState json.RawMessage `json:"server_state,omitempty"`
+	ServerState []json.RawMessage `json:"server_state,omitempty"`
 }
 
 func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
-// --- worker -------------------------------------------------------------
-
-type worker struct {
-	h      *hist
-	ok     uint64
-	stale  uint64
-	shed   uint64
-	errs   uint64
-	reqs   uint64
-	events uint64
+func latencyOf(h *hist) latencyReport {
+	return latencyReport{
+		P50Micros:  micros(h.quantile(0.50)),
+		P90Micros:  micros(h.quantile(0.90)),
+		P99Micros:  micros(h.quantile(0.99)),
+		P999Micros: micros(h.quantile(0.999)),
+		MaxMicros:  micros(time.Duration(h.max)),
+		MeanMicros: micros(h.mean()),
+	}
 }
 
-func (w *worker) send(client *http.Client, url string, batch int, payload []byte) int {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
-	w.reqs++
-	w.events += uint64(batch)
-	if err != nil {
-		w.errs++
-		return 0
+// --- worker -------------------------------------------------------------
+
+// tstat is one worker's ledger for one target.
+type tstat struct {
+	h          *hist
+	ok         uint64
+	stale      uint64
+	shed       uint64
+	errs       uint64
+	reqs       uint64
+	events     uint64
+	admits     uint64
+	addRejects uint64
+}
+
+type worker struct {
+	per []tstat // indexed by target
+}
+
+// decisionBody is the minimal shape of both admit responses (single-node
+// and cluster, single and batch): enough to count verdicts.
+type decisionBody struct {
+	Decision  *wireDecision  `json:"decision"`
+	Error     string         `json:"error"`
+	Decisions []verdictEntry `json:"decisions"`
+}
+
+type wireDecision struct {
+	Op      string `json:"op"`
+	Verdict int    `json:"verdict"`
+}
+
+type verdictEntry struct {
+	Decision wireDecision `json:"decision"`
+	Error    string       `json:"error"`
+}
+
+// countVerdicts tallies admitted vs rejected adds out of a 200 response.
+func (s *tstat) countVerdicts(body []byte) {
+	var d decisionBody
+	if err := json.Unmarshal(body, &d); err != nil {
+		return // latency and status already counted; verdicts are best-effort
 	}
+	tally := func(op string, verdict int, errmsg string) {
+		if op != "add" || errmsg != "" {
+			return
+		}
+		if verdict == int(runtimepkg.Rejected) {
+			s.addRejects++
+		} else {
+			s.admits++
+		}
+	}
+	if d.Decision != nil {
+		tally(d.Decision.Op, d.Decision.Verdict, d.Error)
+	}
+	for _, e := range d.Decisions {
+		tally(e.Decision.Op, e.Decision.Verdict, e.Error)
+	}
+}
+
+func (w *worker) send(client *http.Client, ti int, url string, batch int, payload []byte) {
+	s := &w.per[ti]
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	s.reqs++
+	s.events += uint64(batch)
+	if err != nil {
+		s.errs++
+		return
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		w.ok++
+		s.ok++
+		if rerr == nil {
+			s.countVerdicts(body)
+		}
 	case resp.StatusCode == http.StatusConflict:
-		w.stale++
+		s.stale++
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		w.shed++
-		w.errs++
+		s.shed++
+		s.errs++
 	default:
-		w.errs++
+		s.errs++
 	}
-	return resp.StatusCode
 }
 
 func run() int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
-	url := fs.String("url", "http://127.0.0.1:8080", "impserve base URL")
+	url := fs.String("url", "http://127.0.0.1:8080", "impserve base URL (single target)")
+	var targets []string
+	fs.Func("target", "impserve base URL; repeat to round-robin across endpoints (overrides -url)", func(v string) error {
+		targets = append(targets, v)
+		return nil
+	})
 	mode := fs.String("mode", "closed", "load model: closed (conns with one outstanding request) or open (fixed schedule of -rate/s)")
 	conns := fs.Int("conns", 8, "concurrent client connections")
 	rate := fs.Float64("rate", 0, "open mode: target requests per second")
 	duration := fs.Duration("duration", 5*time.Second, "measured run length")
 	warmup := fs.Duration("warmup", 0, "discard samples from the first part of the run")
 	batch := fs.Int("batch", 1, "events per request (1: POST /admit, >1: POST /admit/batch)")
+	names := fs.Int("names", 16, "distinct task names in the event stream (widen to raise offered admission load)")
 	seed := fs.Uint64("seed", 1, "event-stream seed")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	p99Max := fs.Duration("p99-max", 0, "exit 3 if p99 latency exceeds this")
@@ -258,8 +360,8 @@ func run() int {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return exitInvalidInput
 	}
-	if *conns <= 0 || *batch <= 0 || *duration <= 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: -conns, -batch and -duration must be positive")
+	if *conns <= 0 || *batch <= 0 || *duration <= 0 || *names <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -conns, -batch, -names and -duration must be positive")
 		return exitInvalidInput
 	}
 	if *mode != "closed" && *mode != "open" {
@@ -270,14 +372,21 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: open mode needs -rate > 0")
 		return exitInvalidInput
 	}
+	if len(targets) == 0 {
+		targets = []string{*url}
+	}
 
-	endpoint := *url + "/admit"
-	if *batch > 1 {
-		endpoint = *url + "/admit/batch"
+	endpoints := make([]string, len(targets))
+	for i, t := range targets {
+		if *batch > 1 {
+			endpoints[i] = t + "/admit/batch"
+		} else {
+			endpoints[i] = t + "/admit"
+		}
 	}
 	client := &http.Client{
 		Transport: &http.Transport{
-			MaxIdleConns:        *conns,
+			MaxIdleConns:        *conns * len(targets),
 			MaxIdleConnsPerHost: *conns,
 		},
 		Timeout: 30 * time.Second,
@@ -287,7 +396,7 @@ func run() int {
 	// the measured latency.
 	payloads := make([][]byte, 256)
 	for i := range payloads {
-		evs := events(*seed, uint64(i), *batch)
+		evs := events(*seed, uint64(i), *batch, *names)
 		var buf []byte
 		var err error
 		if *batch == 1 {
@@ -309,7 +418,10 @@ func run() int {
 	var seq atomic.Uint64
 	var wg sync.WaitGroup
 	for c := 0; c < *conns; c++ {
-		w := &worker{h: newHist()}
+		w := &worker{per: make([]tstat, len(targets))}
+		for i := range w.per {
+			w.per[i].h = newHist()
+		}
 		workers[c] = w
 		wg.Add(1)
 		go func() {
@@ -329,9 +441,10 @@ func run() int {
 						return
 					}
 				}
-				w.send(client, endpoint, *batch, payloads[n%uint64(len(payloads))])
+				ti := int(n % uint64(len(targets)))
+				w.send(client, ti, endpoints[ti], *batch, payloads[n%uint64(len(payloads))])
 				if sched.After(measureFrom) {
-					w.h.record(time.Since(sched))
+					w.per[ti].h.record(time.Since(sched))
 				}
 			}
 		}()
@@ -343,34 +456,48 @@ func run() int {
 	}
 
 	rep := report{
-		Mode: *mode, URL: *url, Conns: *conns, Batch: *batch,
+		Mode: *mode, URLs: targets, Conns: *conns, Batch: *batch, Names: *names,
 		TargetRate: *rate, Seed: *seed, DurationS: elapsed.Seconds(),
 	}
 	h := newHist()
-	for _, w := range workers {
-		h.merge(w.h)
-		rep.Requests += w.reqs
-		rep.Events += w.events
-		rep.OK += w.ok
-		rep.Stale += w.stale
-		rep.Shed += w.shed
-		rep.Errors += w.errs
+	for ti, t := range targets {
+		th := newHist()
+		tr := targetReport{URL: t}
+		for _, w := range workers {
+			s := &w.per[ti]
+			th.merge(s.h)
+			tr.Requests += s.reqs
+			tr.OK += s.ok
+			tr.Stale += s.stale
+			tr.Shed += s.shed
+			tr.Errors += s.errs
+			tr.Admits += s.admits
+			rep.Requests += s.reqs
+			rep.Events += s.events
+			rep.OK += s.ok
+			rep.Stale += s.stale
+			rep.Shed += s.shed
+			rep.Errors += s.errs
+			rep.Admits += s.admits
+			rep.AddRejects += s.addRejects
+		}
+		tr.Latency = latencyOf(th)
+		h.merge(th)
+		if len(targets) > 1 {
+			rep.Targets = append(rep.Targets, tr)
+		}
 	}
 	rep.RequestsPerSec = float64(rep.Requests) / elapsed.Seconds()
 	rep.EventsPerSec = float64(rep.Events) / elapsed.Seconds()
-	rep.Latency = latencyReport{
-		P50Micros:  micros(h.quantile(0.50)),
-		P90Micros:  micros(h.quantile(0.90)),
-		P99Micros:  micros(h.quantile(0.99)),
-		P999Micros: micros(h.quantile(0.999)),
-		MaxMicros:  micros(time.Duration(h.max)),
-		MeanMicros: micros(h.mean()),
-	}
-	if resp, err := client.Get(*url + "/state"); err == nil {
-		if body, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
-			rep.ServerState = json.RawMessage(body)
+	rep.AdmitsPerSec = float64(rep.Admits) / elapsed.Seconds()
+	rep.Latency = latencyOf(h)
+	for _, t := range targets {
+		if resp, err := client.Get(t + "/state"); err == nil {
+			if body, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
+				rep.ServerState = append(rep.ServerState, json.RawMessage(body))
+			}
+			resp.Body.Close()
 		}
-		resp.Body.Close()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+
+	"nprt/internal/task"
+)
+
+// A Policy picks the shard that receives a new task. Policies are pure,
+// deterministic functions of the candidate, the per-shard feasibility
+// mirrors, and the router's placement cursor — the property the placement
+// determinism test pins down: the same tape through the same policy always
+// produces the same partition map.
+//
+// The policy only *suggests*; every shard re-screens the candidate against
+// Theorem 1 itself before admitting. A policy may therefore return a shard
+// the task does not fit (the shard records a deterministic rejection), but
+// it must always return a valid index.
+type Policy interface {
+	// Name is the stable identifier used by -placement flags and /state.
+	Name() string
+	// Place returns the shard index for candidate c. rr is the number of
+	// successful placements so far (the round-robin cursor).
+	Place(c *task.Task, shards []*Shard, rr uint64) int
+}
+
+// PolicyNames lists the built-in policies in flag-help order.
+func PolicyNames() []string {
+	return []string{"round-robin", "least-util", "affinity", "first-fit", "best-fit"}
+}
+
+// ParsePolicy maps a policy name to its implementation. The empty string
+// selects first-fit, the default: it is the cheapest policy that still
+// consults the Jeffay bound before spending a placement.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "first-fit":
+		return firstFit{}, nil
+	case "round-robin":
+		return roundRobin{}, nil
+	case "least-util":
+		return leastUtil{}, nil
+	case "affinity":
+		return affinity{}, nil
+	case "best-fit":
+		return bestFit{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown placement policy %q (have %v)", name, PolicyNames())
+}
+
+// roundRobin sprays tasks across shards in placement order, blind to load.
+// It is the baseline the feasibility-aware policies are measured against.
+type roundRobin struct{}
+
+func (roundRobin) Name() string { return "round-robin" }
+func (roundRobin) Place(_ *task.Task, shards []*Shard, rr uint64) int {
+	return int(rr % uint64(len(shards)))
+}
+
+// leastUtil places on the shard with the lowest accurate-mode utilization
+// (worst-fit by residual capacity), ties broken by lowest index. It
+// balances load without probing the Jeffay bound.
+type leastUtil struct{}
+
+func (leastUtil) Name() string { return "least-util" }
+func (leastUtil) Place(_ *task.Task, shards []*Shard, _ uint64) int {
+	return argLeastUtil(shards)
+}
+
+func argLeastUtil(shards []*Shard) int {
+	best, bestU := 0, shards[0].Util(task.Accurate)
+	for i := 1; i < len(shards); i++ {
+		if u := shards[i].Util(task.Accurate); u < bestU {
+			best, bestU = i, u
+		}
+	}
+	return best
+}
+
+// affinity hashes the task name (FNV-1a) onto a shard, so re-adds of the
+// same name always land on the same shard regardless of interleaving —
+// the policy for workloads where a name is a session key.
+type affinity struct{}
+
+func (affinity) Name() string { return "affinity" }
+func (affinity) Place(c *task.Task, shards []*Shard, _ uint64) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(c.Name); i++ {
+		h ^= uint32(c.Name[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(shards)))
+}
+
+// firstFit probes shards in index order against the incremental Jeffay
+// bound and takes the first that fits. Two tiers: a shard where the
+// candidate passes with every job accurate beats any shard where only the
+// deepest-imprecise profile passes (a degraded admission). When no shard
+// fits either way, it falls back to the least-utilized shard, which
+// records the rejection deterministically.
+type firstFit struct{}
+
+func (firstFit) Name() string { return "first-fit" }
+func (firstFit) Place(c *task.Task, shards []*Shard, _ uint64) int {
+	firstDeep := -1
+	for i, sh := range shards {
+		acc, deep := sh.Probe(c)
+		if acc {
+			return i
+		}
+		if deep && firstDeep < 0 {
+			firstDeep = i
+		}
+	}
+	if firstDeep >= 0 {
+		return firstDeep
+	}
+	return argLeastUtil(shards)
+}
+
+// bestFit probes every shard and takes the *tightest* fit: among shards
+// where the candidate passes accurate, the one with the highest accurate
+// utilization (ties lowest index); failing that, the same rule over
+// deepest-profile fits; failing that, the least-util fallback. Packing
+// tight leaves whole shards empty for future large tasks — the classical
+// bin-packing argument.
+type bestFit struct{}
+
+func (bestFit) Name() string { return "best-fit" }
+func (bestFit) Place(c *task.Task, shards []*Shard, _ uint64) int {
+	bestAcc, bestDeep := -1, -1
+	var uAcc, uDeep float64
+	for i, sh := range shards {
+		acc, deep := sh.Probe(c)
+		u := sh.Util(task.Accurate)
+		if acc && (bestAcc < 0 || u > uAcc) {
+			bestAcc, uAcc = i, u
+		}
+		if deep && (bestDeep < 0 || u > uDeep) {
+			bestDeep, uDeep = i, u
+		}
+	}
+	if bestAcc >= 0 {
+		return bestAcc
+	}
+	if bestDeep >= 0 {
+		return bestDeep
+	}
+	return argLeastUtil(shards)
+}

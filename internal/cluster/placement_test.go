@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"testing"
+
+	"nprt/internal/feasibility"
+	"nprt/internal/task"
+)
+
+// ptask builds a minimal valid task for placement probing (only the timing
+// fields matter to the Jeffay screen).
+func ptask(name string, p, w, x task.Time) task.Task {
+	return task.Task{Name: name, Period: p, WCETAccurate: w, WCETImprecise: x}
+}
+
+// mkShards fabricates router-side shards (mirror only, no store) holding
+// the given task sets — placement policies never touch the store.
+func mkShards(sets ...[]task.Task) []*Shard {
+	out := make([]*Shard, len(sets))
+	for i, set := range sets {
+		out[i] = &Shard{ID: i, inc: feasibility.NewIncremental(set)}
+	}
+	return out
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p.Name() != "first-fit" {
+		t.Errorf("default policy = %v, %v; want first-fit", p, err)
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	shards := mkShards(nil, nil, nil)
+	c := ptask("c", 40, 4, 1)
+	p, _ := ParsePolicy("round-robin")
+	for rr := uint64(0); rr < 7; rr++ {
+		if got, want := p.Place(&c, shards, rr), int(rr%3); got != want {
+			t.Errorf("rr=%d placed on %d, want %d", rr, got, want)
+		}
+	}
+}
+
+func TestLeastUtilPicksEmptiest(t *testing.T) {
+	shards := mkShards(
+		[]task.Task{ptask("a", 40, 20, 4)}, // util 0.5
+		[]task.Task{ptask("b", 40, 4, 1)},  // util 0.1
+		[]task.Task{ptask("c", 40, 10, 2)}, // util 0.25
+	)
+	c := ptask("new", 40, 4, 1)
+	p, _ := ParsePolicy("least-util")
+	if got := p.Place(&c, shards, 0); got != 1 {
+		t.Errorf("least-util placed on %d, want 1", got)
+	}
+}
+
+func TestAffinityIsStable(t *testing.T) {
+	shards := mkShards(nil, nil, nil, nil)
+	p, _ := ParsePolicy("affinity")
+	hit := make(map[int]bool)
+	for _, name := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"} {
+		c := ptask(name, 40, 4, 1)
+		first := p.Place(&c, shards, 0)
+		for i := 0; i < 5; i++ {
+			if got := p.Place(&c, shards, uint64(i)); got != first {
+				t.Fatalf("affinity(%q) moved: %d then %d", name, first, got)
+			}
+		}
+		hit[first] = true
+	}
+	if len(hit) < 2 {
+		t.Errorf("affinity sent 6 names to %d shard(s) — hash not spreading", len(hit))
+	}
+}
+
+func TestFirstFitSkipsFullShards(t *testing.T) {
+	// Shard 0 is saturated (util 1.0): nothing fits. Shard 1 has room.
+	shards := mkShards(
+		[]task.Task{ptask("big", 40, 40, 4)},
+		[]task.Task{ptask("sm", 40, 4, 1)},
+	)
+	c := ptask("new", 40, 8, 2)
+	p, _ := ParsePolicy("first-fit")
+	if got := p.Place(&c, shards, 0); got != 1 {
+		t.Errorf("first-fit placed on %d, want 1 (shard 0 is full)", got)
+	}
+
+	// An accurate fit anywhere beats a deep-only fit earlier in the order:
+	// shard 0 can hold the candidate only in its deepest-imprecise profile,
+	// shard 1 holds it fully accurate.
+	shards = mkShards(
+		[]task.Task{ptask("l", 40, 36, 2)}, // 0.9 utilized: w=8 fails, x=2 fits
+		[]task.Task{ptask("s", 40, 8, 2)},
+	)
+	if got := p.Place(&c, shards, 0); got != 1 {
+		t.Errorf("first-fit preferred a degraded fit on 0 over accurate on 1 (got %d)", got)
+	}
+
+	// Nowhere fits at all: fall back to the least-utilized shard, which
+	// records the deterministic rejection.
+	shards = mkShards(
+		[]task.Task{ptask("f0", 40, 40, 38)},
+		[]task.Task{ptask("f1", 40, 38, 36)},
+	)
+	huge := ptask("huge", 40, 39, 38)
+	if got := p.Place(&huge, shards, 0); got != 1 {
+		t.Errorf("first-fit fallback placed on %d, want least-util shard 1", got)
+	}
+}
+
+func TestBestFitPacksTightest(t *testing.T) {
+	// Both shards fit the candidate accurately; best-fit takes the fuller.
+	shards := mkShards(
+		[]task.Task{ptask("a", 40, 8, 2)},  // util 0.2
+		[]task.Task{ptask("b", 40, 20, 4)}, // util 0.5
+		nil,                                // util 0
+	)
+	c := ptask("new", 40, 8, 2)
+	p, _ := ParsePolicy("best-fit")
+	if got := p.Place(&c, shards, 0); got != 1 {
+		t.Errorf("best-fit placed on %d, want the tightest fit 1", got)
+	}
+}
+
+// TestPoliciesAreDeterministic: same candidate, same mirrors, same cursor
+// — every policy must return the same shard on repeat calls (the property
+// the tape-level determinism test scales up).
+func TestPoliciesAreDeterministic(t *testing.T) {
+	shards := mkShards(
+		[]task.Task{ptask("a", 40, 8, 2)},
+		[]task.Task{ptask("b", 80, 30, 5)},
+		[]task.Task{ptask("c", 160, 20, 3)},
+	)
+	for _, name := range PolicyNames() {
+		p, _ := ParsePolicy(name)
+		for i := 0; i < 4; i++ {
+			c := ptask("cand", 80, 12, 3)
+			first := p.Place(&c, shards, 7)
+			if again := p.Place(&c, shards, 7); again != first {
+				t.Errorf("%s: repeat placement %d != %d", name, again, first)
+			}
+		}
+	}
+}

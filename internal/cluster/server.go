@@ -1,0 +1,688 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	goruntime "runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nprt/internal/runtime"
+	"nprt/internal/serve"
+	"nprt/internal/task"
+)
+
+// Server is the HTTP control plane over a sharded cluster. It is the
+// multi-lane version of serve.Server: one engine goroutine *per shard*,
+// each owning that shard's store, fed through its own bounded queue. The
+// handler routes every event to its shard at the door (placement policy
+// for adds, partition map for removes), so N independent engines journal,
+// group-commit and fsync concurrently — the parallelism the sharding
+// exists to buy — while the router's mutex only covers the microseconds of
+// placement itself.
+//
+// Queueing contract per shard, identical to the single-node server: a full
+// queue sheds with 503 + Retry-After at the door, and everything accepted
+// is applied before the engine exits (drain-on-shutdown).
+type Server struct {
+	opt ServeOptions
+	c   *Cluster
+
+	mu       sync.Mutex // guards draining and the accept/drain race
+	draining bool
+
+	queues []chan sticket
+	rows   []atomic.Pointer[ShardRow]
+
+	ready       atomic.Bool
+	stop        chan struct{}
+	enginesDone sync.WaitGroup
+	fatal       chan error
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+	shed     atomic.Uint64
+	lastErr  atomic.Pointer[string]
+}
+
+// ServeOptions parameterizes NewServer.
+type ServeOptions struct {
+	// QueueDepth bounds each shard's admission queue, in events
+	// (default 256 — a cluster queue slot is one event, not one request).
+	QueueDepth int
+	// RequestTimeout bounds how long a handler waits for engine replies
+	// (default 5s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with every 503 (default 1s).
+	RetryAfter time.Duration
+	// EpochInterval, when positive, has every shard engine run epochs on a
+	// timer. Zero disables automatic epochs.
+	EpochInterval time.Duration
+	// CheckpointEvery checkpoints a shard after every Nth of its epochs
+	// (0 = never). Shard 0 also snapshots the router meta state.
+	CheckpointEvery int
+	// MaxBatchEvents caps /admit/batch (default 256).
+	MaxBatchEvents int
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.MaxBatchEvents <= 0 {
+		o.MaxBatchEvents = 256
+	}
+	return o
+}
+
+// sticket is one routed event in flight to a shard engine. Broadcast
+// events put one sticket on every queue, sharing a reply channel buffered
+// for all of them.
+type sticket struct {
+	ev    runtime.Event
+	tk    ticket
+	pos   int // caller's slot, echoed in the reply
+	reply chan sreply
+}
+
+// sreply is one engine's answer for one sticket.
+type sreply struct {
+	pos   int
+	shard int
+	dec   runtime.Decision
+	err   error // per-event (stale) or fatal store error
+	fatal bool
+}
+
+// ShardRow is one shard's slice of /state, published atomically by its
+// engine so readers never touch the store.
+type ShardRow struct {
+	Shard         int     `json:"shard"`
+	Epoch         int64   `json:"epoch"`
+	Digest        string  `json:"digest"`
+	Tasks         int     `json:"tasks"`
+	UtilAccurate  float64 `json:"util_accurate"`
+	EventsApplied uint64  `json:"events_applied"`
+	WALIndex      uint64  `json:"wal_index"`
+	MaxSeq        uint64  `json:"max_seq"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_cap"`
+
+	Commit *serve.CommitState `json:"commit,omitempty"`
+}
+
+// ClusterState is the /state document: aggregated router counters plus one
+// row per shard.
+type ClusterState struct {
+	Ready     bool   `json:"ready"`
+	Draining  bool   `json:"draining"`
+	Shards    int    `json:"shards"`
+	Placement string `json:"placement"`
+	Epoch     int64  `json:"epoch"` // cluster clock: min shard epoch
+	Tasks     int    `json:"tasks"` // partition-map size
+	Pending   int    `json:"pending"`
+	RR        uint64 `json:"rr"`
+	Seq       uint64 `json:"seq"`
+
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	LoadShed  uint64 `json:"load_shed"`
+	LastError string `json:"last_error,omitempty"`
+
+	PerShard []ShardRow `json:"per_shard"`
+}
+
+// NewServer builds the serving layer in the not-ready state; Attach hands
+// it the recovered cluster and starts the shard engines.
+func NewServer(opt ServeOptions) *Server {
+	opt = opt.withDefaults()
+	return &Server{
+		opt:   opt,
+		stop:  make(chan struct{}),
+		fatal: make(chan error, 1),
+	}
+}
+
+// Attach hands the server a recovered cluster, starts one engine per
+// shard, and flips readiness. Call exactly once.
+func (s *Server) Attach(c *Cluster) {
+	s.c = c
+	n := len(c.shards)
+	s.queues = make([]chan sticket, n)
+	s.rows = make([]atomic.Pointer[ShardRow], n)
+	for i := 0; i < n; i++ {
+		s.queues[i] = make(chan sticket, s.opt.QueueDepth)
+		s.publishShard(i)
+		s.enginesDone.Add(1)
+		go s.engine(i)
+	}
+	s.ready.Store(true)
+}
+
+// Fatal delivers at most one unrecoverable engine error.
+func (s *Server) Fatal() <-chan error { return s.fatal }
+
+// Shutdown bars the door, lets every engine drain its queue, and waits.
+// The cluster is left open — the caller closes it after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	s.ready.Store(false)
+	if already || s.c == nil {
+		return nil
+	}
+	close(s.stop)
+	done := make(chan struct{})
+	go func() {
+		s.enginesDone.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// engine owns shard si's store: admissions from the queue, timed epochs,
+// checkpoints. Router state (mirrors, map, meta journal) is only touched
+// under the cluster mutex, in this shard's apply order.
+func (s *Server) engine(si int) {
+	defer s.enginesDone.Done()
+	q := s.queues[si]
+	var tick <-chan time.Time
+	if s.opt.EpochInterval > 0 {
+		tk := time.NewTicker(s.opt.EpochInterval)
+		defer tk.Stop()
+		tick = tk.C
+	}
+	epochs := 0
+	buf := make([]sticket, 0, cap(q))
+	for {
+		select {
+		case t := <-q:
+			if !s.serveBatch(si, s.gather(buf[:0], t, q)) {
+				return
+			}
+		case <-tick:
+			if _, err := s.c.shards[si].Store.RunEpoch(); err != nil {
+				s.fail(fmt.Errorf("shard %d epoch: %w", si, err))
+				return
+			}
+			epochs++
+			if s.opt.CheckpointEvery > 0 && epochs%s.opt.CheckpointEvery == 0 {
+				if _, err := s.c.shards[si].Store.Checkpoint(); err != nil {
+					s.fail(fmt.Errorf("shard %d checkpoint: %w", si, err))
+					return
+				}
+				if si == 0 {
+					s.c.mu.Lock()
+					err := s.c.snapshotMetaLocked()
+					s.c.mu.Unlock()
+					if err != nil {
+						s.fail(fmt.Errorf("meta snapshot: %w", err))
+						return
+					}
+				}
+			}
+			s.publishShard(si)
+		case <-s.stop:
+			for {
+				select {
+				case t := <-q:
+					if !s.serveBatch(si, s.gather(buf[:0], t, q)) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather collects one commit group: the waking ticket, everything queued,
+// and a brief yield-spin for stragglers once it has company (the same
+// batching heuristic as the single-node engine).
+func (s *Server) gather(batch []sticket, t sticket, q chan sticket) []sticket {
+	batch = append(batch, t)
+	drain := func() {
+		for len(batch) < cap(batch) {
+			select {
+			case t2 := <-q:
+				batch = append(batch, t2)
+			default:
+				return
+			}
+		}
+	}
+	drain()
+	if len(batch) == 1 {
+		goruntime.Gosched()
+		drain()
+	}
+	if len(batch) > 1 {
+		for empty := 0; len(batch) < cap(batch) && empty < 4; {
+			before := len(batch)
+			goruntime.Gosched()
+			drain()
+			if len(batch) == before {
+				empty++
+			} else {
+				empty = 0
+			}
+		}
+	}
+	return batch
+}
+
+// serveBatch applies one gathered batch to shard si under one covering
+// fsync, reconciles the router (in apply order, under the cluster mutex),
+// publishes, then replies. false = the store failed fatally.
+func (s *Server) serveBatch(si int, batch []sticket) bool {
+	st := s.c.shards[si].Store
+	epoch := st.Epoch()
+	evs := make([]runtime.Event, len(batch))
+	for i := range batch {
+		evs[i] = batch[i].ev
+		evs[i].Epoch = epoch // journaled events replay at the live position
+	}
+	decs, errs, err := st.ApplyBatch(evs)
+	if err != nil {
+		s.fail(fmt.Errorf("shard %d admit: %w", si, err))
+		for i := range batch {
+			batch[i].reply <- sreply{pos: batch[i].pos, shard: si, err: err, fatal: true}
+		}
+		return false
+	}
+	s.c.mu.Lock()
+	var cerr error
+	for i := range batch {
+		if batch[i].tk.op == "overload" {
+			continue // broadcasts carry no router state
+		}
+		if e := s.c.complete(batch[i].tk, &evs[i], decs[i], errs[i]); e != nil && cerr == nil {
+			cerr = e
+		}
+	}
+	s.c.mu.Unlock()
+	if cerr != nil {
+		s.fail(fmt.Errorf("shard %d meta journal: %w", si, cerr))
+		for i := range batch {
+			batch[i].reply <- sreply{pos: batch[i].pos, shard: si, err: cerr, fatal: true}
+		}
+		return false
+	}
+	for i := range batch {
+		if batch[i].tk.op == "overload" {
+			continue // counted once at route time, not per broadcast leg
+		}
+		if errs[i] != nil || decs[i].Verdict == runtime.Rejected {
+			s.rejected.Add(1)
+		} else {
+			s.admitted.Add(1)
+		}
+	}
+	s.publishShard(si)
+	for i := range batch {
+		batch[i].reply <- sreply{pos: batch[i].pos, shard: si, dec: decs[i], err: errs[i]}
+	}
+	return true
+}
+
+// publishShard refreshes shard si's /state row from its engine's view.
+func (s *Server) publishShard(si int) {
+	sh := s.c.shards[si]
+	cs := sh.Store.CommitStats()
+	row := &ShardRow{
+		Shard:         si,
+		Epoch:         sh.Store.Epoch(),
+		Digest:        fmt.Sprintf("%016x", sh.Store.Digest()),
+		Tasks:         len(sh.Store.Runtime().Tasks()),
+		EventsApplied: sh.Store.EventsApplied(),
+		WALIndex:      sh.Store.LastIndex(),
+		MaxSeq:        sh.Store.MaxSeq(),
+		QueueDepth:    len(s.queues[si]),
+		QueueCap:      cap(s.queues[si]),
+		Commit:        &serve.CommitState{GroupStats: cs, RecordsPerSync: cs.RecordsPerSync()},
+	}
+	// The mirror is router state: read it under the router lock.
+	s.c.mu.Lock()
+	row.UtilAccurate = sh.Util(task.Accurate)
+	s.c.mu.Unlock()
+	s.rows[si].Store(row)
+}
+
+func (s *Server) fail(err error) {
+	s.logf("engine: fatal: %v", err)
+	s.ready.Store(false)
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+	select {
+	case s.fatal <- err:
+	default:
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// Snapshot composes the current /state document.
+func (s *Server) Snapshot() ClusterState {
+	st := ClusterState{Ready: s.ready.Load()}
+	s.mu.Lock()
+	st.Draining = s.draining
+	s.mu.Unlock()
+	st.Admitted = s.admitted.Load()
+	st.Rejected = s.rejected.Load()
+	st.LoadShed = s.shed.Load()
+	if msg := s.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	if s.c == nil {
+		return st
+	}
+	st.Shards = len(s.c.shards)
+	st.Placement = s.c.policy.Name()
+	s.c.mu.Lock()
+	st.Tasks = len(s.c.owner)
+	st.Pending = len(s.c.pending)
+	st.RR = s.c.rr
+	st.Seq = s.c.seq
+	s.c.mu.Unlock()
+	first := true
+	for i := range s.rows {
+		row := s.rows[i].Load()
+		if row == nil {
+			continue
+		}
+		row.QueueDepth = len(s.queues[i]) // refresh the only live field
+		st.PerShard = append(st.PerShard, *row)
+		if first || row.Epoch < st.Epoch {
+			st.Epoch = row.Epoch
+			first = false
+		}
+	}
+	return st
+}
+
+// routeIn routes one decoded event under the router locks and fans it out
+// to the shard queues. Returns the reply channel and how many replies to
+// expect; synthesized results come back immediately in synth. shed=true
+// means a queue was full or the server is draining.
+func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect int, synth *sreply, shed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, nil, true
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if ev.Op == "overload" {
+		for _, q := range s.queues {
+			if len(q) == cap(q) {
+				return 0, nil, true
+			}
+		}
+		s.c.stamp(&ev)
+		for si, q := range s.queues {
+			q <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply}
+		}
+		s.admitted.Add(1)
+		return len(s.queues), nil, false
+	}
+	tk, routeShed := s.c.route(&ev, func(si int) bool { return len(s.queues[si]) < cap(s.queues[si]) })
+	if routeShed {
+		return 0, nil, true
+	}
+	if tk.shard < 0 {
+		res := synthResult(&ev, tk)
+		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, false
+	}
+	// Space was gated above and only lock-holders enqueue, so this send
+	// cannot block.
+	s.queues[tk.shard] <- sticket{ev: ev, tk: tk, pos: pos, reply: reply}
+	return 1, nil, false
+}
+
+// Handler returns the control-plane mux — the same surface as the
+// single-node server (healthz/readyz/state/admit/admit/batch), with
+// /state extended to per-shard rows.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			s.unavailable(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /state", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&st)
+	})
+	mux.HandleFunc("POST /admit", s.handleAdmit)
+	mux.HandleFunc("POST /admit/batch", s.handleAdmitBatch)
+	return mux
+}
+
+// decisionEntry is one per-event result in an admit response.
+type decisionEntry struct {
+	Shard    int              `json:"shard"`
+	Decision runtime.Decision `json:"decision"`
+	Error    string           `json:"error,omitempty"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.shed.Add(1)
+		s.unavailable(w, "not ready")
+		return
+	}
+	// Pooled zero-allocation decode; the event's Task/Overload payloads
+	// alias the decoder scratch, so it is recycled only after the engine's
+	// reply — and leaked to the GC on timeout, as in the single-node path.
+	d := serve.GetDecoder()
+	evs, err := d.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		serve.PutDecoder(d)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding event: %v", err))
+		return
+	}
+	ev := evs[0]
+	ev.Epoch = 0 // each shard engine stamps its live epoch
+	if err := ev.Validate(); err != nil {
+		serve.PutDecoder(d)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	reply := make(chan sreply, len(s.queues))
+	expect, synth, shedded := s.routeIn(ev, 0, reply)
+	if shedded {
+		serve.PutDecoder(d)
+		s.shed.Add(1)
+		s.unavailable(w, "admission queue full or draining")
+		return
+	}
+	if synth != nil {
+		serve.PutDecoder(d)
+		s.rejected.Add(1)
+		writeEntry(w, http.StatusConflict, decisionEntry{Shard: -1, Decision: synth.dec, Error: synth.err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	defer cancel()
+	var got sreply
+	for i := 0; i < expect; i++ {
+		select {
+		case rep := <-reply:
+			if rep.fatal {
+				serve.PutDecoder(d)
+				httpError(w, http.StatusInternalServerError, rep.err.Error())
+				return
+			}
+			if i == 0 {
+				got = rep
+			}
+		case <-ctx.Done():
+			s.shed.Add(1)
+			s.unavailable(w, "engine saturated; accepted admission still pending")
+			return
+		}
+	}
+	serve.PutDecoder(d)
+	if got.err != nil && !runtime.IsStaleRequest(got.err) {
+		httpError(w, http.StatusInternalServerError, got.err.Error())
+		return
+	}
+	status := http.StatusOK
+	out := decisionEntry{Shard: got.shard, Decision: got.dec}
+	if ev.Op == "overload" {
+		out.Shard = -1
+	}
+	if got.err != nil {
+		status = http.StatusConflict
+		out.Error = got.err.Error()
+	}
+	writeEntry(w, status, out)
+}
+
+func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.shed.Add(1)
+		s.unavailable(w, "not ready")
+		return
+	}
+	var evs []runtime.Event
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&evs); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding events: %v", err))
+		return
+	}
+	if len(evs) > s.opt.MaxBatchEvents {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d events exceeds the %d-event limit", len(evs), s.opt.MaxBatchEvents))
+		return
+	}
+	out := struct {
+		Decisions []decisionEntry `json:"decisions"`
+	}{Decisions: make([]decisionEntry, len(evs))}
+	if len(evs) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+
+	reply := make(chan sreply, len(evs)*maxInt2(1, len(s.queues)))
+	expect := 0
+	for i := range evs {
+		evs[i].Epoch = 0
+		if err := evs[i].Validate(); err != nil {
+			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: err.Error()}
+			continue
+		}
+		n, synth, shedded := s.routeIn(evs[i], i, reply)
+		switch {
+		case shedded:
+			s.shed.Add(1)
+			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: "load shed: queue full or draining"}
+		case synth != nil:
+			s.rejected.Add(1)
+			out.Decisions[i] = decisionEntry{Shard: -1, Decision: synth.dec, Error: synth.err.Error()}
+		default:
+			expect += n
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	defer cancel()
+	seen := make(map[int]bool)
+	for got := 0; got < expect; got++ {
+		select {
+		case rep := <-reply:
+			if rep.fatal {
+				httpError(w, http.StatusInternalServerError, rep.err.Error())
+				return
+			}
+			if seen[rep.pos] {
+				continue // later broadcast legs: first reply wins
+			}
+			seen[rep.pos] = true
+			e := decisionEntry{Shard: rep.shard, Decision: rep.dec}
+			if evs[rep.pos].Op == "overload" {
+				e.Shard = -1
+			}
+			if rep.err != nil {
+				e.Error = rep.err.Error()
+			}
+			out.Decisions[rep.pos] = e
+		case <-ctx.Done():
+			s.shed.Add(1)
+			s.unavailable(w, "engine saturated; accepted batch still pending")
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func writeEntry(w http.ResponseWriter, status int, e decisionEntry) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(e)
+}
+
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	secs := int(s.opt.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusServiceUnavailable, msg)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nprt/internal/cluster"
+	schedrt "nprt/internal/runtime"
+)
+
+// The cluster soak is the sharded counterpart of the churn soak: one seeded
+// churn tape sprayed across progressively wider clusters under a shared
+// epoch clock. At every width it replays the tape twice — once event-by-
+// event through the serial router, once through the concurrent group-commit
+// path — and holds the tentpole invariant: the parallel drive must leave
+// every shard digest and the partition map bit-identical to the serial one.
+// Because routing is serial under the router lock and each shard applies
+// its bucket in route order, the concurrency buys only wall-clock, never a
+// different run.
+
+// ClusterShardCounts is the default width sweep (8–128 shards).
+var ClusterShardCounts = []int{8, 32, 128}
+
+// ClusterSoakRow is the outcome at one cluster width.
+type ClusterSoakRow struct {
+	Shards int    `json:"shards"`
+	Policy string `json:"policy"`
+	Events int    `json:"events"`
+
+	Epochs  int64 `json:"epochs"`  // summed over shards
+	Jobs    int64 `json:"jobs"`    // summed over shards
+	Admits  int64 `json:"admits"`  // summed over shards
+	Rejects int64 `json:"rejects"` // shard-screened rejections
+	Removes int64 `json:"removes"`
+
+	Misses      int64 `json:"misses"`
+	MissesClean int64 `json:"misses_clean"`
+
+	// Resident is the partition-map size after the run; Spread is how many
+	// shards ended non-empty (placement actually fanned out).
+	Resident int `json:"resident"`
+	Spread   int `json:"spread"`
+
+	// Digests are the per-shard run identities (serial drive);
+	// ParallelMatch records that the concurrent drive reproduced every one
+	// of them, and the same partition map, bit for bit.
+	Digests       []string `json:"digests"`
+	ParallelMatch bool     `json:"parallel_match"`
+}
+
+// ClusterSoakResult is the full artifact.
+type ClusterSoakResult struct {
+	Events int              `json:"events"`
+	Seed   uint64           `json:"seed"`
+	Policy string           `json:"policy"`
+	Rows   []ClusterSoakRow `json:"rows"`
+}
+
+// replayClusterTape opens a fresh cluster under dir and drives the tape to
+// its horizon in the given mode, tolerating the tape's deliberate stale
+// requests.
+func replayClusterTape(dir string, shards int, policy string, tp *schedrt.Tape, parallel bool) (*cluster.Cluster, error) {
+	c, err := cluster.Open(dir, cluster.Options{
+		Shards:    shards,
+		Placement: policy,
+		Store:     schedrt.StoreOptions{NoSync: true, Runtime: schedrt.Options{Governor: churnGovernor}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	horizon := int64(32)
+	if n := len(tp.Events); n > 0 {
+		horizon += tp.Events[n-1].Epoch
+	}
+	err = c.PlayTape(tp, horizon, parallel, 0, nil, nil, func(ev schedrt.Event, err error) error {
+		if schedrt.IsStaleRequest(err) {
+			return nil
+		}
+		return fmt.Errorf("event at epoch %d: %w", ev.Epoch, err)
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// ClusterSoak sprays one churn tape (seed cfg.Seed) across each width in
+// shardCounts, under policy (default first-fit), checking parallel==serial
+// at every width. Cluster state lives under dir (one subdirectory per
+// width and drive mode, removed afterwards). A parallel/serial divergence
+// is an error, not a data point.
+func ClusterSoak(cfg Config, dir string, events int, shardCounts []int, policy string) (*ClusterSoakResult, error) {
+	cfg = cfg.withDefaults()
+	if events <= 0 {
+		events = 2000
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = ClusterShardCounts
+	}
+	if policy == "" {
+		policy = "first-fit"
+	}
+	tp := GenerateChurnTape(cfg.Seed, events)
+
+	out := &ClusterSoakResult{Events: events, Seed: cfg.Seed, Policy: policy}
+	for _, shards := range shardCounts {
+		serialDir := filepath.Join(dir, fmt.Sprintf("soak-%d-serial", shards))
+		parallelDir := filepath.Join(dir, fmt.Sprintf("soak-%d-parallel", shards))
+
+		cs, err := replayClusterTape(serialDir, shards, policy, tp, false)
+		if err != nil {
+			return nil, fmt.Errorf("cluster soak: %d shards (serial): %w", shards, err)
+		}
+		cp, err := replayClusterTape(parallelDir, shards, policy, tp, true)
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("cluster soak: %d shards (parallel): %w", shards, err)
+		}
+
+		sd, pd := cs.Digests(), cp.Digests()
+		match := len(sd) == len(pd)
+		for i := 0; match && i < len(sd); i++ {
+			match = sd[i] == pd[i]
+		}
+		so, po := cs.Owners(), cp.Owners()
+		if match && len(so) == len(po) {
+			for k, v := range so {
+				if po[k] != v {
+					match = false
+					break
+				}
+			}
+		} else {
+			match = false
+		}
+
+		m := cs.Metrics()
+		row := ClusterSoakRow{
+			Shards:        shards,
+			Policy:        policy,
+			Events:        len(tp.Events),
+			Epochs:        m.Epochs,
+			Jobs:          m.Jobs,
+			Admits:        m.Admits,
+			Rejects:       m.Rejects,
+			Removes:       m.Removes,
+			Misses:        m.Misses,
+			MissesClean:   m.MissesClean,
+			Resident:      len(so),
+			ParallelMatch: match,
+		}
+		for _, sh := range cs.Shards() {
+			row.Digests = append(row.Digests, fmt.Sprintf("%016x", sh.Store.Digest()))
+			if sh.Resident() > 0 {
+				row.Spread++
+			}
+		}
+		cs.Close()
+		cp.Close()
+		os.RemoveAll(serialDir)
+		os.RemoveAll(parallelDir)
+
+		if !match {
+			return nil, fmt.Errorf("cluster soak: %d shards: parallel drive diverged from serial", shards)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// FormatClusterSoak renders the soak summary.
+func FormatClusterSoak(r *ClusterSoakResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CLUSTER SOAK. ONE %d-EVENT CHURN TAPE ACROSS SHARDED CLUSTERS (policy %s, seed %d)\n",
+		r.Events, r.Policy, r.Seed)
+	fmt.Fprintf(&b, "%-7s %8s %10s %8s %8s %8s %7s %9s %7s %s\n",
+		"shards", "epochs", "jobs", "admits", "rejects", "removes", "miss", "resident", "spread", "par==ser")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %8d %10d %8d %8d %8d %7d %9d %7d %v\n",
+			row.Shards, row.Epochs, row.Jobs, row.Admits, row.Rejects, row.Removes,
+			row.Misses, row.Resident, row.Spread, row.ParallelMatch)
+	}
+	return b.String()
+}
+
+// WriteClusterSoakCSV emits the per-width rows.
+func WriteClusterSoakCSV(w io.Writer, r *ClusterSoakResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"shards", "policy", "events", "epochs", "jobs", "admits",
+		"rejects", "removes", "misses", "misses_clean", "resident", "spread", "parallel_match"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Shards),
+			row.Policy,
+			strconv.Itoa(row.Events),
+			strconv.FormatInt(row.Epochs, 10),
+			strconv.FormatInt(row.Jobs, 10),
+			strconv.FormatInt(row.Admits, 10),
+			strconv.FormatInt(row.Rejects, 10),
+			strconv.FormatInt(row.Removes, 10),
+			strconv.FormatInt(row.Misses, 10),
+			strconv.FormatInt(row.MissesClean, 10),
+			strconv.Itoa(row.Resident),
+			strconv.Itoa(row.Spread),
+			strconv.FormatBool(row.ParallelMatch),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

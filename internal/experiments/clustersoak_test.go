@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterSoak runs the width sweep at test scale: the tape must spread
+// across shards at every width, and the parallel drive must be bit-
+// identical to the serial one (ClusterSoak errors out otherwise).
+func TestClusterSoak(t *testing.T) {
+	res, err := ClusterSoak(Config{Seed: 7}, t.TempDir(), 600, []int{8, 32}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Policy != "first-fit" {
+		t.Fatalf("rows %d, policy %q", len(res.Rows), res.Policy)
+	}
+	for _, row := range res.Rows {
+		if !row.ParallelMatch {
+			t.Errorf("%d shards: parallel drive diverged", row.Shards)
+		}
+		if len(row.Digests) != row.Shards {
+			t.Errorf("%d shards: %d digests", row.Shards, len(row.Digests))
+		}
+		// First-fit packs tight: a light churn tape legitimately ends on few
+		// shards, but never zero.
+		if row.Spread < 1 {
+			t.Errorf("%d shards: placement used %d shards", row.Shards, row.Spread)
+		}
+		if row.Admits == 0 || row.Jobs == 0 {
+			t.Errorf("%d shards: empty run (%+v)", row.Shards, row)
+		}
+	}
+	// Wider clusters hold at least as many tasks at the end: capacity is
+	// the thing sharding buys.
+	if res.Rows[1].Resident < res.Rows[0].Resident {
+		t.Errorf("32 shards resident %d < 8 shards %d", res.Rows[1].Resident, res.Rows[0].Resident)
+	}
+
+	// Round-robin is the spread baseline: blind spraying must land tasks on
+	// many shards while still reproducing exactly under the parallel drive.
+	rrRes, err := ClusterSoak(Config{Seed: 7}, t.TempDir(), 600, []int{8}, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row := rrRes.Rows[0]; row.Spread < 4 || !row.ParallelMatch {
+		t.Errorf("round-robin soak: spread %d, match %v", row.Spread, row.ParallelMatch)
+	}
+
+	txt := FormatClusterSoak(res)
+	if !strings.Contains(txt, "CLUSTER SOAK") || !strings.Contains(txt, "first-fit") {
+		t.Errorf("summary:\n%s", txt)
+	}
+	var sb strings.Builder
+	if err := WriteClusterSoakCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3:\n%s", got, sb.String())
+	}
+}

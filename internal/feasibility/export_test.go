@@ -1,0 +1,6 @@
+package feasibility
+
+// CheckExhaustive exposes the unit-stride oracle to the external
+// differential tests (feasibility_test), which also need internal/workload
+// and therefore cannot live in this package.
+var CheckExhaustive = checkExhaustive

@@ -17,6 +17,7 @@ package feasibility
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nprt/internal/task"
 )
@@ -86,7 +87,99 @@ func Check(s *task.Set, m task.Mode) Report {
 		rep.Violations = append(rep.Violations, Violation{Condition: 1, TaskIndex: -1, Util: u})
 	}
 
-	// Condition (2) and the γ_i^L family.
+	// Condition (2) and the γ_i^L family, evaluated only at the demand step
+	// points. The left-hand side is piecewise constant in L, jumping at
+	// L = k·p_j + 1, while both the right-hand side L and γ = L/demand grow
+	// strictly within each plateau — so the binding comparison and the γ
+	// minimum of every plateau sit at its first L. Visiting plateau starts in
+	// ascending order therefore reproduces the exhaustive scan bit for bit
+	// (the same GammaMin at the same first-attaining ArgMinL), and the
+	// violation list is reconstructed exactly by expanding the violating
+	// prefix of each plateau: demand d > L holds precisely for L ≤ d−1.
+	// checkExhaustive retains the unit-stride scan as the differential oracle.
+	p1 := s.Task(0).Period
+	var steps []task.Time // plateau starts, reused across rows
+	for i := 1; i < n; i++ {
+		ti := s.Task(i)
+		if ti.Period < p1+2 {
+			continue // interval (p_1, p_i) holds no integer L
+		}
+		steps = steps[:0]
+		steps = append(steps, p1+1)
+		for j := 0; j < i; j++ {
+			pj := s.Task(j).Period
+			for L := pj + 1; L < ti.Period; L += pj {
+				if L <= p1+1 {
+					continue
+				}
+				steps = append(steps, L)
+			}
+		}
+		sort.Slice(steps, func(a, b int) bool { return steps[a] < steps[b] })
+		uniq := steps[:1]
+		for _, L := range steps[1:] {
+			if L != uniq[len(uniq)-1] {
+				uniq = append(uniq, L)
+			}
+		}
+		for si, L := range uniq {
+			demand := wcet(ti, m)
+			for j := 0; j < i; j++ {
+				tj := s.Task(j)
+				demand += (L - 1) / tj.Period * wcet(tj, m)
+			}
+			if demand > L {
+				rep.Schedulable = false
+				// Every L' in [L, min(plateauEnd, demand−1)] violates with
+				// the same constant demand; emit them all, as the
+				// exhaustive scan would, up to the report cap.
+				end := ti.Period - 1
+				if si+1 < len(uniq) {
+					end = uniq[si+1] - 1
+				}
+				if v := demand - 1; v < end {
+					end = v
+				}
+				for lv := L; lv <= end && len(rep.Violations) < maxViolationsKept; lv++ {
+					rep.Violations = append(rep.Violations,
+						Violation{Condition: 2, TaskIndex: i, L: lv, Demand: demand})
+				}
+			}
+			if demand > 0 {
+				if g := float64(L) / float64(demand); g < rep.GammaMin {
+					rep.GammaMin = g
+					rep.ArgMinTask = i
+					rep.ArgMinL = L
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// checkExhaustive is the original unit-stride Theorem-1 scan over every
+// integer L in (p_1, p_i). It is retained solely as the oracle for the
+// differential tests proving the step-point Check identical.
+func checkExhaustive(s *task.Set, m task.Mode) Report {
+	n := s.Len()
+	rep := Report{Schedulable: true, ArgMinTask: -1}
+
+	u := 0.0
+	for i := 0; i < n; i++ {
+		t := s.Task(i)
+		u += float64(wcet(t, m)) / float64(t.Period)
+	}
+	rep.Utilization = u
+	rep.GammaUtil = math.Inf(1)
+	if u > 0 {
+		rep.GammaUtil = 1 / u
+	}
+	rep.GammaMin = rep.GammaUtil
+	if u > 1 {
+		rep.Schedulable = false
+		rep.Violations = append(rep.Violations, Violation{Condition: 1, TaskIndex: -1, Util: u})
+	}
+
 	p1 := s.Task(0).Period
 	for i := 1; i < n; i++ {
 		ti := s.Task(i)

@@ -1,0 +1,306 @@
+package feasibility
+
+import (
+	"math"
+	"sort"
+
+	"nprt/internal/task"
+)
+
+// Incremental caches the Theorem-1 condition-2 state of one admitted task
+// set so that placement probes — "would this candidate be schedulable on
+// this shard?" — do not recompute Profiles from scratch. It is the hot path
+// of feasibility-aware bin-packing (internal/cluster), where every Add
+// probes every candidate shard.
+//
+// Cached state: the set in task.New order (stable period sort) and, per
+// condition-2 row i ≥ 1, the exact minimum margin min_L (L − demand_i(L))
+// over all integer L in (p_1, p_i), for both admission profiles. Because
+// demand is piecewise constant, jumping only at L = k·p_j + 1, that minimum
+// is attained at a plateau start, so each row scan visits only the demand
+// step points (same argument as Check).
+//
+// A probe for candidate c virtually inserts c at its task.New position (the
+// upper bound of its period, mirroring the stable sort of "existing specs +
+// appended candidate" that runtime.Add performs) and decides each row:
+//
+//   - rows before the insertion point are untouched by c (their prior-task
+//     sets and intervals are unchanged) — cached verdicts stand;
+//   - the candidate's own row is scanned fresh;
+//   - a row at or after the insertion point gains at most
+//     ⌊(p_i−2)/p_c⌋·w_c demand at any L in its interval, so if its cached
+//     margin exceeds that bound the row provably still passes — for every L,
+//     including the new step points c introduces — and is skipped;
+//     otherwise it is rescanned with c included.
+//
+// Condition 1 is recomputed per probe as a float sum in merged order, which
+// keeps the verdict bit-identical to Check's (float addition order matters).
+// A candidate with a period strictly below the current minimum widens every
+// row's interval (p_1 changes); that rare case falls back to a full scan.
+//
+// The verdicts returned by Probe are proven bit-identical to running
+// feasibility.Profiles on the rebuilt set by the differential tests in
+// incremental_test.go. Incremental is not safe for concurrent use.
+type Incremental struct {
+	names   []string
+	periods []task.Time
+	wA, wD  []task.Time // WCET at task.Accurate / task.Deepest
+
+	rows []incRow // rows[i] for i ≥ 1; rows[0] unused
+
+	steps []task.Time // scratch: plateau starts, reused across scans
+}
+
+type incRow struct {
+	empty            bool // interval (p_1, p_i) holds no integer L
+	marginA, marginD task.Time
+}
+
+func (r incRow) okA() bool { return r.empty || r.marginA >= 0 }
+func (r incRow) okD() bool { return r.empty || r.marginD >= 0 }
+
+// NewIncremental builds the cache for the given tasks (insertion order, as
+// runtime.Runtime.Tasks() reports them); the slice is copied and stable
+// period-sorted exactly as task.New would.
+func NewIncremental(tasks []task.Task) *Incremental {
+	inc := &Incremental{}
+	inc.Reset(tasks)
+	return inc
+}
+
+// Reset replaces the cached set.
+func (inc *Incremental) Reset(tasks []task.Task) {
+	ts := make([]task.Task, len(tasks))
+	copy(ts, tasks)
+	sort.SliceStable(ts, func(a, b int) bool { return ts[a].Period < ts[b].Period })
+	n := len(ts)
+	inc.names = make([]string, n)
+	inc.periods = make([]task.Time, n)
+	inc.wA = make([]task.Time, n)
+	inc.wD = make([]task.Time, n)
+	for i := range ts {
+		inc.names[i] = ts[i].Name
+		inc.periods[i] = ts[i].Period
+		inc.wA[i] = ts[i].WCET(task.Accurate)
+		inc.wD[i] = ts[i].WCET(task.Deepest)
+	}
+	inc.rows = make([]incRow, n)
+	for i := 1; i < n; i++ {
+		inc.rows[i] = inc.scanRow(i, -1, 0, 0, 0)
+	}
+}
+
+// Len returns the number of cached tasks.
+func (inc *Incremental) Len() int { return len(inc.periods) }
+
+// Utilization returns the condition-1 utilization of the cached set in the
+// given mode, summed in set order (bit-identical to Check's sum).
+func (inc *Incremental) Utilization(m task.Mode) float64 {
+	u := 0.0
+	for i := range inc.periods {
+		w := inc.wA[i]
+		if m != task.Accurate {
+			w = inc.wD[i]
+		}
+		u += float64(w) / float64(inc.periods[i])
+	}
+	return u
+}
+
+// insertPos returns the task.New position of a candidate with period p: the
+// upper bound among equal periods (stable sort of "existing + appended").
+func (inc *Incremental) insertPos(p task.Time) int {
+	return sort.Search(len(inc.periods), func(i int) bool { return inc.periods[i] > p })
+}
+
+// mergedAt resolves merged index mi with a candidate virtually inserted at
+// k (k < 0: no candidate; arrays indexed directly).
+func (inc *Incremental) mergedAt(mi, k int, cp, cwA, cwD task.Time) (p, wa, wd task.Time) {
+	if k < 0 || mi < k {
+		return inc.periods[mi], inc.wA[mi], inc.wD[mi]
+	}
+	if mi == k {
+		return cp, cwA, cwD
+	}
+	return inc.periods[mi-1], inc.wA[mi-1], inc.wD[mi-1]
+}
+
+// scanRow computes the exact minimum condition-2 margins of the row at
+// merged index mi, with a candidate virtually inserted at k (or k < 0 for
+// the cached arrays as-is), visiting only demand plateau starts.
+func (inc *Incremental) scanRow(mi, k int, cp, cwA, cwD task.Time) incRow {
+	p1, _, _ := inc.mergedAt(0, k, cp, cwA, cwD)
+	pi, wiA, wiD := inc.mergedAt(mi, k, cp, cwA, cwD)
+	if pi < p1+2 {
+		return incRow{empty: true}
+	}
+	st := inc.steps[:0]
+	st = append(st, p1+1)
+	for j := 0; j < mi; j++ {
+		pj, _, _ := inc.mergedAt(j, k, cp, cwA, cwD)
+		for L := pj + 1; L < pi; L += pj {
+			if L <= p1+1 {
+				continue
+			}
+			st = append(st, L)
+		}
+	}
+	row := incRow{marginA: math.MaxInt64, marginD: math.MaxInt64}
+	for _, L := range st {
+		dA, dD := wiA, wiD
+		for j := 0; j < mi; j++ {
+			pj, wjA, wjD := inc.mergedAt(j, k, cp, cwA, cwD)
+			jobs := (L - 1) / pj
+			dA += jobs * wjA
+			dD += jobs * wjD
+		}
+		if m := L - dA; m < row.marginA {
+			row.marginA = m
+		}
+		if m := L - dD; m < row.marginD {
+			row.marginD = m
+		}
+	}
+	inc.steps = st[:0]
+	return row
+}
+
+// Probe reports whether the cached set plus candidate c would pass Theorem 1
+// in the accurate and deepest profiles — bit-identical to
+// feasibility.Profiles(task.New(existing..., c)) verdicts — without
+// mutating the cache.
+func (inc *Incremental) Probe(c *task.Task) (accurateOK, deepestOK bool) {
+	cp := c.Period
+	cwA, cwD := c.WCET(task.Accurate), c.WCET(task.Deepest)
+	n := len(inc.periods)
+
+	// Condition 1, merged order.
+	k := inc.insertPos(cp)
+	uA, uD := 0.0, 0.0
+	for mi := 0; mi <= n; mi++ {
+		p, wa, wd := inc.mergedAt(mi, k, cp, cwA, cwD)
+		uA += float64(wa) / float64(p)
+		uD += float64(wd) / float64(p)
+	}
+	okA, okD := !(uA > 1), !(uD > 1)
+	if n == 0 {
+		return okA, okD
+	}
+
+	if cp < inc.periods[0] {
+		// Candidate becomes the new first task: every interval (p_1, p_i)
+		// widens. Rare; scan all merged rows from scratch.
+		for mi := 1; mi <= n && (okA || okD); mi++ {
+			row := inc.scanRow(mi, k, cp, cwA, cwD)
+			okA = okA && row.okA()
+			okD = okD && row.okD()
+		}
+		return okA, okD
+	}
+
+	// Rows before the insertion point: untouched by c.
+	for i := 1; i < k && (okA || okD); i++ {
+		okA = okA && inc.rows[i].okA()
+		okD = okD && inc.rows[i].okD()
+	}
+	// The candidate's own row (merged index k; k ≥ 1 here).
+	if okA || okD {
+		row := inc.scanRow(k, k, cp, cwA, cwD)
+		okA = okA && row.okA()
+		okD = okD && row.okD()
+	}
+	// Rows at or after the insertion point: skip when the cached margin
+	// covers the worst-case added demand, else rescan with c included.
+	for i := maxInt(k, 1); i < n && (okA || okD); i++ {
+		r := inc.rows[i]
+		if r.empty {
+			continue // interval unchanged (p_1 fixed): still no L to check
+		}
+		addA := (inc.periods[i] - 2) / cp * cwA
+		addD := (inc.periods[i] - 2) / cp * cwD
+		scan := false
+		if okA {
+			if r.marginA < 0 {
+				okA = false // already failing; added demand cannot help
+			} else if r.marginA < addA {
+				scan = true
+			}
+		}
+		if okD {
+			if r.marginD < 0 {
+				okD = false
+			} else if r.marginD < addD {
+				scan = true
+			}
+		}
+		if scan && (okA || okD) {
+			row := inc.scanRow(i+1, k, cp, cwA, cwD)
+			okA = okA && row.okA()
+			okD = okD && row.okD()
+		}
+	}
+	return okA, okD
+}
+
+// Add commits candidate c to the cache (the caller has decided to place it,
+// e.g. after the shard runtime admitted it). Rows from the insertion point
+// on are rescanned so cached margins stay exact.
+func (inc *Incremental) Add(c *task.Task) {
+	k := inc.insertPos(c.Period)
+	inc.names = append(inc.names, "")
+	copy(inc.names[k+1:], inc.names[k:])
+	inc.names[k] = c.Name
+	inc.periods = append(inc.periods, 0)
+	copy(inc.periods[k+1:], inc.periods[k:])
+	inc.periods[k] = c.Period
+	inc.wA = append(inc.wA, 0)
+	copy(inc.wA[k+1:], inc.wA[k:])
+	inc.wA[k] = c.WCET(task.Accurate)
+	inc.wD = append(inc.wD, 0)
+	copy(inc.wD[k+1:], inc.wD[k:])
+	inc.wD[k] = c.WCET(task.Deepest)
+	inc.rows = append(inc.rows, incRow{})
+	copy(inc.rows[k+1:], inc.rows[k:])
+	from := k
+	if k == 0 {
+		from = 1 // p_1 changed: every row's interval moved
+	}
+	for i := from; i < len(inc.periods); i++ {
+		inc.rows[i] = inc.scanRow(i, -1, 0, 0, 0)
+	}
+}
+
+// Remove drops the named task from the cache, rescanning affected rows.
+// It reports whether the name was present.
+func (inc *Incremental) Remove(name string) bool {
+	r := -1
+	for i, n := range inc.names {
+		if n == name {
+			r = i
+			break
+		}
+	}
+	if r < 0 {
+		return false
+	}
+	inc.names = append(inc.names[:r], inc.names[r+1:]...)
+	inc.periods = append(inc.periods[:r], inc.periods[r+1:]...)
+	inc.wA = append(inc.wA[:r], inc.wA[r+1:]...)
+	inc.wD = append(inc.wD[:r], inc.wD[r+1:]...)
+	inc.rows = inc.rows[:len(inc.rows)-1]
+	from := r
+	if r == 0 {
+		from = 1
+	}
+	for i := from; i < len(inc.periods); i++ {
+		inc.rows[i] = inc.scanRow(i, -1, 0, 0, 0)
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

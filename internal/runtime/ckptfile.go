@@ -41,9 +41,12 @@ var ErrCorruptCheckpoint = errors.New("runtime: corrupt checkpoint file")
 // and the lifetime count of journaled events, which lets a tape-driven
 // restart skip exactly the events it already applied.
 type FileCheckpoint struct {
-	WALIndex      uint64      `json:"wal_index"`
-	EventsApplied uint64      `json:"events_applied"`
-	Checkpoint    *Checkpoint `json:"checkpoint"`
+	WALIndex      uint64 `json:"wal_index"`
+	EventsApplied uint64 `json:"events_applied"`
+	// MaxSeq is the highest Event.Seq this store has journaled (0 when the
+	// store has never seen sequenced events) — the cluster tape cursor.
+	MaxSeq     uint64      `json:"max_seq,omitempty"`
+	Checkpoint *Checkpoint `json:"checkpoint"`
 }
 
 // EncodeCheckpointFile frames one snapshot.

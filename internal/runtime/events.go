@@ -24,6 +24,14 @@ type Event struct {
 	Name string `json:"name,omitempty"`
 	// Overload carries the window for "overload".
 	Overload *OverloadSpec `json:"overload,omitempty"`
+	// Seq is an optional strictly-positive cluster sequence number stamped
+	// by the sharded router (internal/cluster) before an event reaches a
+	// shard store. A durable Store tracks the maximum Seq it has applied
+	// (Store.MaxSeq) through its WAL and checkpoints, which is what lets a
+	// recovering cluster locate its position in a shared tape without a
+	// separate cursor. Zero means unsequenced; single-node paths never set
+	// it.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // OverloadSpec is the payload of an "overload" event.

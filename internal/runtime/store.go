@@ -52,6 +52,7 @@ type Store struct {
 	gc  *journal.GroupCommitter
 
 	eventsApplied uint64 // lifetime count of journaled requests
+	maxSeq        uint64 // highest Event.Seq journaled (cluster tape cursor)
 	rec           RecoveryInfo
 }
 
@@ -192,6 +193,7 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 		fc = &FileCheckpoint{}
 	}
 	s.eventsApplied = fc.EventsApplied
+	s.maxSeq = fc.MaxSeq
 
 	// 2. Journal: repair (truncate torn tail, drop unreachable segments)
 	// and position for append.
@@ -233,6 +235,9 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 				return fmt.Errorf("record %d: %w", r.Index, err)
 			}
 			s.eventsApplied++
+			if ev.Seq > s.maxSeq {
+				s.maxSeq = ev.Seq
+			}
 			s.rec.ReplayedEvents++
 			if _, err := s.rt.Apply(ev); err != nil && !IsStaleRequest(err) {
 				return fmt.Errorf("record %d: %w", r.Index, err)
@@ -277,6 +282,11 @@ func (s *Store) Recovery() RecoveryInfo { return s.rec }
 // tape cursor for tape-driven drivers.
 func (s *Store) EventsApplied() uint64 { return s.eventsApplied }
 
+// MaxSeq returns the highest Event.Seq this store has journaled — the
+// per-shard cluster tape cursor, persisted through WAL replay and
+// checkpoints. Zero when the store has never seen sequenced events.
+func (s *Store) MaxSeq() uint64 { return s.maxSeq }
+
 // LastIndex returns the journal position (last appended record index).
 func (s *Store) LastIndex() uint64 { return s.wal.LastIndex() }
 
@@ -300,6 +310,9 @@ func (s *Store) Apply(ev Event) (Decision, error) {
 		return Decision{Op: ev.Op}, err
 	}
 	s.eventsApplied++
+	if ev.Seq > s.maxSeq {
+		s.maxSeq = ev.Seq
+	}
 	return s.rt.Apply(ev)
 }
 
@@ -341,6 +354,11 @@ func (s *Store) ApplyBatch(evs []Event) ([]Decision, []error, error) {
 		return decs, errs, err
 	}
 	s.eventsApplied += uint64(len(recs))
+	for _, i := range idx {
+		if evs[i].Seq > s.maxSeq {
+			s.maxSeq = evs[i].Seq
+		}
+	}
 	for _, i := range idx {
 		d, err := s.rt.Apply(evs[i])
 		if err != nil {
@@ -396,6 +414,7 @@ func (s *Store) Checkpoint() (string, error) {
 	fc := &FileCheckpoint{
 		WALIndex:      idx,
 		EventsApplied: s.eventsApplied,
+		MaxSeq:        s.maxSeq,
 		Checkpoint:    s.rt.Checkpoint(),
 	}
 	sync := s.opt.AfterSync

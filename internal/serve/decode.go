@@ -72,6 +72,18 @@ var decoderPool = sync.Pool{New: func() any {
 func getDecoder() *eventDecoder  { return decoderPool.Get().(*eventDecoder) }
 func putDecoder(d *eventDecoder) { decoderPool.Put(d) }
 
+// Decoder is the pooled zero-allocation Event decoder, exported for the
+// sharded router (internal/cluster), which shares the /admit hot path. Get
+// a decoder per request, Decode, and Put it back only after the engine is
+// done with the returned scratch events.
+type Decoder = eventDecoder
+
+// GetDecoder takes a pooled decoder.
+func GetDecoder() *Decoder { return getDecoder() }
+
+// PutDecoder recycles a decoder taken with GetDecoder.
+func PutDecoder(d *Decoder) { putDecoder(d) }
+
 // Decode reads r to EOF and parses one Event. The returned slice is the
 // decoder's scratch (always length 1): valid until the decoder is reused,
 // so put the decoder back only after the engine is done with the event.
@@ -404,6 +416,26 @@ func (d *eventDecoder) parseInt() (int64, error) {
 	return int64(v), nil
 }
 
+func (d *eventDecoder) parseUint64() (uint64, error) {
+	tok, err := d.scanNumber()
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			return 0, d.syntaxErr("number %s is not an unsigned integer", tok)
+		}
+		const cutoff = (1<<64 - 1) / 10
+		if v > cutoff || (v == cutoff && c > '5') {
+			return 0, d.syntaxErr("integer %s overflows uint64", tok)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
 // pow10 holds the exactly-representable powers of ten (10^0 … 10^22).
 var pow10 = [...]float64{
 	1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
@@ -591,6 +623,13 @@ func (d *eventDecoder) parseEvent(ev *runtimepkg.Event) error {
 				return err
 			}
 			ev.Overload = &d.over
+		case foldEq(key, "seq"):
+			if d.tryNull() {
+				break
+			}
+			if ev.Seq, err = d.parseUint64(); err != nil {
+				return err
+			}
 		default:
 			return d.syntaxErr("unknown field %q in event", key)
 		}

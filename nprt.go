@@ -39,6 +39,7 @@ package nprt
 import (
 	"io"
 
+	"nprt/internal/cluster"
 	"nprt/internal/cumulative"
 	"nprt/internal/esr"
 	"nprt/internal/feasibility"
@@ -402,3 +403,29 @@ func OpenDurable(dir string, opt DurableOptions) (*DurableRuntime, error) {
 func DecodeRuntimeTapeStrict(r io.Reader) (*RuntimeTape, error) {
 	return schedruntime.DecodeTapeStrict(r)
 }
+
+// Sharded cluster: N durable runtimes behind a partition-aware router.
+// Each shard is a complete DurableRuntime — its own WAL, checkpoints and
+// Theorem-1 admission — and a task lives on exactly one shard, so every
+// uniprocessor guarantee holds per shard while admission capacity scales
+// with the shard count (scripts/bench_cluster.sh records the headline in
+// BENCH_CLUSTER.json). Placement policies (round-robin, least-util,
+// affinity, first-fit, best-fit) consult incremental per-shard Jeffay
+// mirrors; see docs/ALGORITHMS.md §12.
+
+// SchedulerCluster is the partition-aware router over N shard stores.
+type SchedulerCluster = cluster.Cluster
+
+// ClusterOptions configures OpenCluster.
+type ClusterOptions = cluster.Options
+
+// ClusterRecovery reports what OpenCluster found and rebuilt.
+type ClusterRecovery = cluster.Recovery
+
+// OpenCluster recovers (or initializes) a sharded cluster in dir.
+func OpenCluster(dir string, opt ClusterOptions) (*SchedulerCluster, error) {
+	return cluster.Open(dir, opt)
+}
+
+// ClusterPlacementPolicies lists the built-in placement policy names.
+func ClusterPlacementPolicies() []string { return cluster.PolicyNames() }

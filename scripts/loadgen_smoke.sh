@@ -52,4 +52,34 @@ done
 kill -TERM "$pid"
 wait "$pid"
 pid=""
-echo "wrote $outdir/loadgen_single.json $outdir/loadgen_batch.json" >&2
+
+# Same pass at cluster width: a 4-shard server behind the same surface,
+# addressed through two -target flags so the client's round-robin spread
+# and per-target stats run against live shard engines.
+"$bin/impserve" -dir "$bin/state-cluster" -listen "$addr" -quiet \
+  -shards 4 -placement round-robin &
+pid=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/readyz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+"$bin/loadgen" -target "http://$addr" -target "http://$addr" \
+  -mode open -rate 100 -conns 4 -batch 16 -names 64 \
+  -duration 3s -warmup 500ms -p99-max 250ms -fail-on-error \
+  -out "$outdir/loadgen_cluster.json"
+
+python3 - "$outdir/loadgen_cluster.json" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+state = json.loads(json.dumps(rep["server_state"][0]))
+assert state["shards"] == 4, state["shards"]
+assert rep["admits"] > 0, "cluster smoke admitted nothing"
+assert len(rep["targets"]) == 2 and all(t["requests"] > 0 for t in rep["targets"]), rep.get("targets")
+print(f"cluster smoke: {rep['admits']} admits across {state['shards']} shards", file=sys.stderr)
+PY
+
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "wrote $outdir/loadgen_single.json $outdir/loadgen_batch.json $outdir/loadgen_cluster.json" >&2
