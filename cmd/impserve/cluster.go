@@ -165,6 +165,18 @@ func runDurableCluster(fs flags) int {
 				return exitInternal
 			}
 		}
+		if rb := *fs.rebalanceEvery; rb > 0 && c.Epoch()%int64(rb) == 0 {
+			moves, err := c.Rebalance(cluster.RebalanceOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "impserve: rebalance:", err)
+				return exitInternal
+			}
+			for _, mv := range moves {
+				if !*fs.quiet {
+					fmt.Printf("epoch %d: rebalance: %s shard %d -> %d\n", c.Epoch(), mv.Name, mv.From, mv.To)
+				}
+			}
+		}
 	}
 
 	if err := c.Checkpoint(); err != nil {
@@ -228,6 +240,7 @@ func runServeCluster(fs flags) int {
 	fsyncs := 0
 	sup := &serve.Supervisor{
 		MaxRestarts: *fs.maxRestarts,
+		ResetAfter:  *fs.restartReset,
 		OnRestart: func(attempt int, err error, delay time.Duration) {
 			fmt.Fprintf(os.Stderr, "impserve: incarnation %d died (%v); restarting in %v\n", attempt, err, delay)
 		},

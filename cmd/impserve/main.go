@@ -328,6 +328,7 @@ func runServe(fs flags) int {
 	fsyncs := 0
 	sup := &serve.Supervisor{
 		MaxRestarts: *fs.maxRestarts,
+		ResetAfter:  *fs.restartReset,
 		OnRestart: func(attempt int, err error, delay time.Duration) {
 			fmt.Fprintf(os.Stderr, "impserve: incarnation %d died (%v); restarting in %v\n", attempt, err, delay)
 		},
@@ -602,9 +603,11 @@ type flags struct {
 	sweepOut    *string
 	sweepEngine *string
 
-	shards        *int
-	placement     *string
-	shardParallel *bool
+	shards         *int
+	placement      *string
+	shardParallel  *bool
+	rebalanceEvery *int
+	restartReset   *time.Duration
 }
 
 func newFlagSet() flags {
@@ -636,9 +639,11 @@ func newFlagSet() flags {
 		sweepOut:    fs.String("sweep-out", "", "sweep mode: write the JSON artifact here"),
 		sweepEngine: fs.String("sweep-engine", "", "sweep mode: restrict to one engine (default: both)"),
 
-		shards:        fs.Int("shards", 1, "durable modes: partition the state across this many shard stores"),
-		placement:     fs.String("placement", "", "cluster placement policy: "+strings.Join(cluster.PolicyNames(), ", ")+" (default first-fit)"),
-		shardParallel: fs.Bool("shard-parallel", false, "cluster tape mode: concurrent group-commit drive (durable resume needs the serial default)"),
+		shards:         fs.Int("shards", 1, "durable modes: partition the state across this many shard stores"),
+		placement:      fs.String("placement", "", "cluster placement policy: "+strings.Join(cluster.PolicyNames(), ", ")+" (default first-fit)"),
+		shardParallel:  fs.Bool("shard-parallel", false, "cluster tape mode: concurrent group-commit drive (durable resume needs the serial default)"),
+		rebalanceEvery: fs.Int("rebalance-every", 0, "cluster tape mode: run the skew-triggered rebalancer every N epochs (0 disables)"),
+		restartReset:   fs.Duration("restart-reset", 0, "serve mode: forgive the restart budget after an incarnation stays up this long (0 disables)"),
 	}
 }
 

@@ -234,6 +234,55 @@ type report struct {
 	Targets []targetReport `json:"targets,omitempty"`
 
 	ServerState []json.RawMessage `json:"server_state,omitempty"`
+
+	// ShardHealth summarizes per-shard containment state scraped from each
+	// cluster target's /state: shed requests during the run read next to
+	// which shard was degraded or failed and why. Absent for single-node
+	// targets (their /state has no per-shard rows).
+	ShardHealth []shardHealthRow `json:"shard_health,omitempty"`
+}
+
+// shardHealthRow is one shard's health as scraped from /state.
+type shardHealthRow struct {
+	URL        string `json:"url"`
+	Shard      int    `json:"shard"`
+	State      string `json:"state"`
+	ConsecErrs int    `json:"consec_errs,omitempty"`
+	TotalErrs  uint64 `json:"total_errs,omitempty"`
+	Reopens    uint64 `json:"reopens,omitempty"`
+	Reimages   uint64 `json:"reimages,omitempty"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// scrapeShardHealth pulls the per-shard health rows out of a raw /state
+// body. Best-effort: a single-node /state (no per_shard) yields nothing.
+func scrapeShardHealth(url string, body []byte) []shardHealthRow {
+	var st struct {
+		PerShard []struct {
+			Shard  int `json:"shard"`
+			Health struct {
+				State      string `json:"state"`
+				ConsecErrs int    `json:"consec_errs"`
+				TotalErrs  uint64 `json:"total_errs"`
+				Reopens    uint64 `json:"reopens"`
+				Reimages   uint64 `json:"reimages"`
+				LastError  string `json:"last_error"`
+			} `json:"health"`
+		} `json:"per_shard"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil
+	}
+	rows := make([]shardHealthRow, 0, len(st.PerShard))
+	for _, sh := range st.PerShard {
+		rows = append(rows, shardHealthRow{
+			URL: url, Shard: sh.Shard, State: sh.Health.State,
+			ConsecErrs: sh.Health.ConsecErrs, TotalErrs: sh.Health.TotalErrs,
+			Reopens: sh.Health.Reopens, Reimages: sh.Health.Reimages,
+			LastError: sh.Health.LastError,
+		})
+	}
+	return rows
 }
 
 func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
@@ -495,8 +544,15 @@ func run() int {
 		if resp, err := client.Get(t + "/state"); err == nil {
 			if body, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
 				rep.ServerState = append(rep.ServerState, json.RawMessage(body))
+				rep.ShardHealth = append(rep.ShardHealth, scrapeShardHealth(t, body)...)
 			}
 			resp.Body.Close()
+		}
+	}
+	for _, row := range rep.ShardHealth {
+		if row.State != "" && row.State != "healthy" {
+			fmt.Fprintf(os.Stderr, "loadgen: %s shard %d %s (consec_errs %d, last_error %q)\n",
+				row.URL, row.Shard, row.State, row.ConsecErrs, row.LastError)
 		}
 	}
 

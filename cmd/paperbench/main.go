@@ -257,6 +257,25 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 		return writeCSV(csvDir, "churn.csv", func(f *os.File) error {
 			return experiments.WriteChurnCSV(f, r)
 		})
+	case "chaos":
+		dir, err := os.MkdirTemp("", "paperbench-chaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r, err := experiments.ChaosSoak(cfg, dir, churnEvents, nil, "")
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatChaosSoak(r))
+		if err := writeCSV(csvDir, "chaos.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, r)
+		}); err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "chaos.csv", func(f *os.File) error {
+			return experiments.WriteChaosSoakCSV(f, r)
+		})
 	case "energy":
 		rows, err := experiments.Energy("Rnd8", cfg)
 		if err != nil {
@@ -293,7 +312,10 @@ artifacts:
            probability/magnitude per containment policy)
   churn    long-running runtime churn soak (-events admission events per
            tape, both engines, zero-clean-miss and digest checks)
-  all      everything above (except ilp, faults and churn)
+  chaos    cluster chaos soak (-events churn events under seeded shard
+           kills, wedge-evacuations and storage faults; zero-lost-task,
+           zero-clean-miss and digest-reproducibility checks)
+  all      everything above (except ilp, faults, churn and chaos)
 
 SIGINT/SIGTERM finishes the artifact in flight, keeps the CSVs already
 written, and exits with code 4; a second signal aborts immediately.

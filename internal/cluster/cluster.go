@@ -47,6 +47,10 @@ type Shard struct {
 	ID    int
 	Store *runtime.Store
 	inc   *feasibility.Incremental
+
+	// closed marks the Store's writer as closed (reopen in progress or
+	// permanently failed); guards against double-close in the retry loop.
+	closed bool
 }
 
 // Probe asks the incremental Jeffay screen whether c fits this shard, in
@@ -73,8 +77,17 @@ type Options struct {
 	Store runtime.StoreOptions
 	// RelaxedMeta skips the per-record fsync on the meta journal (the
 	// serving path: a lost meta suffix only costs adoptions on recovery).
-	// Tape and sweep drivers leave it false.
+	// Tape and sweep drivers leave it false. Migration-protocol records
+	// are always fsynced regardless — their ordering carries the
+	// exactly-once handoff argument.
 	RelaxedMeta bool
+	// Inject, when non-nil, supplies a per-shard storage-fault injector
+	// for the shard WALs (deterministic chaos testing). The meta journal
+	// is never injected: router durability is a separate failure domain,
+	// and reconciliation already covers its loss.
+	Inject func(shard int) journal.Injector
+	// Retry bounds the per-shard transient-failure containment loop.
+	Retry RetryOptions
 }
 
 // Recovery reports what Open rebuilt.
@@ -90,6 +103,12 @@ type Recovery struct {
 	Dropped int `json:"dropped"`
 	// Cursor is the durable event-sequence prefix (tape resume point).
 	Cursor uint64 `json:"cursor"`
+	// MigrationsCompleted / MigrationsAborted count in-flight migration
+	// handoffs recovery rolled forward (task live on target) or back.
+	MigrationsCompleted int `json:"migrations_completed,omitempty"`
+	MigrationsAborted   int `json:"migrations_aborted,omitempty"`
+	// ResetsReplayed counts evacuation re-images recovery re-executed.
+	ResetsReplayed int `json:"resets_replayed,omitempty"`
 }
 
 // Result is the router's answer to one event: the shard that served it
@@ -124,15 +143,26 @@ type Cluster struct {
 	ownerSeq map[string]uint64
 	cursor   uint64 // resolved tape prefix: durable at open, advanced by PlayTape
 	rec      Recovery
+
+	retry  RetryOptions
+	health []ShardHealth // containment state, by shard index (under mu)
+	failed int           // shards currently in the Failed state (under mu)
 }
 
 // metaRecord is one meta-journal entry. Kind "place" binds a name to a
-// shard at a sequence number; "unplace" releases it.
+// shard at a sequence number; "unplace" releases it. The migration
+// protocol (migrate.go) adds five kinds: "mbegin" declares an in-flight
+// handoff Shard→To, "mcommit" marks the target copy durable, "mabort"
+// rolls an uncommitted handoff back, "mevict" records an explicit
+// eviction (no surviving shard could re-admit the task), and "mreset"
+// fences an evacuation's re-image (Seq is the fence: the wipe re-executes
+// on recovery only while the shard's durable state is still ≤ it).
 type metaRecord struct {
 	Kind  string `json:"kind"`
 	Seq   uint64 `json:"seq"`
-	Name  string `json:"name"`
+	Name  string `json:"name,omitempty"`
 	Shard int    `json:"shard"`
+	To    int    `json:"to,omitempty"`
 }
 
 // metaSnap is the meta journal's checkpoint (dir/meta.snap): router state
@@ -151,6 +181,19 @@ const shardSeedSalt = 0x9e3779b97f4a7c15
 
 func shardDir(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// shardStoreOptions instantiates the per-shard store template: the seed is
+// decorrelated per shard, and the shard's fault injector (if any) is
+// attached. Reopen/recovery paths use the same construction so a recovered
+// shard is configured identically to a freshly opened one.
+func (c *Cluster) shardStoreOptions(i int) runtime.StoreOptions {
+	so := c.opt.Store
+	so.Runtime.Seed = c.opt.Store.Runtime.Seed + uint64(i+1)*shardSeedSalt
+	if c.opt.Inject != nil {
+		so.Inject = c.opt.Inject(i)
+	}
+	return so
 }
 
 // Open recovers (or initializes) a sharded cluster in dir: every shard
@@ -185,6 +228,8 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		owner:    make(map[string]int),
 		pending:  make(map[string]int),
 		ownerSeq: make(map[string]uint64),
+		retry:    opt.Retry.withDefaults(),
+		health:   make([]ShardHealth, opt.Shards),
 	}
 	closeAll := func() {
 		for _, sh := range c.shards {
@@ -195,9 +240,7 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		}
 	}
 	for i := 0; i < opt.Shards; i++ {
-		so := opt.Store
-		so.Runtime.Seed = opt.Store.Runtime.Seed + uint64(i+1)*shardSeedSalt
-		st, err := runtime.OpenStore(shardDir(dir, i), so)
+		st, err := runtime.OpenStore(shardDir(dir, i), c.shardStoreOptions(i))
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -241,6 +284,13 @@ func Open(dir string, opt Options) (*Cluster, error) {
 	}
 	seen := make(map[uint64]bool)
 	nameSeq := make(map[string]uint64)
+	// Migration-protocol records are collected in journal order and
+	// completed after shard truth is known (completeMigrationsLocked):
+	// migs keeps each name's LAST protocol record, resets every "mreset"
+	// fence in order.
+	migs := make(map[string]metaRecord)
+	var migNames []string // insertion order, for deterministic completion
+	var resets []metaRecord
 	_, err = journal.Replay(filepath.Join(dir, "meta"), snap.Index, func(r journal.Record) error {
 		if r.Type != journal.TypeEvent {
 			return nil
@@ -269,6 +319,13 @@ func Open(dir string, opt Options) (*Cluster, error) {
 				nameSeq[mr.Name] = mr.Seq
 				delete(c.owner, mr.Name)
 			}
+		case "mbegin", "mcommit", "mabort", "mevict":
+			if _, ok := migs[mr.Name]; !ok {
+				migNames = append(migNames, mr.Name)
+			}
+			migs[mr.Name] = mr
+		case "mreset":
+			resets = append(resets, mr)
 		}
 		if mr.Seq > c.seq {
 			c.seq = mr.Seq
@@ -276,6 +333,19 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		return nil
 	})
 	if err != nil {
+		closeAll()
+		return nil, err
+	}
+
+	// Complete interrupted evacuations and migrations against shard truth,
+	// BEFORE reconciliation derives the owner map — the physical fixes
+	// (re-image fenced shards, finish or roll back in-flight handoffs)
+	// must land first so reconciliation sees exactly one copy per task.
+	if err := c.replayResetsLocked(resets); err != nil {
+		closeAll()
+		return nil, err
+	}
+	if err := c.completeMigrationsLocked(migNames, migs); err != nil {
 		closeAll()
 		return nil, err
 	}
@@ -374,14 +444,33 @@ func (c *Cluster) Owners() map[string]int {
 	return out
 }
 
-// Epoch returns the cluster clock: the minimum shard epoch. Shards advance
-// past it transiently inside RunEpoch (and across a mid-loop crash), never
-// behind it.
+// Epoch returns the cluster clock: the minimum epoch over non-Failed
+// shards. Shards advance past it transiently inside RunEpoch (and across
+// a mid-loop crash), never behind it. Failed shards are excluded — their
+// clock is frozen until evacuation re-images them (after which they
+// rejoin at epoch 0 and RunEpoch's min-rule walks them back to lockstep).
+// With every shard failed the raw minimum is returned.
 func (c *Cluster) Epoch() int64 {
-	min := c.shards[0].Store.Epoch()
-	for _, sh := range c.shards[1:] {
-		if e := sh.Store.Epoch(); e < min {
-			min = e
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochLocked()
+}
+
+func (c *Cluster) epochLocked() int64 {
+	min, got := int64(0), false
+	for i, sh := range c.shards {
+		if c.failed > 0 && c.health[i].State == Failed {
+			continue
+		}
+		if e := sh.Store.Epoch(); !got || e < min {
+			min, got = e, true
+		}
+	}
+	if !got {
+		for _, sh := range c.shards {
+			if e := sh.Store.Epoch(); !got || e < min {
+				min, got = e, true
+			}
 		}
 	}
 	return min
@@ -457,10 +546,21 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 		if _, dup := c.pending[name]; dup {
 			return ticket{shard: -1, op: "add", name: name, err: runtime.ErrDuplicateTask}, false
 		}
-		si := c.policy.Place(&ev.Task.Task, c.shards, c.rr)
-		if si < 0 || si >= len(c.shards) {
+		// Failed shards are fenced from placement: the policy sees only the
+		// alive subset (indices mapped back through Shard.ID). With no
+		// shard alive the event is shed, not silently dropped.
+		candidates := c.shards
+		if c.failed > 0 {
+			candidates = c.aliveShardsLocked()
+			if len(candidates) == 0 {
+				return ticket{shard: -1, op: "add", name: name, err: ErrShardFailed}, false
+			}
+		}
+		si := c.policy.Place(&ev.Task.Task, candidates, c.rr)
+		if si < 0 || si >= len(candidates) {
 			si = 0 // a broken policy must not crash the router
 		}
+		si = candidates[si].ID
 		if gate != nil && !gate(si) {
 			return ticket{}, true
 		}
@@ -486,6 +586,12 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 		if !ok {
 			return ticket{shard: -1, op: "remove", name: name, err: runtime.ErrUnknownTask}, false
 		}
+		if c.health[si].State == Failed {
+			// Partition-scoped shed: the owning shard is fenced, so this
+			// remove cannot be served — but nothing is mutated, so the task
+			// is retained for evacuation rather than silently dropped.
+			return ticket{shard: -1, op: "remove", name: name, err: ErrShardFailed}, false
+		}
 		if gate != nil && !gate(si) {
 			return ticket{}, true
 		}
@@ -495,6 +601,17 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 		c.ownerSeq[name] = ev.Seq
 		return ticket{shard: si, op: "remove", name: name, mirrored: mirrored}, false
 	}
+}
+
+// aliveShardsLocked returns the shards not in the Failed state.
+func (c *Cluster) aliveShardsLocked() []*Shard {
+	alive := make([]*Shard, 0, len(c.shards))
+	for i, sh := range c.shards {
+		if c.health[i].State != Failed {
+			alive = append(alive, sh)
+		}
+	}
+	return alive
 }
 
 // stamp assigns the next sequence number, or folds a pre-stamped one
@@ -517,8 +634,15 @@ func (c *Cluster) complete(tk ticket, ev *runtime.Event, dec runtime.Decision, a
 		admitted := applyErr == nil && dec.Verdict != runtime.Rejected
 		delete(c.pending, tk.name)
 		if admitted {
-			if !tk.mirrored {
+			// Mirror by membership, cursor by prediction: a retry-reopen may
+			// have rebuilt the mirror from recovered state (which already
+			// holds this task), so the Add is membership-guarded — but rr
+			// must advance exactly once per admitted add regardless of drive
+			// mode, so it keeps following the route-time prediction.
+			if !c.shards[tk.shard].inc.Has(tk.name) {
 				c.shards[tk.shard].inc.Add(&ev.Task.Task)
+			}
+			if !tk.mirrored {
 				c.rr++
 			}
 			// Last-writer-wins by sequence: a remove (or re-add of the same
@@ -534,11 +658,15 @@ func (c *Cluster) complete(tk ticket, ev *runtime.Event, dec runtime.Decision, a
 			return c.metaAppend(metaRecord{Kind: "place", Seq: ev.Seq, Name: tk.name, Shard: tk.shard})
 		}
 		if tk.mirrored {
-			c.shards[tk.shard].inc.Remove(tk.name)
+			c.shards[tk.shard].inc.Remove(tk.name) // no-op if a rebuild dropped it
 			c.rr--
 		}
 	case "remove":
 		if applyErr == nil {
+			// A retry-reopen rebuild may have restored the mirror entry that
+			// route removed optimistically; the remove is now durable, so
+			// re-drop it (no-op when already absent).
+			c.shards[tk.shard].inc.Remove(tk.name)
 			// route already deleted the map entry, but an add complete from
 			// an interleaved batch may have re-inserted it — resolve again
 			// here under the same sequence order, so the map ends where the
@@ -595,7 +723,16 @@ func (c *Cluster) Apply(ev runtime.Event) (Result, error) {
 	if tk.shard < 0 {
 		return synthResult(&ev, tk), tk.err
 	}
-	dec, err := c.shards[tk.shard].Store.Apply(ev)
+	dec, evErr, _, err := c.shardApply(tk.shard, true, ev)
+	if err != nil {
+		// The shard exhausted its retry budget mid-event. complete with a
+		// failed outcome rolls back the optimistic router state (pending
+		// entry, mirror delta); for removes the task stays live on the
+		// fenced shard — retained for evacuation, never silently lost.
+		c.complete(tk, &ev, dec, err)
+		return Result{Shard: tk.shard, Decision: dec}, err
+	}
+	err = evErr
 	if cerr := c.complete(tk, &ev, dec, err); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -612,10 +749,16 @@ func (c *Cluster) broadcastLocked(ev *runtime.Event) (Result, error) {
 	var first runtime.Decision
 	got := false
 	for _, sh := range c.shards {
+		if c.health[sh.ID].State == Failed {
+			continue // fenced; it rejoins empty after evacuation anyway
+		}
 		if sh.Store.MaxSeq() >= ev.Seq {
 			continue
 		}
-		dec, err := sh.Store.Apply(*ev)
+		dec, evErr, _, err := c.shardApply(sh.ID, true, *ev)
+		if err == nil {
+			err = evErr
+		}
 		if err != nil {
 			return Result{Shard: sh.ID, Decision: dec}, err
 		}
@@ -659,6 +802,9 @@ func (c *Cluster) ApplyBatch(evs []runtime.Event) ([]Result, []error, error) {
 		if ev.Op == "overload" {
 			c.stamp(&ev)
 			for si := range c.shards {
+				if c.health[si].State == Failed {
+					continue
+				}
 				if c.shards[si].Store.MaxSeq() >= ev.Seq {
 					continue
 				}
@@ -694,25 +840,33 @@ func (c *Cluster) ApplyBatch(evs []runtime.Event) ([]Result, []error, error) {
 			for j := range bucket {
 				sevs[j] = bucket[j].ev
 			}
-			shardDecs[si], shardEvErrs[si], shardErrs[si] = c.shards[si].Store.ApplyBatch(sevs)
+			shardDecs[si], shardEvErrs[si], _, shardErrs[si] = c.shardApplyBatch(si, sevs)
 		}(si)
 	}
 	wg.Wait()
 
-	// Reconcile in shard order, each bucket in apply order.
+	// Reconcile in shard order, each bucket in apply order. A shard that
+	// exhausted its retry budget fails ONLY its own bucket (partition-
+	// scoped containment): each of its events completes as failed — the
+	// optimistic router state rolls back — and carries the shard error,
+	// while every other bucket's results stand.
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var fatal error
 	overloadDone := make(map[int]bool)
 	for si := range c.shards {
-		if shardErrs[si] != nil && fatal == nil {
-			fatal = fmt.Errorf("cluster: shard %d: %w", si, shardErrs[si])
+		shardErr := shardErrs[si]
+		if shardErr != nil && !errors.Is(shardErr, ErrShardFailed) && fatal == nil {
+			fatal = fmt.Errorf("cluster: shard %d: %w", si, shardErr)
 		}
 		for j, it := range buckets[si] {
 			if shardDecs[si] == nil {
 				continue // shard died before producing results
 			}
 			dec, aerr := shardDecs[si][j], shardEvErrs[si][j]
+			if shardErr != nil {
+				aerr = shardErr
+			}
 			if it.tk.op == "overload" {
 				if !overloadDone[it.pos] && aerr == nil {
 					results[it.pos] = Result{Shard: -1, Decision: dec}
@@ -745,17 +899,22 @@ type ShardEpoch struct {
 // ahead, and the next call advances only the laggards — which is exactly
 // how a resumed run converges back to lockstep.
 func (c *Cluster) RunEpoch(parallel bool) ([]ShardEpoch, error) {
-	min := c.Epoch()
+	c.mu.Lock()
+	min := c.epochLocked()
 	var due []*Shard
 	for _, sh := range c.shards {
+		if c.health[sh.ID].State == Failed {
+			continue // fenced; evacuation re-images it before it re-ticks
+		}
 		if sh.Store.Epoch() == min {
 			due = append(due, sh)
 		}
 	}
+	c.mu.Unlock()
 	reps := make([]ShardEpoch, len(due))
 	if !parallel {
 		for i, sh := range due {
-			rep, err := sh.Store.RunEpoch()
+			rep, err := c.shardEpoch(sh.ID)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d epoch: %w", sh.ID, err)
 			}
@@ -769,7 +928,7 @@ func (c *Cluster) RunEpoch(parallel bool) ([]ShardEpoch, error) {
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
-			rep, err := sh.Store.RunEpoch()
+			rep, err := c.shardEpoch(sh.ID)
 			if err != nil {
 				errs[i] = fmt.Errorf("cluster: shard %d epoch: %w", sh.ID, err)
 				return
@@ -796,7 +955,17 @@ func (c *Cluster) Checkpoint() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, sh := range c.shards {
-		if _, err := sh.Store.Checkpoint(); err != nil {
+		if c.health[sh.ID].State == Failed {
+			continue // fenced; its durable state is whatever the failure left
+		}
+		_, err := c.runShardOp(sh.ID, true, func(st *runtime.Store) error {
+			_, cerr := st.Checkpoint()
+			return cerr
+		})
+		if err != nil {
+			if errors.Is(err, ErrShardFailed) {
+				continue // containment: the failed shard awaits evacuation
+			}
 			return fmt.Errorf("cluster: shard %d checkpoint: %w", sh.ID, err)
 		}
 	}
@@ -984,7 +1153,9 @@ func (c *Cluster) PlayTape(tp *runtime.Tape, horizon int64, parallel bool, check
 	return nil
 }
 
-// Close flushes the meta journal and closes every shard store.
+// Close flushes the meta journal and closes every shard store. Shards whose
+// writer the retry loop already closed (reopen in progress when the budget
+// ran out) are skipped.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -993,6 +1164,10 @@ func (c *Cluster) Close() error {
 		err = c.meta.Close()
 	}
 	for _, sh := range c.shards {
+		if sh.closed {
+			continue
+		}
+		sh.closed = true
 		if cerr := sh.Store.Close(); err == nil {
 			err = cerr
 		}

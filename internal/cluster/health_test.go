@@ -1,0 +1,250 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nprt/internal/cluster"
+	"nprt/internal/journal"
+	schedrt "nprt/internal/runtime"
+	"nprt/internal/task"
+)
+
+// flakyInjector is a controllable journal.Injector for containment tests:
+// it can fail the next N syncs, or wedge entirely.
+type flakyInjector struct {
+	failSyncs int
+	wedged    bool
+}
+
+func (f *flakyInjector) Write(n int) (int, error) {
+	if f.wedged {
+		return 0, journal.ErrInjectedWedge
+	}
+	return n, nil
+}
+
+func (f *flakyInjector) Sync() error {
+	if f.wedged {
+		return journal.ErrInjectedWedge
+	}
+	if f.failSyncs > 0 {
+		f.failSyncs--
+		return journal.ErrInjectedSync
+	}
+	return nil
+}
+
+// specTask builds a valid small task for admission tests.
+func specTask(name string, period, wA, wI task.Time) *schedrt.TaskSpec {
+	return &schedrt.TaskSpec{Task: task.Task{
+		Name: name, Period: period, WCETAccurate: wA, WCETImprecise: wI,
+		ExecAccurate:  task.Dist{Mean: float64(wA) / 2, Sigma: float64(wA) / 8, Min: 1, Max: float64(wA)},
+		ExecImprecise: task.Dist{Mean: float64(wI) / 2, Sigma: float64(wI) / 8, Min: 1, Max: float64(wI)},
+		Error:         task.Dist{Mean: 1, Sigma: 0.2},
+	}}
+}
+
+func addEvent(name string, period, wA, wI task.Time) schedrt.Event {
+	return schedrt.Event{Op: "add", Task: specTask(name, period, wA, wI)}
+}
+
+// noSleep makes retry backoff free for tests.
+var noSleep = func(time.Duration) {}
+
+// TestShardRetryHealsTransientFault: a sync failure poisons the shard's
+// journal; the containment loop must reopen-recover and retry so the
+// caller sees success, the shard ends Healthy, and the final state is
+// bit-identical to an unfaulted run.
+func TestShardRetryHealsTransientFault(t *testing.T) {
+	run := func(inject func(int) journal.Injector) ([]uint64, map[string]int, cluster.ShardHealth) {
+		c := openCluster(t, t.TempDir(), cluster.Options{
+			Shards: 2,
+			Store:  schedrt.StoreOptions{NoSync: true},
+			Inject: inject,
+			Retry:  cluster.RetryOptions{Sleep: noSleep},
+		})
+		for i := 0; i < 6; i++ {
+			res, err := c.Apply(addEvent(fmt.Sprintf("t%d", i), 100, 10, 2))
+			if err != nil {
+				t.Fatalf("apply %d: %v", i, err)
+			}
+			if res.Decision.Verdict == schedrt.Rejected {
+				t.Fatalf("apply %d: unexpectedly rejected", i)
+			}
+		}
+		return c.Digests(), c.Owners(), c.Health(0)
+	}
+
+	cleanD, cleanO, _ := run(nil)
+
+	// An attached but quiescent injector must not change behavior.
+	faultyD, faultyO, h := run(func(si int) journal.Injector {
+		if si != 0 {
+			return nil
+		}
+		return &flakyInjector{}
+	})
+	// Re-run with a mid-stream fault: fail one sync after a few admissions.
+	inj2 := &flakyInjector{}
+	c := openCluster(t, t.TempDir(), cluster.Options{
+		Shards: 2,
+		Store:  schedrt.StoreOptions{NoSync: true},
+		Inject: func(si int) journal.Injector {
+			if si == 0 {
+				return inj2
+			}
+			return nil
+		},
+		Retry: cluster.RetryOptions{Sleep: noSleep},
+	})
+	for i := 0; i < 6; i++ {
+		if i == 3 {
+			inj2.failSyncs = 1 // next shard-0 sync fails once, then heals
+		}
+		if _, err := c.Apply(addEvent(fmt.Sprintf("t%d", i), 100, 10, 2)); err != nil {
+			t.Fatalf("apply %d under fault: %v", i, err)
+		}
+	}
+	if !sameDigests(cleanD, faultyD) || !sameOwners(cleanO, faultyO) {
+		t.Fatalf("no-fault injected run diverged from clean run")
+	}
+	if h.State != cluster.Healthy {
+		t.Fatalf("shard 0 health after clean injected run: %+v", h)
+	}
+	h0 := c.Health(0)
+	if h0.State != cluster.Healthy {
+		t.Fatalf("shard 0 did not heal after transient fault: %+v", h0)
+	}
+	if h0.Reopens == 0 || h0.TotalErrs == 0 {
+		t.Fatalf("transient fault left no containment trace: %+v", h0)
+	}
+	if !sameDigests(c.Digests(), cleanD) || !sameOwners(c.Owners(), cleanO) {
+		t.Fatalf("faulted run diverged from clean run:\n  faulted %x %v\n  clean   %x %v",
+			c.Digests(), c.Owners(), cleanD, cleanO)
+	}
+	// The mirror must agree with shard truth after the reopen.
+	for _, sh := range c.Shards() {
+		if sh.Resident() != len(sh.Store.Runtime().Tasks()) {
+			t.Fatalf("shard %d mirror out of sync after retry", sh.ID)
+		}
+	}
+}
+
+// TestShardFailureContainment: a wedged shard exhausts the retry budget
+// and transitions to Failed — its events shed with ErrShardFailed while
+// the other shard keeps serving — and evacuation drains it back to
+// Healthy with every task re-admitted elsewhere.
+func TestShardFailureContainment(t *testing.T) {
+	inj := &flakyInjector{}
+	c := openCluster(t, t.TempDir(), cluster.Options{
+		Shards:    2,
+		Placement: "round-robin",
+		Store:     schedrt.StoreOptions{NoSync: true},
+		Inject: func(si int) journal.Injector {
+			if si == 0 {
+				return inj
+			}
+			return nil
+		},
+		Retry: cluster.RetryOptions{MaxAttempts: 3, Sleep: noSleep},
+	})
+
+	// Seed both shards.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Apply(addEvent(fmt.Sprintf("seed%d", i), 100, 10, 2)); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+	owners := c.Owners()
+	var onZero []string
+	for name, si := range owners {
+		if si == 0 {
+			onZero = append(onZero, name)
+		}
+	}
+	if len(onZero) == 0 {
+		t.Fatal("round-robin left shard 0 empty — test cannot proceed")
+	}
+
+	// Wedge shard 0's device permanently: the next event routed there must
+	// burn the budget and fail the shard.
+	inj.wedged = true
+	sawFail := false
+	for i := 0; i < 4 && !sawFail; i++ {
+		_, err := c.Apply(addEvent(fmt.Sprintf("w%d", i), 100, 10, 2))
+		if errors.Is(err, cluster.ErrShardFailed) {
+			sawFail = true
+		} else if err != nil {
+			t.Fatalf("wedged apply %d: unexpected error %v", i, err)
+		}
+	}
+	if !sawFail {
+		t.Fatal("wedged shard never exhausted its retry budget")
+	}
+	if h := c.Health(0); h.State != cluster.Failed {
+		t.Fatalf("shard 0 health after budget exhaustion: %+v", h)
+	}
+
+	// Containment: placements now avoid shard 0 entirely...
+	for i := 0; i < 4; i++ {
+		res, err := c.Apply(addEvent(fmt.Sprintf("post%d", i), 100, 10, 2))
+		if err != nil {
+			t.Fatalf("post-failure apply %d: %v", i, err)
+		}
+		if res.Shard == 0 {
+			t.Fatalf("post-failure apply %d routed to the failed shard", i)
+		}
+	}
+	// ...and removes of shard-0 tasks shed with ErrShardFailed, retaining
+	// the task for evacuation rather than silently dropping it.
+	if _, err := c.Apply(schedrt.Event{Op: "remove", Name: onZero[0]}); !errors.Is(err, cluster.ErrShardFailed) {
+		t.Fatalf("remove on failed shard: got %v, want ErrShardFailed", err)
+	}
+	if _, still := c.Owners()[onZero[0]]; !still {
+		t.Fatal("shed remove dropped the owner entry — task would be lost")
+	}
+
+	// Heal the device and evacuate: every shard-0 task must be migrated to
+	// shard 1 (re-screened) or explicitly evicted, and the shard re-images
+	// back to Healthy.
+	inj.wedged = false
+	rep, err := c.EvacuateShard(0)
+	if err != nil {
+		t.Fatalf("evacuate: %v", err)
+	}
+	if rep.Migrated+rep.Evicted != len(onZero) {
+		t.Fatalf("evacuation accounted for %d+%d tasks, shard held %d",
+			rep.Migrated, rep.Evicted, len(onZero))
+	}
+	if h := c.Health(0); h.State != cluster.Healthy || h.Reimages != 1 {
+		t.Fatalf("shard 0 after evacuation: %+v", h)
+	}
+	evicted := make(map[string]bool)
+	for _, mv := range rep.Moves {
+		if mv.Evicted {
+			evicted[mv.Name] = true
+		}
+	}
+	final := c.Owners()
+	for _, name := range onZero {
+		if evicted[name] {
+			if _, ok := final[name]; ok {
+				t.Fatalf("evicted task %q still owned", name)
+			}
+			continue
+		}
+		if si, ok := final[name]; !ok || si != 1 {
+			t.Fatalf("task %q not re-homed to shard 1 (owner %v, ok %v)", name, si, ok)
+		}
+	}
+	// The failed shard is empty and serving again.
+	if n := len(c.Shards()[0].Store.Runtime().Tasks()); n != 0 {
+		t.Fatalf("re-imaged shard still holds %d tasks", n)
+	}
+	if _, err := c.Apply(addEvent("fresh", 100, 10, 2)); err != nil {
+		t.Fatalf("apply after re-image: %v", err)
+	}
+}

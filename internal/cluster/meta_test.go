@@ -1,0 +1,206 @@
+package cluster_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nprt/internal/cluster"
+	schedrt "nprt/internal/runtime"
+)
+
+// copyTree copies a cluster directory so each truncation case starts from
+// the same bits.
+func copyTree(t testing.TB, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, b, info.Mode())
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+// metaSegments returns the cluster's meta journal segment files, sorted.
+func metaSegments(t testing.TB, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "meta", "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no meta segments in %s (err %v)", dir, err)
+	}
+	return segs
+}
+
+// seedMetaCluster builds a cluster whose meta journal holds placements,
+// removes, and a committed migration — the full record vocabulary the
+// replay path has to survive truncation of.
+func seedMetaCluster(t *testing.T, dir string) (opt cluster.Options) {
+	opt = cluster.Options{Shards: 2, Placement: "round-robin",
+		Store: schedrt.StoreOptions{NoSync: true}}
+	c := openCluster(t, dir, opt)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Apply(addEvent(fmt.Sprintf("mt%d", i), 100, 10, 2)); err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+	}
+	if _, err := c.Apply(schedrt.Event{Op: "remove", Name: "mt3"}); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	from := c.Owners()["mt0"]
+	if mv, err := c.MigrateTask("mt0", 1-from); err != nil || !mv.Moved {
+		t.Fatalf("migrate: %+v, %v", mv, err)
+	}
+	// No Checkpoint(): everything stays in the meta journal, nothing in
+	// meta.snap, so truncation bites the whole router history.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+// auditConvergence opens the (possibly mutilated) cluster and requires the
+// adopt/drop reconcile invariant: the owner map and the union of shard
+// truths are identical — no task lost, no task double-owned, no ghost
+// entries — regardless of how much meta history survived.
+func auditConvergence(t testing.TB, dir string, opt cluster.Options, label string) {
+	c, err := cluster.Open(dir, opt)
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	defer c.Close()
+	liveOn := make(map[string]int)
+	for _, sh := range c.Shards() {
+		for _, spec := range sh.Store.Runtime().Tasks() {
+			if prev, dup := liveOn[spec.Task.Name]; dup {
+				t.Fatalf("%s: task %q live on shards %d and %d", label, spec.Task.Name, prev, sh.ID)
+			}
+			liveOn[spec.Task.Name] = sh.ID
+		}
+	}
+	owners := c.Owners()
+	if len(owners) != len(liveOn) {
+		t.Fatalf("%s: owner map has %d entries, shards hold %d tasks\n  owners %v\n  live   %v",
+			label, len(owners), len(liveOn), owners, liveOn)
+	}
+	for name, si := range owners {
+		if liveOn[name] != si {
+			t.Fatalf("%s: owner map says %q on %d, shard truth says %d", label, name, si, liveOn[name])
+		}
+	}
+}
+
+// TestMetaTruncationEveryByte truncates the meta journal at every byte
+// boundary and requires Open to recover (torn-tail truncation) and
+// converge: shard truth is authoritative, the router map is rebuilt to
+// match it exactly.
+func TestMetaTruncationEveryByte(t *testing.T) {
+	golden := t.TempDir()
+	opt := seedMetaCluster(t, golden)
+	segs := metaSegments(t, golden)
+	seg := segs[len(segs)-1]
+	rel, err := filepath.Rel(golden, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+	if size < 64 {
+		t.Fatalf("meta segment only %d bytes — seed is not journaling", size)
+	}
+	stride := int64(1)
+	if size > 2048 {
+		stride = size / 2048 // visit ~2k boundaries on chatty segments
+	}
+	for cut := int64(0); cut <= size; cut += stride {
+		dir := t.TempDir()
+		copyTree(t, golden, dir)
+		if err := os.Truncate(filepath.Join(dir, rel), cut); err != nil {
+			t.Fatal(err)
+		}
+		auditConvergence(t, dir, opt, fmt.Sprintf("cut=%d/%d", cut, size))
+	}
+}
+
+// FuzzMetaReplay fuzzes the truncation offset (and a flipped tail byte)
+// against the same convergence audit.
+func FuzzMetaReplay(f *testing.F) {
+	golden := f.TempDir()
+	var opt cluster.Options
+	// Seeding needs *testing.T-shaped helpers; do it inline.
+	func() {
+		opt = cluster.Options{Shards: 2, Placement: "round-robin",
+			Store: schedrt.StoreOptions{NoSync: true}}
+		c, err := cluster.Open(golden, opt)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := c.Apply(addEvent(fmt.Sprintf("mt%d", i), 100, 10, 2)); err != nil {
+				f.Fatalf("seed %d: %v", i, err)
+			}
+		}
+		if _, err := c.Apply(schedrt.Event{Op: "remove", Name: "mt3"}); err != nil {
+			f.Fatalf("remove: %v", err)
+		}
+		from := c.Owners()["mt0"]
+		if mv, err := c.MigrateTask("mt0", 1-from); err != nil || !mv.Moved {
+			f.Fatalf("migrate: %+v, %v", mv, err)
+		}
+		if err := c.Close(); err != nil {
+			f.Fatal(err)
+		}
+	}()
+	segs := metaSegments(f, golden)
+	seg := segs[len(segs)-1]
+	rel, err := filepath.Rel(golden, seg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	size := info.Size()
+	f.Add(uint64(0), false)
+	f.Add(uint64(size/2), true)
+	f.Add(uint64(size-1), false)
+	f.Fuzz(func(t *testing.T, cut uint64, flip bool) {
+		off := int64(cut % uint64(size+1))
+		dir := t.TempDir()
+		copyTree(t, golden, dir)
+		target := filepath.Join(dir, rel)
+		if err := os.Truncate(target, off); err != nil {
+			t.Fatal(err)
+		}
+		if flip && off > 0 {
+			b, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[len(b)-1] ^= 0x40 // corrupt the torn tail's last byte
+			if err := os.WriteFile(target, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		auditConvergence(t, dir, opt, fmt.Sprintf("cut=%d flip=%v", off, flip))
+	})
+}

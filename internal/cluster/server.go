@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	goruntime "runtime"
@@ -120,6 +121,11 @@ type ShardRow struct {
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCap      int     `json:"queue_cap"`
 
+	// Health is the shard's containment state (health.go): state name,
+	// consecutive/lifetime error counts, reopen and re-image counts, and
+	// the most recent error string.
+	Health ShardHealth `json:"health"`
+
 	Commit *serve.CommitState `json:"commit,omitempty"`
 }
 
@@ -135,6 +141,10 @@ type ClusterState struct {
 	Pending   int    `json:"pending"`
 	RR        uint64 `json:"rr"`
 	Seq       uint64 `json:"seq"`
+
+	// FailedShards counts shards currently fenced in the Failed state;
+	// their partitions shed (503) until evacuation while the rest serve.
+	FailedShards int `json:"failed_shards,omitempty"`
 
 	Admitted  uint64 `json:"admitted"`
 	Rejected  uint64 `json:"rejected"`
@@ -220,13 +230,24 @@ func (s *Server) engine(si int) {
 				return
 			}
 		case <-tick:
-			if _, err := s.c.shards[si].Store.RunEpoch(); err != nil {
+			if _, err := s.c.shardEpoch(si); err != nil {
+				if errors.Is(err, ErrShardFailed) {
+					// Containment: this shard is fenced and sheds until an
+					// operator evacuates it; the other engines keep serving.
+					s.logf("shard %d epoch skipped: %v", si, err)
+					s.publishShard(si)
+					continue
+				}
 				s.fail(fmt.Errorf("shard %d epoch: %w", si, err))
 				return
 			}
 			epochs++
 			if s.opt.CheckpointEvery > 0 && epochs%s.opt.CheckpointEvery == 0 {
-				if _, err := s.c.shards[si].Store.Checkpoint(); err != nil {
+				_, err := s.c.runShardOp(si, false, func(st *runtime.Store) error {
+					_, cerr := st.Checkpoint()
+					return cerr
+				})
+				if err != nil && !errors.Is(err, ErrShardFailed) {
 					s.fail(fmt.Errorf("shard %d checkpoint: %w", si, err))
 					return
 				}
@@ -292,23 +313,46 @@ func (s *Server) gather(batch []sticket, t sticket, q chan sticket) []sticket {
 }
 
 // serveBatch applies one gathered batch to shard si under one covering
-// fsync, reconciles the router (in apply order, under the cluster mutex),
-// publishes, then replies. false = the store failed fatally.
+// fsync — through the containment loop, so a transient journal fault is
+// reopened-and-retried and a shard that exhausts its budget fails only
+// this partition — reconciles the router (in apply order, under the
+// cluster mutex), publishes, then replies. false = a genuinely fatal,
+// non-containable failure.
 func (s *Server) serveBatch(si int, batch []sticket) bool {
-	st := s.c.shards[si].Store
-	epoch := st.Epoch()
+	epoch := s.c.shards[si].Store.Epoch()
 	evs := make([]runtime.Event, len(batch))
 	for i := range batch {
 		evs[i] = batch[i].ev
 		evs[i].Epoch = epoch // journaled events replay at the live position
 	}
-	decs, errs, err := st.ApplyBatch(evs)
-	if err != nil {
+	decs, errs, _, err := s.c.shardApplyBatch(si, evs)
+	if err != nil && !errors.Is(err, ErrShardFailed) {
 		s.fail(fmt.Errorf("shard %d admit: %w", si, err))
 		for i := range batch {
 			batch[i].reply <- sreply{pos: batch[i].pos, shard: si, err: err, fatal: true}
 		}
 		return false
+	}
+	if err != nil {
+		// Partition-scoped containment: this shard's batch failed as a
+		// unit. Each event completes as failed (the optimistic router state
+		// rolls back; removes stay owned for evacuation) and the client
+		// sees a retryable shard failure, not a server death.
+		s.logf("shard %d failed, shedding its batch: %v", si, err)
+		s.c.mu.Lock()
+		for i := range batch {
+			if batch[i].tk.op == "overload" {
+				continue
+			}
+			s.c.complete(batch[i].tk, &evs[i], decs[i], err)
+		}
+		s.c.mu.Unlock()
+		s.publishShard(si)
+		for i := range batch {
+			s.shed.Add(1)
+			batch[i].reply <- sreply{pos: batch[i].pos, shard: si, err: err}
+		}
+		return true
 	}
 	s.c.mu.Lock()
 	var cerr error
@@ -361,9 +405,10 @@ func (s *Server) publishShard(si int) {
 		QueueCap:      cap(s.queues[si]),
 		Commit:        &serve.CommitState{GroupStats: cs, RecordsPerSync: cs.RecordsPerSync()},
 	}
-	// The mirror is router state: read it under the router lock.
+	// Mirror and health are router state: read them under the router lock.
 	s.c.mu.Lock()
 	row.UtilAccurate = sh.Util(task.Accurate)
+	row.Health = s.c.healthLocked(si)
 	s.c.mu.Unlock()
 	s.rows[si].Store(row)
 }
@@ -407,6 +452,7 @@ func (s *Server) Snapshot() ClusterState {
 	st.Pending = len(s.c.pending)
 	st.RR = s.c.rr
 	st.Seq = s.c.seq
+	st.FailedShards = s.c.failed
 	s.c.mu.Unlock()
 	first := true
 	for i := range s.rows {
@@ -437,23 +483,38 @@ func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect i
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
 	if ev.Op == "overload" {
-		for _, q := range s.queues {
+		// Failed shards are fenced from the fan-out (broadcastLocked skips
+		// them too — they rejoin empty after evacuation).
+		targets := make([]int, 0, len(s.queues))
+		for si, q := range s.queues {
+			if s.c.health[si].State == Failed {
+				continue
+			}
 			if len(q) == cap(q) {
 				return 0, nil, true
 			}
+			targets = append(targets, si)
+		}
+		if len(targets) == 0 {
+			return 0, nil, true
 		}
 		s.c.stamp(&ev)
-		for si, q := range s.queues {
-			q <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply}
+		for _, si := range targets {
+			s.queues[si] <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply}
 		}
 		s.admitted.Add(1)
-		return len(s.queues), nil, false
+		return len(targets), nil, false
 	}
 	tk, routeShed := s.c.route(&ev, func(si int) bool { return len(s.queues[si]) < cap(s.queues[si]) })
 	if routeShed {
 		return 0, nil, true
 	}
 	if tk.shard < 0 {
+		if errors.Is(tk.err, ErrShardFailed) {
+			// Partition-scoped load shedding: only events routed to a sick
+			// shard are shed (503 + Retry-After); the rest keep serving.
+			return 0, nil, true
+		}
 		res := synthResult(&ev, tk)
 		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, false
 	}
@@ -473,12 +534,30 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !s.ready.Load() {
 			s.unavailable(w, "not ready")
 			return
 		}
-		fmt.Fprintln(w, "ready")
+		// Per-shard health: ready (200) while ANY shard can serve — failed
+		// partitions shed individually — and 503 only when none can.
+		healths := s.c.Healths()
+		alive := 0
+		for _, h := range healths {
+			if h.State != Failed {
+				alive++
+			}
+		}
+		if alive == 0 {
+			s.unavailable(w, "no healthy shards")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ready %d/%d shards serving\n", alive, len(healths))
+		for i, h := range healths {
+			if h.State != Healthy {
+				fmt.Fprintf(w, "shard %d: %s consec_errs=%d last_error=%q\n", i, h.StateName, h.ConsecErrs, h.LastError)
+			}
+		}
 	})
 	mux.HandleFunc("GET /state", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Snapshot()
@@ -559,6 +638,12 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	serve.PutDecoder(d)
+	if errors.Is(got.err, ErrShardFailed) {
+		// The owning shard exhausted its containment budget mid-request:
+		// retryable partition-scoped failure, not a server error.
+		s.unavailable(w, got.err.Error())
+		return
+	}
 	if got.err != nil && !runtime.IsStaleRequest(got.err) {
 		httpError(w, http.StatusInternalServerError, got.err.Error())
 		return

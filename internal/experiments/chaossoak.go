@@ -1,0 +1,458 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"nprt/internal/cluster"
+	"nprt/internal/journal"
+	"nprt/internal/rng"
+	schedrt "nprt/internal/runtime"
+)
+
+// The chaos soak is the failure-containment counterpart of the cluster
+// soak: the same seeded churn tape, but the cluster is tormented while it
+// plays. Every shard WAL sits on a deterministic fault injector
+// (journal.FaultFS — refused fsyncs, torn writes, full disks, stalls, all
+// pure in (seed, op index)), and a seeded chaos plan kills shards
+// (crash-restart through recovery) and wedges them (declared Failed, then
+// evacuated through the checkpoint-handoff migration path and re-imaged)
+// at tick boundaries, pure in (seed, tick).
+//
+// The soak's claims, held per width and checked here rather than sampled:
+//
+//   - Zero silently lost: every task the tape admitted and never removed —
+//     minus the explicitly journaled evictions — is live on exactly one
+//     shard at the end, and the partition map knows where.
+//   - Zero clean misses anywhere: migrated tasks are re-screened by their
+//     target's own Theorem-1 admission, so no resident set ever exceeds
+//     what the screen proved schedulable — faults and evacuations included.
+//   - Digest-reproducible: two serial drives agree bit for bit, and the
+//     concurrent group-commit drive agrees with them — same per-shard
+//     digests, same final owner map — because kills and wedges key on the
+//     monotonic tick counter (NOT the cluster epoch, which re-levels
+//     through old values while a re-imaged shard catches up) and transient
+//     storage faults are healed by the retry loop before they can change
+//     any applied sequence.
+
+// ChaosShardCounts is the default width sweep for the chaos soak.
+var ChaosShardCounts = []int{8, 64}
+
+// chaosKillRate / chaosEvacRate are per-tick probabilities of a driver
+// action: crash-restart a uniformly drawn shard, or wedge-fail and
+// evacuate it. Small enough that most ticks are quiet, large enough that a
+// few hundred ticks see several of each.
+const (
+	chaosKillRate = 0.02
+	chaosEvacRate = 0.012
+)
+
+// chaosFaultRates is the per-shard storage-fault mix: low rates, because
+// the containment loop must keep every fault transient — the retry budget
+// has to make escalation to Failed vanishingly improbable, since that is
+// what lets the parallel and serial drives converge despite seeing
+// different op indices. The budget must comfortably outlast a full stall
+// window (StallOps failed ops) plus the handful of fresh fault draws the
+// reopen-retries themselves consume; ten attempts put the escalation
+// probability past a stall at ~(per-op fault rate)^6.
+var chaosFaultRates = journal.FaultRates{
+	SyncFailProb: 0.002,
+	TornProb:     0.001,
+	FullProb:     0.0005,
+	StallProb:    0.0005,
+	StallOps:     3,
+}
+
+const (
+	chaosTickSalt  = 0x9e3779b97f4a7c15
+	chaosShardSalt = 0xd1b54a32d192ed03
+)
+
+// chaosDraw is the pure (seed, tick) action draw: two floats — one for the
+// action kind, one for the victim shard.
+func chaosDraw(seed uint64, tick int) (action, victim float64) {
+	st := rng.New(seed ^ uint64(tick+1)*chaosTickSalt)
+	return st.Float64(), st.Float64()
+}
+
+// ChaosRow is the outcome at one cluster width.
+type ChaosRow struct {
+	Shards int `json:"shards"`
+	Events int `json:"events"`
+	Ticks  int `json:"ticks"`
+
+	Kills    int `json:"kills"`
+	Evacs    int `json:"evacs"`
+	Migrated int `json:"migrated"`
+	Evicted  int `json:"evicted"`
+
+	// Reopens / StoreErrs sum the health counters over shards: how much
+	// containment work the injected faults actually caused.
+	Reopens   uint64 `json:"reopens"`
+	StoreErrs uint64 `json:"store_errs"`
+
+	Misses      int64 `json:"misses"`
+	MissesClean int64 `json:"misses_clean"`
+
+	// Resident is the final partition-map size; Lost counts tasks the model
+	// says should be live but are not (must be 0); Orphans counts live
+	// tasks the model does not expect (must be 0).
+	Resident int `json:"resident"`
+	Lost     int `json:"lost"`
+	Orphans  int `json:"orphans"`
+
+	Digests       []string `json:"digests"`
+	RepeatMatch   bool     `json:"repeat_match"`
+	ParallelMatch bool     `json:"parallel_match"`
+}
+
+// ChaosResult is the full artifact.
+type ChaosResult struct {
+	Events int        `json:"events"`
+	Seed   uint64     `json:"seed"`
+	Policy string     `json:"policy"`
+	Rows   []ChaosRow `json:"rows"`
+}
+
+// chaosOutcome is one drive's complete observable state.
+type chaosOutcome struct {
+	digests                                []uint64
+	owners                                 map[string]int
+	live                                   map[string]int
+	expect                                 map[string]bool
+	metrics                                schedrt.Metrics
+	healths                                []cluster.ShardHealth
+	ticks, kills, evacs, migrated, evicted int
+}
+
+// driveChaos plays the tape on a fresh cluster under dir with the full
+// torment plan, in the given drive mode, and returns the outcome. The
+// cluster directory is removed before returning.
+func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed uint64, parallel bool) (*chaosOutcome, error) {
+	defer os.RemoveAll(dir)
+	fss := make([]*journal.FaultFS, shards)
+	for i := range fss {
+		fss[i] = journal.NewFaultFS(seed^uint64(i+1)*chaosShardSalt, chaosFaultRates)
+	}
+	c, err := cluster.Open(dir, cluster.Options{
+		Shards:    shards,
+		Placement: policy,
+		Store:     schedrt.StoreOptions{NoSync: true, Runtime: schedrt.Options{Governor: churnGovernor}},
+		Inject:    func(si int) journal.Injector { return fss[si] },
+		Retry: cluster.RetryOptions{
+			MaxAttempts: 10,
+			Seed:        seed,
+			Sleep:       func(time.Duration) {}, // deterministic soaks spend no wall-clock
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	horizon := int64(32)
+	if n := len(tp.Events); n > 0 {
+		horizon += tp.Events[n-1].Epoch
+	}
+	out := &chaosOutcome{expect: make(map[string]bool)}
+	i := 0
+	// The tick counter is monotonic and independent of the cluster clock:
+	// an evacuation drops the re-imaged shard to epoch 0 and the clock
+	// re-levels through old values during catch-up — keying chaos on the
+	// epoch would re-trigger the same wedge forever.
+	for tick := 0; c.Epoch() < horizon; tick++ {
+		out.ticks = tick + 1
+		action, victim := chaosDraw(seed, tick)
+		si := int(victim * float64(shards))
+		if si >= shards {
+			si = shards - 1
+		}
+		switch {
+		case action < chaosKillRate:
+			// Crash-restart at a quiescent boundary: close, recover from
+			// checkpoint + WAL replay, rebuild the mirror.
+			if err := c.CrashShard(si); err != nil {
+				return nil, fmt.Errorf("chaos kill shard %d at tick %d: %w", si, tick, err)
+			}
+			out.kills++
+		case action < chaosKillRate+chaosEvacRate && shards > 1:
+			// Wedge: the device dies mid-flight. Declare the shard Failed,
+			// heal the device, then drain every task through the checkpoint-
+			// handoff path and re-image. The source device's fault schedule
+			// is suspended for the maintenance window (the operator verified
+			// the replacement disk); target-shard and meta writes during the
+			// handoff stay fully exposed to their own fault plans.
+			level := c.Epoch()
+			fss[si].Wedge()
+			c.FailShard(si, fmt.Sprintf("chaos wedge at tick %d", tick))
+			fss[si].Heal()
+			fss[si].Suspend()
+			rep, err := c.EvacuateShard(si)
+			fss[si].Resume()
+			if err != nil {
+				return nil, fmt.Errorf("chaos evacuate shard %d at tick %d: %w", si, tick, err)
+			}
+			// Walk the re-imaged shard (epoch 0) back to lockstep inside the
+			// same tick: RunEpoch's min-rule advances only the laggard, so
+			// this is pure empty-shard replay of the survivors' clock. It
+			// cannot ride the outer loop — there the cluster clock would
+			// re-level through ~level old values, and any fresh evacuation
+			// draw during the walk resets it again; once the horizon exceeds
+			// the mean evacuation gap the clock only clears the horizon on an
+			// evacuation-free streak, which stops arriving at soak scale.
+			for c.Epoch() < level {
+				if _, err := c.RunEpoch(parallel); err != nil {
+					return nil, fmt.Errorf("chaos catch-up shard %d at tick %d: %w", si, tick, err)
+				}
+			}
+			out.evacs++
+			out.migrated += rep.Migrated
+			out.evicted += rep.Evicted
+			for _, mv := range rep.Moves {
+				if mv.Evicted {
+					delete(out.expect, mv.Name)
+				}
+			}
+		}
+
+		// Route this tick's due events, exactly as PlayTape would.
+		start := i
+		epoch := c.Epoch()
+		for i < len(tp.Events) && tp.Events[i].Epoch <= epoch {
+			i++
+		}
+		// Events are NOT pre-stamped with tape indices: the router assigns
+		// each arrival the next global sequence. That keeps per-shard
+		// arrival sequences monotone even after migration handoffs stamp
+		// fresh (high) sequences onto target shards — the property the
+		// retry dedup guard depends on. (PlayTape pre-stamps because it
+		// re-delivers the tape across cluster reopens; this driver never
+		// re-delivers.)
+		due := make([]schedrt.Event, 0, i-start)
+		for j := start; j < i; j++ {
+			due = append(due, tp.Events[j])
+		}
+		record := func(ev schedrt.Event, res cluster.Result, err error) error {
+			if err != nil {
+				if schedrt.IsStaleRequest(err) {
+					return nil
+				}
+				return fmt.Errorf("event at epoch %d: %w", ev.Epoch, err)
+			}
+			switch ev.Op {
+			case "add":
+				if res.Decision.Verdict != schedrt.Rejected {
+					out.expect[ev.Task.Task.Name] = true
+				}
+			case "remove":
+				delete(out.expect, ev.Name)
+			}
+			return nil
+		}
+		if parallel {
+			results, errs, err := c.ApplyBatch(due)
+			if err != nil {
+				return nil, err
+			}
+			for j := range due {
+				if err := record(due[j], results[j], errs[j]); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for _, ev := range due {
+				res, err := c.Apply(ev)
+				if err := record(ev, res, err); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := c.RunEpoch(parallel); err != nil {
+			return nil, err
+		}
+		if (tick+1)%32 == 0 {
+			if err := c.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out.digests = c.Digests()
+	out.owners = c.Owners()
+	out.live = make(map[string]int)
+	for _, sh := range c.Shards() {
+		for _, sp := range sh.Store.Runtime().Tasks() {
+			out.live[sp.Task.Name] = sh.ID
+		}
+	}
+	out.metrics = c.Metrics()
+	out.healths = c.Healths()
+	return out, nil
+}
+
+func sameChaosOutcome(a, b *chaosOutcome) bool {
+	if len(a.digests) != len(b.digests) || len(a.owners) != len(b.owners) {
+		return false
+	}
+	for i := range a.digests {
+		if a.digests[i] != b.digests[i] {
+			return false
+		}
+	}
+	for k, v := range a.owners {
+		if b.owners[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ChaosSoak plays one churn tape per width under the full torment plan:
+// storage faults on every shard WAL, seeded kills, seeded wedge-and-
+// evacuate cycles. Each width drives the tape three times — serial, serial
+// again, concurrent — and requires all three to agree exactly; a lost
+// task, an unexpected survivor, a clean miss, or any digest divergence is
+// an error, not a data point.
+func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy string) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	if events <= 0 {
+		events = 1200
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = ChaosShardCounts
+	}
+	if policy == "" {
+		policy = "first-fit"
+	}
+	tp := GenerateChurnTape(cfg.Seed, events)
+
+	out := &ChaosResult{Events: events, Seed: cfg.Seed, Policy: policy}
+	for _, shards := range shardCounts {
+		var runs [3]*chaosOutcome
+		for r := 0; r < 3; r++ {
+			parallel := r == 2
+			mode := "serial"
+			if parallel {
+				mode = "parallel"
+			}
+			d := filepath.Join(dir, fmt.Sprintf("chaos-%d-%s-%d", shards, mode, r))
+			oc, err := driveChaos(d, shards, policy, tp, cfg.Seed, parallel)
+			if err != nil {
+				return nil, fmt.Errorf("chaos soak: %d shards (%s run %d): %w", shards, mode, r, err)
+			}
+			runs[r] = oc
+		}
+		a := runs[0]
+		row := ChaosRow{
+			Shards:        shards,
+			Events:        len(tp.Events),
+			Ticks:         a.ticks,
+			Kills:         a.kills,
+			Evacs:         a.evacs,
+			Migrated:      a.migrated,
+			Evicted:       a.evicted,
+			Misses:        a.metrics.Misses,
+			MissesClean:   a.metrics.MissesClean,
+			Resident:      len(a.owners),
+			RepeatMatch:   sameChaosOutcome(a, runs[1]),
+			ParallelMatch: sameChaosOutcome(a, runs[2]),
+		}
+		for _, h := range a.healths {
+			row.Reopens += h.Reopens
+			row.StoreErrs += h.TotalErrs
+		}
+		for _, d := range a.digests {
+			row.Digests = append(row.Digests, fmt.Sprintf("%016x", d))
+		}
+		// Zero silently lost: the model set (admitted − removed − evicted)
+		// must be exactly the live set, and the partition map must agree.
+		for name := range a.expect {
+			if _, ok := a.live[name]; !ok {
+				row.Lost++
+			}
+			if _, ok := a.owners[name]; !ok {
+				row.Lost++
+			}
+		}
+		for name := range a.live {
+			if !a.expect[name] {
+				row.Orphans++
+			}
+			if a.owners[name] != a.live[name] {
+				row.Orphans++
+			}
+		}
+		out.Rows = append(out.Rows, row)
+
+		switch {
+		case row.Lost > 0:
+			return nil, fmt.Errorf("chaos soak: %d shards: %d task(s) silently lost", shards, row.Lost)
+		case row.Orphans > 0:
+			return nil, fmt.Errorf("chaos soak: %d shards: %d orphaned task(s)", shards, row.Orphans)
+		case row.MissesClean > 0:
+			return nil, fmt.Errorf("chaos soak: %d shards: %d clean deadline miss(es)", shards, row.MissesClean)
+		case !row.RepeatMatch:
+			return nil, fmt.Errorf("chaos soak: %d shards: repeated serial drive diverged", shards)
+		case !row.ParallelMatch:
+			return nil, fmt.Errorf("chaos soak: %d shards: parallel drive diverged from serial", shards)
+		}
+	}
+	return out, nil
+}
+
+// FormatChaosSoak renders the soak summary.
+func FormatChaosSoak(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CHAOS SOAK. %d-EVENT CHURN TAPE UNDER STORAGE FAULTS, KILLS AND EVACUATIONS (policy %s, seed %d)\n",
+		r.Events, r.Policy, r.Seed)
+	fmt.Fprintf(&b, "%-7s %6s %6s %6s %9s %8s %8s %9s %6s %5s %7s %7s %8s\n",
+		"shards", "ticks", "kills", "evacs", "migrated", "evicted", "reopens", "storeerrs", "miss", "clean", "lost", "repeat", "par==ser")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-7d %6d %6d %6d %9d %8d %8d %9d %6d %5d %7d %7v %8v\n",
+			row.Shards, row.Ticks, row.Kills, row.Evacs, row.Migrated, row.Evicted,
+			row.Reopens, row.StoreErrs, row.Misses, row.MissesClean, row.Lost,
+			row.RepeatMatch, row.ParallelMatch)
+	}
+	return b.String()
+}
+
+// WriteChaosSoakCSV emits the per-width rows.
+func WriteChaosSoakCSV(w io.Writer, r *ChaosResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"shards", "events", "ticks", "kills", "evacs", "migrated",
+		"evicted", "reopens", "store_errs", "misses", "misses_clean", "resident",
+		"lost", "orphans", "repeat_match", "parallel_match"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Shards),
+			strconv.Itoa(row.Events),
+			strconv.Itoa(row.Ticks),
+			strconv.Itoa(row.Kills),
+			strconv.Itoa(row.Evacs),
+			strconv.Itoa(row.Migrated),
+			strconv.Itoa(row.Evicted),
+			strconv.FormatUint(row.Reopens, 10),
+			strconv.FormatUint(row.StoreErrs, 10),
+			strconv.FormatInt(row.Misses, 10),
+			strconv.FormatInt(row.MissesClean, 10),
+			strconv.Itoa(row.Resident),
+			strconv.Itoa(row.Lost),
+			strconv.Itoa(row.Orphans),
+			strconv.FormatBool(row.RepeatMatch),
+			strconv.FormatBool(row.ParallelMatch),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosSoak runs a scaled-down chaos soak: seeded kills, wedge-
+// evacuations and storage faults over a churn tape, three drives per
+// width, requiring digest reproducibility and zero lost tasks. The full-
+// scale sweep (8/64 shards, 1200 events) runs from paperbench and CI.
+func TestChaosSoak(t *testing.T) {
+	res, err := ChaosSoak(Config{Seed: 11}, t.TempDir(), 320, []int{3}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Policy != "first-fit" {
+		t.Fatalf("rows %d, policy %q", len(res.Rows), res.Policy)
+	}
+	row := res.Rows[0]
+	if row.Kills+row.Evacs == 0 {
+		t.Fatal("chaos schedule injected no kills or evacuations — the soak tested nothing")
+	}
+	if !row.RepeatMatch {
+		t.Error("repeated serial drive diverged")
+	}
+	if !row.ParallelMatch {
+		t.Error("parallel drive diverged from serial")
+	}
+	if row.Lost != 0 || row.Orphans != 0 {
+		t.Errorf("lost %d, orphans %d — containment leaked tasks", row.Lost, row.Orphans)
+	}
+	if row.MissesClean != 0 {
+		t.Errorf("%d clean-window deadline misses under chaos", row.MissesClean)
+	}
+	if len(row.Digests) != row.Shards {
+		t.Errorf("%d digests for %d shards", len(row.Digests), row.Shards)
+	}
+	out := FormatChaosSoak(res)
+	if !strings.Contains(out, "CHAOS SOAK") {
+		t.Errorf("format output missing banner:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := WriteChaosSoakCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 2 {
+		t.Errorf("csv has %d lines, want header + 1 row", lines)
+	}
+}

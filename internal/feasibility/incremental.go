@@ -93,6 +93,24 @@ func (inc *Incremental) Reset(tasks []task.Task) {
 // Len returns the number of cached tasks.
 func (inc *Incremental) Len() int { return len(inc.periods) }
 
+// Has reports whether a task with the given name is cached. It makes
+// mirror maintenance idempotent: after a shard reopen rebuilds the mirror
+// from recovered state, an in-flight admission's reconcile can no longer
+// know whether its optimistic Add survived — membership is the truth.
+func (inc *Incremental) Has(name string) bool {
+	for _, n := range inc.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Names returns the cached task names in period-sorted cache order.
+func (inc *Incremental) Names() []string {
+	return append([]string(nil), inc.names...)
+}
+
 // Utilization returns the condition-1 utilization of the cached set in the
 // given mode, summed in set order (bit-identical to Check's sum).
 func (inc *Incremental) Utilization(m task.Mode) float64 {

@@ -1,0 +1,227 @@
+// FaultFS is the storage half of the deterministic fault-injection story:
+// where sim.FaultPlan perturbs *execution* (overruns, aborts, dropped
+// releases) purely in (seed, job index), FaultFS perturbs *durability*
+// purely in (seed, I/O-op index). Every write and sync the journal issues
+// consumes exactly one op index; the fault drawn for op n is a pure
+// function of (seed, n), so a chaos scenario replays bit-identically: same
+// seed, same op sequence, same torn write at the same boundary.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nprt/internal/rng"
+)
+
+// Injected-fault errors. Each is distinguishable so tests can pin which
+// fault fired; all of them poison the Writer like a real I/O error would.
+var (
+	// ErrInjectedSync is a failed fsync: the barrier was dropped. The bytes
+	// of preceding writes may or may not be durable — exactly the fsyncgate
+	// ambiguity the sticky-poison discipline exists for.
+	ErrInjectedSync = errors.New("journal: injected fsync failure")
+	// ErrInjectedTorn is a torn write: a prefix of the buffer landed.
+	ErrInjectedTorn = errors.New("journal: injected torn write")
+	// ErrInjectedFull is ENOSPC: nothing landed.
+	ErrInjectedFull = errors.New("journal: injected disk full")
+	// ErrInjectedStall is a hung device: the op (and the next StallOps-1
+	// ops) fail without landing anything.
+	ErrInjectedStall = errors.New("journal: injected I/O stall")
+	// ErrInjectedWedge is a permanently failed device (until Heal).
+	ErrInjectedWedge = errors.New("journal: injected device wedge")
+)
+
+// FaultRates parameterizes the per-op fault distribution. Probabilities
+// are per I/O op and independent; Torn+Full+Stall apply to writes,
+// SyncFail to syncs. All zero means a transparent injector.
+type FaultRates struct {
+	SyncFailProb float64 // P(fsync fails) per sync op
+	TornProb     float64 // P(write tears) per write op
+	FullProb     float64 // P(write fails with disk-full) per write op
+	StallProb    float64 // P(a stall window opens) per write op
+	StallOps     int     // ops failed per stall window (default 3)
+}
+
+// Validate rejects rates outside [0, 1] or summing past 1 per op class.
+func (r FaultRates) Validate() error {
+	for _, p := range []float64{r.SyncFailProb, r.TornProb, r.FullProb, r.StallProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("journal: fault probability %v outside [0, 1]", p)
+		}
+	}
+	if s := r.TornProb + r.FullProb + r.StallProb; s > 1 {
+		return fmt.Errorf("journal: write fault probabilities sum to %v > 1", s)
+	}
+	return nil
+}
+
+// FaultStats counts what an injector actually did.
+type FaultStats struct {
+	Ops        uint64 `json:"ops"` // total ops consumed (writes + syncs)
+	SyncFails  uint64 `json:"sync_fails"`
+	TornWrites uint64 `json:"torn_writes"`
+	FullWrites uint64 `json:"full_writes"`
+	Stalls     uint64 `json:"stalls"` // stall windows opened
+	StallOps   uint64 `json:"stall_ops"`
+	WedgeFails uint64 `json:"wedge_fails"`
+}
+
+// FaultFS is a seeded, deterministic Injector. The op counter is owned by
+// the FaultFS, not the Writer, so it survives writer reopens: the fault
+// schedule is a property of the (virtual) disk, and recovery reopening the
+// journal does not reroll history. Safe for concurrent use (the cluster's
+// group-commit leader and checkpoint path may race on one shard's WAL).
+type FaultFS struct {
+	mu        sync.Mutex
+	seed      uint64
+	rates     FaultRates
+	ops       uint64 // next op index
+	stallLeft int    // remaining ops in an open stall window
+	wedged    bool
+	suspended bool
+	stats     FaultStats
+}
+
+// NewFaultFS builds an injector whose fault schedule is a pure function of
+// (seed, op index). Panics on invalid rates — a misconfigured chaos plan
+// is a programming error, not a runtime condition.
+func NewFaultFS(seed uint64, rates FaultRates) *FaultFS {
+	if err := rates.Validate(); err != nil {
+		panic(err)
+	}
+	if rates.StallOps <= 0 {
+		rates.StallOps = 3
+	}
+	return &FaultFS{seed: seed, rates: rates}
+}
+
+// draw returns the uniform sample for (op, salt) — pure in (seed, op,
+// salt), in the same keyed-stream discipline as sim.FaultPlan.
+func (f *FaultFS) draw(op, salt uint64) float64 {
+	key := f.seed ^ (op+1)*0x9e3779b97f4a7c15 ^ (salt+1)*0xd1b54a32d192ed03
+	return rng.New(key).Float64()
+}
+
+// Write implements Injector for one record write of n bytes.
+func (f *FaultFS) Write(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.suspended {
+		return n, nil
+	}
+	op := f.ops
+	f.ops++
+	f.stats.Ops++
+	if f.wedged {
+		f.stats.WedgeFails++
+		return 0, ErrInjectedWedge
+	}
+	if f.stallLeft > 0 {
+		f.stallLeft--
+		f.stats.StallOps++
+		return 0, ErrInjectedStall
+	}
+	u := f.draw(op, 1)
+	switch {
+	case u < f.rates.TornProb:
+		f.stats.TornWrites++
+		// The landed prefix length is its own deterministic draw, in
+		// [0, n): at least one byte is always lost.
+		k := int(f.draw(op, 2) * float64(n))
+		if k >= n {
+			k = n - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		return k, ErrInjectedTorn
+	case u < f.rates.TornProb+f.rates.FullProb:
+		f.stats.FullWrites++
+		return 0, ErrInjectedFull
+	case u < f.rates.TornProb+f.rates.FullProb+f.rates.StallProb:
+		f.stats.Stalls++
+		f.stats.StallOps++
+		f.stallLeft = f.rates.StallOps - 1
+		return 0, ErrInjectedStall
+	}
+	return n, nil
+}
+
+// Sync implements Injector for one fsync (file or directory).
+func (f *FaultFS) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.suspended {
+		return nil
+	}
+	op := f.ops
+	f.ops++
+	f.stats.Ops++
+	if f.wedged {
+		f.stats.WedgeFails++
+		return ErrInjectedWedge
+	}
+	if f.stallLeft > 0 {
+		f.stallLeft--
+		f.stats.StallOps++
+		return ErrInjectedStall
+	}
+	if f.draw(op, 3) < f.rates.SyncFailProb {
+		f.stats.SyncFails++
+		return ErrInjectedSync
+	}
+	return nil
+}
+
+// Wedge fails every subsequent op until Heal — the model of a dead device.
+// Driver-initiated (the chaos soak decides when, from its own seeded
+// plan), so wedges stay at deterministic boundaries regardless of how many
+// ops each drive mode happens to issue.
+func (f *FaultFS) Wedge() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wedged = true
+}
+
+// Heal ends a wedge (and any open stall window): the disk was replaced.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wedged = false
+	f.stallLeft = 0
+}
+
+// Suspend makes the injector transparent until Resume: ops pass through
+// cleanly and consume NO op indices, so the fault schedule is frozen, not
+// rerolled. This is the maintenance window — an operator re-imaging a
+// shard onto a freshly checked device must not have the new journal's
+// bootstrap writes eaten by the old device's fault plan.
+func (f *FaultFS) Suspend() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.suspended = true
+}
+
+// Resume ends a Suspend window; the fault schedule continues from where it
+// was frozen.
+func (f *FaultFS) Resume() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.suspended = false
+}
+
+// Wedged reports whether the device is currently wedged.
+func (f *FaultFS) Wedged() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wedged
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *FaultFS) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -108,7 +109,30 @@ var (
 	ErrMissingRecords = errors.New("journal: records missing before first segment")
 	// ErrClosed rejects use after Close.
 	ErrClosed = errors.New("journal: writer is closed")
+	// ErrJournalPoisoned rejects appends after any write or sync failure.
+	// Once a write may have half-landed or a sync may have been dropped by
+	// the kernel (fsyncgate: a failed fsync can throw away the dirty pages,
+	// and a later "successful" fsync says nothing about them), the writer's
+	// in-memory position can no longer be trusted against the file. The
+	// only safe continuation is to reopen: Open re-derives the valid prefix
+	// from the bytes actually on disk. Errors returned after poisoning wrap
+	// ErrJournalPoisoned around the original failure.
+	ErrJournalPoisoned = errors.New("journal: writer poisoned by earlier write/sync failure")
 )
+
+// Injector intercepts the writer's physical I/O for deterministic
+// storage-fault injection. Write is consulted before each record write with
+// the intended byte count and returns how many bytes to actually write —
+// a short count models a torn write (the prefix really lands, exactly what
+// a crash mid-write leaves for recovery to truncate) — plus the error to
+// report. Sync is consulted before each fsync (file or directory); a
+// non-nil error suppresses the real sync and is reported to the caller.
+// Injectors run even under Options.NoSync: they model the disk, NoSync
+// only elides the real fsync syscalls.
+type Injector interface {
+	Write(n int) (int, error)
+	Sync() error
+}
 
 // Options parameterizes a Writer. The zero value is usable.
 type Options struct {
@@ -122,6 +146,9 @@ type Options struct {
 	AfterSync func()
 	// NoSync disables fsync entirely (tests that only care about framing).
 	NoSync bool
+	// Inject, when non-nil, intercepts every record write and fsync for
+	// deterministic storage-fault injection (see Injector, FaultFS).
+	Inject Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -267,6 +294,57 @@ type Writer struct {
 	next   uint64   // index the next Append will get
 	dirty  bool     // appended since last Sync
 	closed bool
+	poison error // first write/sync failure; sticky until reopen
+}
+
+// fail records the writer's first failure and makes it sticky.
+func (w *Writer) fail(err error) error {
+	if w.poison == nil {
+		w.poison = err
+	}
+	return err
+}
+
+// check gates every mutating entry point on closed/poisoned state.
+func (w *Writer) check() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.poison != nil {
+		return fmt.Errorf("%w: %v", ErrJournalPoisoned, w.poison)
+	}
+	return nil
+}
+
+// write sends buf to f through the injector (when set). A short injected
+// count writes only the prefix — the torn-write model — before reporting
+// the injected error. Returns the byte count that reached the file so the
+// caller can keep size accounting honest even on a torn write.
+func (w *Writer) write(f *os.File, buf []byte) (int, error) {
+	n := len(buf)
+	var ierr error
+	if w.opt.Inject != nil {
+		in, e := w.opt.Inject.Write(len(buf))
+		ierr = e
+		if in < n {
+			n = in
+		}
+		if n < 0 {
+			n = 0
+		}
+	}
+	if n > 0 {
+		if wn, werr := f.Write(buf[:n]); werr != nil {
+			return wn, werr
+		}
+	}
+	if ierr != nil {
+		return n, ierr
+	}
+	if n < len(buf) {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
 }
 
 // Open recovers the journal in dir (creating it if empty) and returns a
@@ -375,7 +453,7 @@ func (w *Writer) newSegment(base uint64) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(encodeHeader(base)); err != nil {
+	if _, err := w.write(f, encodeHeader(base)); err != nil {
 		f.Close()
 		return err
 	}
@@ -392,8 +470,16 @@ func (w *Writer) newSegment(base uint64) error {
 	return nil
 }
 
-// fsync syncs one file and fires the crash hook.
+// fsync syncs one file and fires the crash hook. The injector is consulted
+// before the real sync, even under NoSync: an injected sync failure models
+// the disk dropping the barrier, independent of whether the test elides
+// real fsync syscalls for speed.
 func (w *Writer) fsync(f *os.File) error {
+	if w.opt.Inject != nil {
+		if err := w.opt.Inject.Sync(); err != nil {
+			return err
+		}
+	}
 	if w.opt.NoSync {
 		return nil
 	}
@@ -408,6 +494,11 @@ func (w *Writer) fsync(f *os.File) error {
 
 // fsyncDir syncs the journal directory and fires the crash hook.
 func (w *Writer) fsyncDir() error {
+	if w.opt.Inject != nil {
+		if err := w.opt.Inject.Sync(); err != nil {
+			return err
+		}
+	}
 	if w.opt.NoSync {
 		return nil
 	}
@@ -431,20 +522,21 @@ func (w *Writer) Segments() int { return len(w.bases) }
 // returns; write-ahead callers must Sync before applying the mutation the
 // record describes.
 func (w *Writer) Append(t Type, payload []byte) (uint64, error) {
-	if w.closed {
-		return 0, ErrClosed
+	if err := w.check(); err != nil {
+		return 0, err
 	}
 	if w.size >= w.opt.SegmentBytes {
 		if err := w.rotate(); err != nil {
-			return 0, err
+			return 0, w.fail(err)
 		}
 	}
 	idx := w.next
 	buf := encodeRecord(t, idx, payload)
-	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
+	n, err := w.write(w.f, buf)
+	w.size += int64(n)
+	if err != nil {
+		return 0, w.fail(err)
 	}
-	w.size += int64(len(buf))
 	w.next++
 	w.dirty = true
 	return idx, nil
@@ -470,15 +562,15 @@ type Pending struct {
 // to one batch. The first record's index is returned; record i of the
 // batch carries first+i.
 func (w *Writer) AppendBatch(recs []Pending) (first uint64, err error) {
-	if w.closed {
-		return 0, ErrClosed
+	if err := w.check(); err != nil {
+		return 0, err
 	}
 	if len(recs) == 0 {
 		return 0, nil
 	}
 	if w.size >= w.opt.SegmentBytes {
 		if err := w.rotate(); err != nil {
-			return 0, err
+			return 0, w.fail(err)
 		}
 	}
 	n := 0
@@ -492,10 +584,11 @@ func (w *Writer) AppendBatch(recs []Pending) (first uint64, err error) {
 		buf = appendRecord(buf, recs[i].Type, idx, recs[i].Payload)
 		idx++
 	}
-	if _, err := w.f.Write(buf); err != nil {
-		return 0, err
+	wn, werr := w.write(w.f, buf)
+	w.size += int64(wn)
+	if werr != nil {
+		return 0, w.fail(werr)
 	}
-	w.size += int64(len(buf))
 	w.next = idx
 	w.dirty = true
 	return first, nil
@@ -505,14 +598,18 @@ func (w *Writer) AppendBatch(recs []Pending) (first uint64, err error) {
 // appended since the last Sync (so the crash-point count tracks logical
 // commits, not call sites).
 func (w *Writer) Sync() error {
-	if w.closed {
-		return ErrClosed
+	if err := w.check(); err != nil {
+		return err
 	}
 	if !w.dirty {
 		return nil
 	}
 	if err := w.fsync(w.f); err != nil {
-		return err
+		// fsyncgate: a failed fsync may already have discarded the dirty
+		// pages, so the appended-but-unsynced records are in limbo — they
+		// may or may not be on disk. Poison; only a reopen (which re-reads
+		// the file) can say what survived.
+		return w.fail(err)
 	}
 	w.dirty = false
 	return nil
@@ -535,8 +632,8 @@ func (w *Writer) rotate() error {
 // checkpoint already made redundant, so dying between removals leaves
 // extra-but-harmless segments that the next compaction retries.
 func (w *Writer) CompactTo(idx uint64) error {
-	if w.closed {
-		return ErrClosed
+	if err := w.check(); err != nil {
+		return err
 	}
 	removed := 0
 	for i := 0; i+1 < len(w.bases); i++ {
@@ -565,8 +662,8 @@ func (w *Writer) CompactTo(idx uint64) error {
 // records must continue the numbering or replay's contiguity check would
 // reject them.
 func (w *Writer) Reset(base uint64) error {
-	if w.closed {
-		return ErrClosed
+	if err := w.check(); err != nil {
+		return err
 	}
 	if err := w.f.Close(); err != nil {
 		return err
@@ -585,12 +682,17 @@ func (w *Writer) Reset(base uint64) error {
 	return w.newSegment(w.next)
 }
 
-// Close syncs and releases the active segment.
+// Close syncs and releases the active segment. A poisoned writer skips the
+// sync — its caller already holds the original failure, and the bytes on
+// disk are whatever they are; only a reopen can establish the truth.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
-	err := w.Sync()
+	var err error
+	if w.poison == nil {
+		err = w.Sync()
+	}
 	w.closed = true
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

@@ -71,6 +71,11 @@ type StoreOptions struct {
 	AfterSync func()
 	// NoSync disables fsync (fast tests; no durability).
 	NoSync bool
+	// Inject, when non-nil, intercepts the journal's writes and fsyncs for
+	// deterministic storage-fault injection (journal.FaultFS). Checkpoint
+	// files are not injected: the WAL is the durability-critical path, and
+	// a lost checkpoint only costs replay distance, never state.
+	Inject journal.Injector
 	// CommitBatch caps the records per commit group
 	// (journal.GroupOptions.MaxBatch; default 64).
 	CommitBatch int
@@ -201,6 +206,7 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 		SegmentBytes: opt.SegmentBytes,
 		AfterSync:    opt.AfterSync,
 		NoSync:       opt.NoSync,
+		Inject:       opt.Inject,
 	})
 	if err != nil {
 		return nil, err
@@ -269,6 +275,70 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 	s.rec.Epoch = s.rt.Epoch()
 	s.rec.Digest = s.rt.Digest()
 	return s, nil
+}
+
+// InspectStore rebuilds the runtime a recovery of dir would produce —
+// newest good checkpoint plus a replay of the journal suffix — WITHOUT
+// opening the journal for append or repairing it. This is the
+// checkpoint-handoff export path: a failed shard's last durable task state
+// can be read even while its writer is wedged (the injector only
+// intercepts writer I/O; reads go straight to the files), and reading
+// never races an appender because the caller has already fenced the shard.
+// A torn journal tail simply ends the replay, exactly where Open's repair
+// would truncate.
+func InspectStore(dir string, opt StoreOptions) (*Runtime, error) {
+	opt = opt.withDefaults()
+	var rt *Runtime
+	fc := &FileCheckpoint{}
+	paths, err := listCheckpoints(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		cand, r, err := ReadCheckpointFile(p)
+		if err != nil {
+			continue
+		}
+		fc, rt = cand, r
+		break
+	}
+	if rt == nil {
+		r, err := New(opt.Runtime)
+		if err != nil {
+			return nil, err
+		}
+		rt = r
+	}
+	_, err = journal.Replay(filepath.Join(dir, "wal"), fc.WALIndex, func(r journal.Record) error {
+		switch r.Type {
+		case journal.TypeEvent:
+			var ev Event
+			if err := json.Unmarshal(r.Payload, &ev); err != nil {
+				return fmt.Errorf("record %d: %w", r.Index, err)
+			}
+			if _, err := rt.Apply(ev); err != nil && !IsStaleRequest(err) {
+				return fmt.Errorf("record %d: %w", r.Index, err)
+			}
+		case journal.TypeEpoch:
+			var er epochRecord
+			if err := json.Unmarshal(r.Payload, &er); err != nil {
+				return fmt.Errorf("record %d: %w", r.Index, err)
+			}
+			rep, err := rt.RunEpoch()
+			if err != nil {
+				return fmt.Errorf("record %d: %w", r.Index, err)
+			}
+			if rep.Epoch != er.Epoch || rt.Digest() != er.Digest {
+				return fmt.Errorf("%w: record %d says epoch %d digest %016x, replay produced epoch %d digest %016x",
+					ErrReplayDivergence, r.Index, er.Epoch, er.Digest, rep.Epoch, rt.Digest())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
 }
 
 // Runtime exposes the recovered runtime (read-only use; mutate through the

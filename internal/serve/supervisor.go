@@ -44,6 +44,13 @@ type Supervisor struct {
 	// OnRestart, when set, observes each failure before the backoff:
 	// attempt number (1-based), the error, and the delay chosen.
 	OnRestart func(attempt int, err error, delay time.Duration)
+	// ResetAfter, when positive, forgives past failures once an incarnation
+	// stays up at least this long: its crash counts as the first failure
+	// again (and backoff restarts from BackoffBase). Without it a service
+	// that crashes once a week eventually exhausts any fixed budget.
+	ResetAfter time.Duration
+	// Now is the clock used for ResetAfter (injectable; default time.Now).
+	Now func() time.Time
 }
 
 // Run invokes f, restarting it on error or panic per the budget. It
@@ -74,13 +81,23 @@ func (s *Supervisor) Run(ctx context.Context, f func(context.Context) error) err
 		}
 	}
 
-	for attempt := 0; ; attempt++ {
+	now := s.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	attempt := 0
+	for {
+		started := now()
 		err := runRecovered(ctx, f)
 		if err == nil {
 			return nil
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if s.ResetAfter > 0 && now().Sub(started) >= s.ResetAfter {
+			attempt = 0 // stable-uptime window: this failure is a fresh first
 		}
 		if attempt >= s.MaxRestarts {
 			return fmt.Errorf("%w after %d attempt(s): %v", ErrRestartBudget, attempt+1, err)
@@ -97,6 +114,7 @@ func (s *Supervisor) Run(ctx context.Context, f func(context.Context) error) err
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		attempt++
 	}
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the cluster chaos soak and write the JSON/CSV artifact. The soak
+# plays a deterministic churn tape across sharded clusters while a seeded
+# torment plan injects storage faults on every shard WAL (failed fsyncs,
+# torn writes, disk-full, stalls), crash-restarts shards, and wedge-
+# evacuates them through the checkpoint-handoff migration path. Each
+# width drives the tape three times (serial, serial again, concurrent)
+# and the run fails if any task is silently lost, any clean-window
+# deadline is missed, or any drive's digests/owner map diverge.
+#
+# usage: scripts/chaos_soak.sh [outdir] [events]
+#
+#   outdir  artifact directory        (default: chaossoak)
+#   events  churn events per tape     (default: 1200 — the CI soak;
+#           raise for a denser torment schedule)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-chaossoak}"
+events="${2:-1200}"
+
+# Stage into a temp dir so a failed run never leaves a partial artifact
+# where CI (or a human) might mistake it for a finished one.
+staging="$(mktemp -d "${TMPDIR:-/tmp}/chaos_soak.XXXXXX")"
+trap 'rm -rf "$staging"' EXIT INT TERM
+
+go run ./cmd/paperbench chaos -events "$events" -csv "$staging"
+
+mkdir -p "$outdir"
+mv "$staging"/chaos.json "$staging"/chaos.csv "$outdir"/
+echo "chaos soak artifact: $outdir/chaos.json"
