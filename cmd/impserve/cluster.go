@@ -102,6 +102,7 @@ func runDurableCluster(fs flags) int {
 	fsyncs := 0
 	c, err := cluster.Open(*fs.dir, cluster.Options{
 		Shards:    *fs.shards,
+		Replicas:  *fs.replicas,
 		Placement: *fs.placement,
 		Store:     clusterStoreOptions(fs, opts, &fsyncs),
 	})
@@ -248,6 +249,7 @@ func runServeCluster(fs flags) int {
 	err = sup.Run(ctx, func(ctx context.Context) error {
 		c, err := cluster.Open(*fs.dir, cluster.Options{
 			Shards:      *fs.shards,
+			Replicas:    *fs.replicas,
 			Placement:   *fs.placement,
 			Store:       clusterStoreOptions(fs, opts, &fsyncs),
 			RelaxedMeta: true,

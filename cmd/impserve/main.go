@@ -10,6 +10,7 @@
 //	impserve -tape churn.json -dir state/            # serve it (durable WAL)
 //	impserve -dir state/ -listen 127.0.0.1:8080      # supervised HTTP service
 //	impserve -sweep -sweep-out sweep.json            # crash-point sweep proof
+//	impserve -fsck -dir state/                       # offline integrity scrub
 //
 // The daemon advances one epoch at a time. On SIGINT or SIGTERM it
 // finishes the epoch in flight, makes the state durable, and exits with
@@ -35,6 +36,7 @@
 //	4  interrupted by signal; state is durable (-dir) or checkpointed
 //	   (-checkpoint) at an epoch boundary
 //	5  serve mode: restart budget exhausted
+//	6  -fsck found silent corruption (CRC mismatch, bad checkpoint)
 //	7  self-inflicted crash at an fsync boundary (-crash-after-fsync)
 package main
 
@@ -68,6 +70,7 @@ const (
 	exitInvalidInput = 2
 	exitInterrupted  = 4
 	exitBudget       = 5
+	exitCorrupt      = 6
 	exitCrashPoint   = 7
 )
 
@@ -90,6 +93,8 @@ func run() int {
 	}
 
 	switch {
+	case *fs.fsck:
+		return runFsck(fs)
 	case *fs.sweep: // before -gen: the sweep reuses -gen as its tape size
 		return runSweep(fs)
 	case *fs.gen > 0:
@@ -480,11 +485,15 @@ func runSweep(fs flags) int {
 	}
 	// The sweep proves whatever width it is asked about: with -shards the
 	// children run the cluster tape mode, and the digest line under
-	// comparison is the folded whole-cluster digest.
+	// comparison is the folded whole-cluster digest. -replicas rides along,
+	// so the sweep can also prove crash recovery with followers attached.
 	if *fs.shards > 1 {
 		common = append(common, "-shards", fmt.Sprint(*fs.shards))
 		if *fs.placement != "" {
 			common = append(common, "-placement", *fs.placement)
+		}
+		if *fs.replicas > 0 {
+			common = append(common, "-replicas", fmt.Sprint(*fs.replicas))
 		}
 	}
 	for _, eng := range engines {
@@ -604,10 +613,12 @@ type flags struct {
 	sweepEngine *string
 
 	shards         *int
+	replicas       *int
 	placement      *string
 	shardParallel  *bool
 	rebalanceEvery *int
 	restartReset   *time.Duration
+	fsck           *bool
 }
 
 func newFlagSet() flags {
@@ -640,10 +651,12 @@ func newFlagSet() flags {
 		sweepEngine: fs.String("sweep-engine", "", "sweep mode: restrict to one engine (default: both)"),
 
 		shards:         fs.Int("shards", 1, "durable modes: partition the state across this many shard stores"),
+		replicas:       fs.Int("replicas", 0, "cluster modes: synchronous followers per shard (0 disables replication)"),
 		placement:      fs.String("placement", "", "cluster placement policy: "+strings.Join(cluster.PolicyNames(), ", ")+" (default first-fit)"),
 		shardParallel:  fs.Bool("shard-parallel", false, "cluster tape mode: concurrent group-commit drive (durable resume needs the serial default)"),
 		rebalanceEvery: fs.Int("rebalance-every", 0, "cluster tape mode: run the skew-triggered rebalancer every N epochs (0 disables)"),
 		restartReset:   fs.Duration("restart-reset", 0, "serve mode: forgive the restart budget after an incarnation stays up this long (0 disables)"),
+		fsck:           fs.Bool("fsck", false, "scrub every checkpoint and WAL segment under -dir offline and exit (6 on corruption)"),
 	}
 }
 

@@ -30,7 +30,14 @@
 // -names raises the offered admission load past one scheduler's Theorem-1
 // capacity — the knob the cluster-scaling benchmark turns. Duplicate adds
 // and unknown removes come back 409 (stale); that is expected churn,
-// counted separately from errors. Responses are parsed for verdicts, so
+// counted separately from errors.
+//
+// A 503 shed is not final: the client honors the server's backoff
+// guidance (millisecond-resolution Retry-After-Ms when present, else the
+// standard Retry-After), sleeping at most -retry-max, and re-sends up to
+// -retries times. The report splits shed (budget exhausted) from
+// retried/recovered, so transient backpressure — a shard mid-failover —
+// reads differently from capacity the cluster truly refused. Responses are parsed for verdicts, so
 // the report separates *admitted* adds (the capacity headline) from
 // feasibility rejections.
 //
@@ -53,6 +60,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -192,14 +200,16 @@ type latencyReport struct {
 
 // targetReport is one endpoint's slice of a multi-target run.
 type targetReport struct {
-	URL      string        `json:"url"`
-	Requests uint64        `json:"requests"`
-	OK       uint64        `json:"ok"`
-	Stale    uint64        `json:"stale"`
-	Shed     uint64        `json:"shed"`
-	Errors   uint64        `json:"errors"`
-	Admits   uint64        `json:"admits"`
-	Latency  latencyReport `json:"latency"`
+	URL       string        `json:"url"`
+	Requests  uint64        `json:"requests"`
+	OK        uint64        `json:"ok"`
+	Stale     uint64        `json:"stale"`
+	Shed      uint64        `json:"shed"`
+	Errors    uint64        `json:"errors"`
+	Admits    uint64        `json:"admits"`
+	Retried   uint64        `json:"retried"`
+	Recovered uint64        `json:"recovered"`
+	Latency   latencyReport `json:"latency"`
 }
 
 type report struct {
@@ -218,6 +228,14 @@ type report struct {
 	Stale    uint64 `json:"stale"`
 	Shed     uint64 `json:"shed"`
 	Errors   uint64 `json:"errors"`
+
+	// Retried counts 503 responses that were retried after honoring the
+	// server's Retry-After guidance; Recovered counts requests that then
+	// landed. Shed counts only requests whose retry budget ran dry, so
+	// Shed vs Retried/Recovered separates transient backpressure from
+	// capacity the cluster truly refused.
+	Retried   uint64 `json:"retried"`
+	Recovered uint64 `json:"recovered"`
 
 	// Admits counts add events whose decision came back admitted (either
 	// profile); AddRejects counts feasibility rejections. Their split is
@@ -311,6 +329,8 @@ type tstat struct {
 	events     uint64
 	admits     uint64
 	addRejects uint64
+	retried    uint64
+	recovered  uint64
 }
 
 type worker struct {
@@ -359,31 +379,77 @@ func (s *tstat) countVerdicts(body []byte) {
 	}
 }
 
-func (w *worker) send(client *http.Client, ti int, url string, batch int, payload []byte) {
+// backoffHint extracts the server's backoff guidance from a 503: the
+// millisecond-resolution Retry-After-Ms (the cluster derives it from the
+// shed shard's live containment backoff), else the seconds-granular
+// standard Retry-After, else zero (caller falls back to exponential).
+func backoffHint(resp *http.Response) time.Duration {
+	if ms := resp.Header.Get("Retry-After-Ms"); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v >= 0 {
+			return time.Duration(v) * time.Millisecond
+		}
+	}
+	if sec := resp.Header.Get("Retry-After"); sec != "" {
+		if v, err := strconv.Atoi(sec); err == nil && v >= 0 {
+			return time.Duration(v) * time.Second
+		}
+	}
+	return 0
+}
+
+// send posts one payload, honoring 503 backoff: a shed response is
+// retried up to `retries` times, sleeping the server's Retry-After hint
+// (capped at retryMax; exponential fallback when absent) instead of
+// hammering a shard that just said when its recovery will next attempt.
+// Only a request that exhausts the budget counts as shed; one that lands
+// on a retry counts as recovered. Retry sleeps stay inside the measured
+// latency, so backoff cost is charged to the request that paid it.
+func (w *worker) send(client *http.Client, ti int, url string, batch int, payload []byte, retries int, retryMax time.Duration) {
 	s := &w.per[ti]
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
 	s.reqs++
 	s.events += uint64(batch)
-	if err != nil {
-		s.errs++
-		return
-	}
-	body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		s.ok++
-		if rerr == nil {
-			s.countVerdicts(body)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			s.errs++
+			return
 		}
-	case resp.StatusCode == http.StatusConflict:
-		s.stale++
-	case resp.StatusCode == http.StatusServiceUnavailable:
-		s.shed++
-		s.errs++
-	default:
-		s.errs++
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			s.ok++
+			if attempt > 0 {
+				s.recovered++
+			}
+			if rerr == nil {
+				s.countVerdicts(body)
+			}
+			return
+		case resp.StatusCode == http.StatusConflict:
+			s.stale++
+			return
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			if attempt < retries {
+				d := backoffHint(resp)
+				if d <= 0 {
+					d = 50 * time.Millisecond << uint(attempt)
+				}
+				if d > retryMax {
+					d = retryMax
+				}
+				s.retried++
+				time.Sleep(d)
+				continue
+			}
+			s.shed++
+			s.errs++
+			return
+		default:
+			s.errs++
+			return
+		}
 	}
 }
 
@@ -402,6 +468,8 @@ func run() int {
 	warmup := fs.Duration("warmup", 0, "discard samples from the first part of the run")
 	batch := fs.Int("batch", 1, "events per request (1: POST /admit, >1: POST /admit/batch)")
 	names := fs.Int("names", 16, "distinct task names in the event stream (widen to raise offered admission load)")
+	retries := fs.Int("retries", 3, "retry budget per request for 503 sheds (0 disables; sleeps honor the server's Retry-After)")
+	retryMax := fs.Duration("retry-max", time.Second, "cap on a single Retry-After backoff sleep")
 	seed := fs.Uint64("seed", 1, "event-stream seed")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	p99Max := fs.Duration("p99-max", 0, "exit 3 if p99 latency exceeds this")
@@ -491,7 +559,7 @@ func run() int {
 					}
 				}
 				ti := int(n % uint64(len(targets)))
-				w.send(client, ti, endpoints[ti], *batch, payloads[n%uint64(len(payloads))])
+				w.send(client, ti, endpoints[ti], *batch, payloads[n%uint64(len(payloads))], *retries, *retryMax)
 				if sched.After(measureFrom) {
 					w.per[ti].h.record(time.Since(sched))
 				}
@@ -521,6 +589,8 @@ func run() int {
 			tr.Shed += s.shed
 			tr.Errors += s.errs
 			tr.Admits += s.admits
+			tr.Retried += s.retried
+			tr.Recovered += s.recovered
 			rep.Requests += s.reqs
 			rep.Events += s.events
 			rep.OK += s.ok
@@ -529,6 +599,8 @@ func run() int {
 			rep.Errors += s.errs
 			rep.Admits += s.admits
 			rep.AddRejects += s.addRejects
+			rep.Retried += s.retried
+			rep.Recovered += s.recovered
 		}
 		tr.Latency = latencyOf(th)
 		h.merge(th)

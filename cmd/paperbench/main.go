@@ -41,6 +41,7 @@ func run() int {
 	ilpWorkers := fs.Int("ilpworkers", runtime.NumCPU(),
 		"LP-relaxation workers inside each offline ILP branch-and-bound (results are bit-identical at any setting)")
 	events := fs.Int("events", 10000, "churn artifact: admission events per soak tape")
+	replicas := fs.Int("replicas", 0, "chaos artifact: synchronous followers per shard (0 = unreplicated)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	fs.Usage = usage
@@ -55,6 +56,7 @@ func run() int {
 	}
 	cfg := experiments.Config{Hyperperiods: *hp, Seed: *seed, Parallel: *par, ILPWorkers: *ilpWorkers}
 	churnEvents = *events
+	chaosReplicas = *replicas
 
 	// First SIGINT/SIGTERM: finish the artifact in flight (its CSV is
 	// already flushed per artifact), skip the rest, exit 4. Second: abort.
@@ -123,6 +125,9 @@ func run() int {
 
 // churnEvents is the -events flag, plumbed to the churn artifact.
 var churnEvents int
+
+// chaosReplicas is the -replicas flag, plumbed to the chaos artifact.
+var chaosReplicas int
 
 // writeCSV writes one artifact's CSV file when a directory was requested.
 func writeCSV(dir, name string, write func(f *os.File) error) error {
@@ -263,7 +268,7 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 			return err
 		}
 		defer os.RemoveAll(dir)
-		r, err := experiments.ChaosSoak(cfg, dir, churnEvents, nil, "")
+		r, err := experiments.ChaosSoak(cfg, dir, churnEvents, nil, "", chaosReplicas)
 		if err != nil {
 			return err
 		}

@@ -86,6 +86,19 @@ type Options struct {
 	// is never injected: router durability is a separate failure domain,
 	// and reconciliation already covers its loss.
 	Inject func(shard int) journal.Injector
+	// Replicas is the synchronous follower count per shard (default 0:
+	// replication off). Each shard keeps Replicas byte-identical copies
+	// of its store directory, shipped after every acknowledged op; when
+	// the primary exhausts its retry budget the health machine promotes a
+	// follower instead of failing the shard (see replica.go). Reopening a
+	// directory with fewer replicas than it holds is refused.
+	Replicas int
+	// InjectReplica, when non-nil, supplies the follower-drive injector
+	// for (shard, slot), slot ≥ 1 — slot 0 is the primary drive (Inject).
+	// The injector follows the DRIVE (the slot directory), not the role:
+	// after a promotion the store opened from slot k keeps slot k's
+	// injector.
+	InjectReplica func(shard, slot int) journal.Injector
 	// Retry bounds the per-shard transient-failure containment loop.
 	Retry RetryOptions
 }
@@ -147,6 +160,12 @@ type Cluster struct {
 	retry  RetryOptions
 	health []ShardHealth // containment state, by shard index (under mu)
 	failed int           // shards currently in the Failed state (under mu)
+
+	// primary[si] is the slot directory currently holding shard si's
+	// primary store (0 until a promotion moves it); replicas[si] is its
+	// follower set. Both under mu; see replica.go.
+	primary  []int
+	replicas [][]*replica
 }
 
 // metaRecord is one meta-journal entry. Kind "place" binds a name to a
@@ -172,6 +191,10 @@ type metaSnap struct {
 	Seq   uint64         `json:"seq"`
 	RR    uint64         `json:"rr"`
 	Owner map[string]int `json:"owner"`
+	// Roles is each shard's primary slot (omitted while all are 0), so a
+	// promoted cluster reopens on the promoted stores even after the meta
+	// journal's promote records are compacted into the snapshot.
+	Roles []int `json:"roles,omitempty"`
 }
 
 const metaSnapName = "meta.snap"
@@ -184,16 +207,13 @@ func shardDir(dir string, i int) string {
 }
 
 // shardStoreOptions instantiates the per-shard store template: the seed is
-// decorrelated per shard, and the shard's fault injector (if any) is
-// attached. Reopen/recovery paths use the same construction so a recovered
-// shard is configured identically to a freshly opened one.
+// decorrelated per shard (identical across that shard's replica slots —
+// the slots are one logical shard), and the current primary slot's fault
+// injector (if any) is attached. Reopen/recovery paths use the same
+// construction so a recovered shard is configured identically to a
+// freshly opened one.
 func (c *Cluster) shardStoreOptions(i int) runtime.StoreOptions {
-	so := c.opt.Store
-	so.Runtime.Seed = c.opt.Store.Runtime.Seed + uint64(i+1)*shardSeedSalt
-	if c.opt.Inject != nil {
-		so.Inject = c.opt.Inject(i)
-	}
-	return so
+	return c.slotStoreOptions(i, c.primary[i])
 }
 
 // Open recovers (or initializes) a sharded cluster in dir: every shard
@@ -220,6 +240,17 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		}
 		return nil, fmt.Errorf("cluster: %s exists but only %d shards requested", shardDir(dir, i), opt.Shards)
 	}
+	// Likewise replicas: a follower slot past the requested count could be
+	// the promoted primary of a previous incarnation.
+	if opt.Replicas < 0 {
+		opt.Replicas = 0
+	}
+	for i := 0; i < opt.Shards; i++ {
+		if _, err := os.Stat(replDir(dir, i, opt.Replicas+1)); err == nil {
+			return nil, fmt.Errorf("cluster: %s exists but only %d replicas requested",
+				replDir(dir, i, opt.Replicas+1), opt.Replicas)
+		}
+	}
 
 	c := &Cluster{
 		dir:      dir,
@@ -230,6 +261,8 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		ownerSeq: make(map[string]uint64),
 		retry:    opt.Retry.withDefaults(),
 		health:   make([]ShardHealth, opt.Shards),
+		primary:  make([]int, opt.Shards),
+		replicas: make([][]*replica, opt.Shards),
 	}
 	closeAll := func() {
 		for _, sh := range c.shards {
@@ -239,22 +272,9 @@ func Open(dir string, opt Options) (*Cluster, error) {
 			c.meta.Close()
 		}
 	}
-	for i := 0; i < opt.Shards; i++ {
-		st, err := runtime.OpenStore(shardDir(dir, i), c.shardStoreOptions(i))
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
-		}
-		specs := st.Runtime().Tasks()
-		tasks := make([]task.Task, len(specs))
-		for j := range specs {
-			tasks[j] = specs[j].Task
-		}
-		c.shards = append(c.shards, &Shard{ID: i, Store: st, inc: feasibility.NewIncremental(tasks)})
-		c.rec.Shards = append(c.rec.Shards, st.Recovery())
-	}
 
-	// Meta: snapshot, then journal suffix past it.
+	// Meta BEFORE the shard stores: the roles (snapshot + replayed promote
+	// records) decide which slot directory each shard's primary opens from.
 	snap, err := readMetaSnap(filepath.Join(dir, metaSnapName))
 	if err != nil {
 		closeAll()
@@ -281,6 +301,16 @@ func Open(dir string, opt Options) (*Cluster, error) {
 	c.seq, c.rr = snap.Seq, snap.RR
 	for name, si := range snap.Owner {
 		c.owner[name] = si
+	}
+	for i, slot := range snap.Roles {
+		if i >= opt.Shards {
+			break
+		}
+		if slot < 0 || slot > opt.Replicas {
+			closeAll()
+			return nil, fmt.Errorf("cluster: shard %d primary is slot %d but only %d replicas requested", i, slot, opt.Replicas)
+		}
+		c.primary[i] = slot
 	}
 	seen := make(map[uint64]bool)
 	nameSeq := make(map[string]uint64)
@@ -326,6 +356,15 @@ func Open(dir string, opt Options) (*Cluster, error) {
 			migs[mr.Name] = mr
 		case "mreset":
 			resets = append(resets, mr)
+		case "promote":
+			if mr.Shard < 0 || mr.Shard >= opt.Shards {
+				return fmt.Errorf("meta record %d: promote for unknown shard %d", r.Index, mr.Shard)
+			}
+			if mr.To < 0 || mr.To > opt.Replicas {
+				return fmt.Errorf("meta record %d: shard %d promoted to slot %d but only %d replicas requested",
+					r.Index, mr.Shard, mr.To, opt.Replicas)
+			}
+			c.primary[mr.Shard] = mr.To
 		}
 		if mr.Seq > c.seq {
 			c.seq = mr.Seq
@@ -335,6 +374,30 @@ func Open(dir string, opt Options) (*Cluster, error) {
 	if err != nil {
 		closeAll()
 		return nil, err
+	}
+
+	// With roles settled, recover every shard's primary store from its
+	// current slot directory.
+	for i := 0; i < opt.Shards; i++ {
+		st, err := runtime.OpenStore(replDir(dir, i, c.primary[i]), c.shardStoreOptions(i))
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		specs := st.Runtime().Tasks()
+		tasks := make([]task.Task, len(specs))
+		for j := range specs {
+			tasks[j] = specs[j].Task
+		}
+		c.shards = append(c.shards, &Shard{ID: i, Store: st, inc: feasibility.NewIncremental(tasks)})
+		c.rec.Shards = append(c.rec.Shards, st.Recovery())
+	}
+	// Build the follower sets: adopt byte-identical followers in-sync,
+	// re-seed the rest (including a demoted old primary after failover).
+	if opt.Replicas > 0 {
+		for i := 0; i < opt.Shards; i++ {
+			c.initReplicasLocked(i)
+		}
 	}
 
 	// Complete interrupted evacuations and migrations against shard truth,
@@ -517,6 +580,7 @@ type ticket struct {
 	op       string // "add" | "remove" | "overload"
 	mirrored bool
 	err      error // synthesized rejection; shard < 0
+	sick     int   // the fenced shard when err is ErrShardFailed (-1: none specific)
 }
 
 // route picks the event's shard and stamps its sequence number, under the
@@ -553,7 +617,7 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 		if c.failed > 0 {
 			candidates = c.aliveShardsLocked()
 			if len(candidates) == 0 {
-				return ticket{shard: -1, op: "add", name: name, err: ErrShardFailed}, false
+				return ticket{shard: -1, op: "add", name: name, err: ErrShardFailed, sick: -1}, false
 			}
 		}
 		si := c.policy.Place(&ev.Task.Task, candidates, c.rr)
@@ -590,7 +654,7 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 			// Partition-scoped shed: the owning shard is fenced, so this
 			// remove cannot be served — but nothing is mutated, so the task
 			// is retained for evacuation rather than silently dropped.
-			return ticket{shard: -1, op: "remove", name: name, err: ErrShardFailed}, false
+			return ticket{shard: -1, op: "remove", name: name, err: ErrShardFailed, sick: si}, false
 		}
 		if gate != nil && !gate(si) {
 			return ticket{}, true
@@ -968,6 +1032,13 @@ func (c *Cluster) Checkpoint() error {
 			}
 			return fmt.Errorf("cluster: shard %d checkpoint: %w", sh.ID, err)
 		}
+		// Checkpoint doubles as the replica scrub point: the shard is
+		// quiescent and freshly shipped, so digest-verify every in-sync
+		// follower (demoting silent divergence) and re-seed the demoted.
+		if c.opt.Replicas > 0 {
+			c.verifyReplicasLocked(sh.ID)
+			c.reseedReplicasLocked(sh.ID)
+		}
 	}
 	return c.snapshotMetaLocked()
 }
@@ -978,6 +1049,12 @@ func (c *Cluster) snapshotMetaLocked() error {
 	}
 	idx := c.meta.LastIndex()
 	snap := metaSnap{Index: idx, Seq: c.seq, RR: c.rr, Owner: c.owner}
+	for _, slot := range c.primary {
+		if slot != 0 {
+			snap.Roles = append([]int(nil), c.primary...)
+			break
+		}
+	}
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		return err

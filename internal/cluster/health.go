@@ -72,6 +72,13 @@ type ShardHealth struct {
 	Reopens uint64 `json:"reopens,omitempty"`
 	// Reimages counts evacuate-and-re-image cycles.
 	Reimages uint64 `json:"reimages,omitempty"`
+	// Promotions counts follower promotions (failovers) on this shard.
+	Promotions uint64 `json:"promotions,omitempty"`
+	// ReplicaDemotions counts followers dropped out of sync (ship
+	// failures, digest divergence, failover demotions of old primaries);
+	// ReplicaReseeds counts followers rebuilt back into sync.
+	ReplicaDemotions uint64 `json:"replica_demotions,omitempty"`
+	ReplicaReseeds   uint64 `json:"replica_reseeds,omitempty"`
 	// LastError is the most recent op error, "" when none.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -226,6 +233,11 @@ func (c *Cluster) runShardOp(si int, locked bool, op func(st *runtime.Store) err
 			if rebuilt {
 				c.rebuildMirrorLocked(si)
 			}
+			// Synchronous replication: the op is not acknowledged until
+			// every in-sync follower holds its bytes (acked ⇒ shipped, the
+			// failover's exactly-once invariant). Ship failures demote the
+			// follower, never the op.
+			c.shipShardLocked(si)
 			unlock()
 			return rebuilt, nil
 		}
@@ -236,6 +248,17 @@ func (c *Cluster) runShardOp(si int, locked bool, op func(st *runtime.Store) err
 			h.State = Degraded
 		}
 		if attempt >= ro.MaxAttempts {
+			// Before declaring the shard Failed, try failover: promote an
+			// in-sync follower and retry the op against it with a fresh
+			// budget. The promoted store holds exactly the acked prefix, so
+			// the retry falls under the same MaxSeq dedup guard as any
+			// reopen retry.
+			if c.promoteShardLocked(si) {
+				rebuilt = true
+				attempt = 0
+				unlock()
+				continue
+			}
 			if h.State != Failed {
 				c.failed++
 			}
@@ -267,7 +290,7 @@ func (c *Cluster) reopenShard(si int, locked bool) error {
 		sh.Store.Close() // error already accounted by the failed op
 		sh.closed = true
 	}
-	st, err := runtime.OpenStore(shardDir(c.dir, si), c.shardStoreOptions(si))
+	st, err := runtime.OpenStore(c.primaryDir(si), c.shardStoreOptions(si))
 	if err != nil {
 		return err
 	}

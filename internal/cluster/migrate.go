@@ -275,7 +275,7 @@ func (c *Cluster) EvacuateShard(si int) (EvacReport, error) {
 
 	// Export from the last durable state, read-only. The live store object
 	// may be poisoned or mid-reopen; disk is the truth.
-	rt, err := runtime.InspectStore(shardDir(c.dir, si), c.shardStoreOptions(si))
+	rt, err := runtime.InspectStore(c.primaryDir(si), c.shardStoreOptions(si))
 	if err != nil {
 		return rep, fmt.Errorf("cluster: evacuate shard %d: inspect: %w", si, err)
 	}
@@ -356,10 +356,10 @@ func (c *Cluster) reimageShardLocked(si int) error {
 		sh.Store.Close() // poisoned writers close without flushing; fine
 		sh.closed = true
 	}
-	if err := os.RemoveAll(shardDir(c.dir, si)); err != nil {
+	if err := os.RemoveAll(c.primaryDir(si)); err != nil {
 		return fmt.Errorf("cluster: re-image shard %d: %w", si, err)
 	}
-	st, err := runtime.OpenStore(shardDir(c.dir, si), c.shardStoreOptions(si))
+	st, err := runtime.OpenStore(c.primaryDir(si), c.shardStoreOptions(si))
 	if err != nil {
 		return fmt.Errorf("cluster: re-image shard %d: %w", si, err)
 	}
@@ -373,6 +373,15 @@ func (c *Cluster) reimageShardLocked(si int) error {
 	h.ConsecErrs = 0
 	h.LastError = ""
 	h.Reimages++
+	// Followers mirror the re-image: their old bytes describe a store
+	// that no longer exists, so demote and re-seed from the fresh primary.
+	for _, r := range c.replicas[si] {
+		if r.inSync {
+			r.inSync = false
+			h.ReplicaDemotions++
+		}
+	}
+	c.reseedReplicasLocked(si)
 	return nil
 }
 

@@ -126,6 +126,12 @@ type ShardRow struct {
 	// the most recent error string.
 	Health ShardHealth `json:"health"`
 
+	// PrimarySlot and Replicas surface the failover state (replica.go):
+	// which slot directory currently serves the partition, and each
+	// follower's sync state. Replicas is absent when replication is off.
+	PrimarySlot int           `json:"primary_slot"`
+	Replicas    []ReplicaInfo `json:"replicas,omitempty"`
+
 	Commit *serve.CommitState `json:"commit,omitempty"`
 }
 
@@ -405,10 +411,13 @@ func (s *Server) publishShard(si int) {
 		QueueCap:      cap(s.queues[si]),
 		Commit:        &serve.CommitState{GroupStats: cs, RecordsPerSync: cs.RecordsPerSync()},
 	}
-	// Mirror and health are router state: read them under the router lock.
+	// Mirror, health, and replica roles are router state: read them under
+	// the router lock.
 	s.c.mu.Lock()
 	row.UtilAccurate = sh.Util(task.Accurate)
 	row.Health = s.c.healthLocked(si)
+	row.PrimarySlot = s.c.primary[si]
+	row.Replicas = s.c.replicaInfoLocked(si)
 	s.c.mu.Unlock()
 	s.rows[si].Store(row)
 }
@@ -473,12 +482,14 @@ func (s *Server) Snapshot() ClusterState {
 // routeIn routes one decoded event under the router locks and fans it out
 // to the shard queues. Returns the reply channel and how many replies to
 // expect; synthesized results come back immediately in synth. shed=true
-// means a queue was full or the server is draining.
-func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect int, synth *sreply, shed bool) {
+// means a queue was full or the server is draining; sick is the fenced
+// shard when the shed is partition-scoped (-1 otherwise), so the handler
+// can derive Retry-After from that shard's containment state.
+func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect int, synth *sreply, sick int, shed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return 0, nil, true
+		return 0, nil, -1, true
 	}
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
@@ -491,37 +502,37 @@ func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect i
 				continue
 			}
 			if len(q) == cap(q) {
-				return 0, nil, true
+				return 0, nil, -1, true
 			}
 			targets = append(targets, si)
 		}
 		if len(targets) == 0 {
-			return 0, nil, true
+			return 0, nil, -1, true
 		}
 		s.c.stamp(&ev)
 		for _, si := range targets {
 			s.queues[si] <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply}
 		}
 		s.admitted.Add(1)
-		return len(targets), nil, false
+		return len(targets), nil, -1, false
 	}
 	tk, routeShed := s.c.route(&ev, func(si int) bool { return len(s.queues[si]) < cap(s.queues[si]) })
 	if routeShed {
-		return 0, nil, true
+		return 0, nil, -1, true
 	}
 	if tk.shard < 0 {
 		if errors.Is(tk.err, ErrShardFailed) {
 			// Partition-scoped load shedding: only events routed to a sick
 			// shard are shed (503 + Retry-After); the rest keep serving.
-			return 0, nil, true
+			return 0, nil, tk.sick, true
 		}
 		res := synthResult(&ev, tk)
-		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, false
+		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, -1, false
 	}
 	// Space was gated above and only lock-holders enqueue, so this send
 	// cannot block.
 	s.queues[tk.shard] <- sticket{ev: ev, tk: tk, pos: pos, reply: reply}
-	return 1, nil, false
+	return 1, nil, -1, false
 }
 
 // Handler returns the control-plane mux — the same surface as the
@@ -553,9 +564,13 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ready %d/%d shards serving\n", alive, len(healths))
+		// Degraded shards are reported; so are shards serving from a
+		// promoted follower — ready, but with reduced redundancy until the
+		// demoted drive is re-seeded.
 		for i, h := range healths {
-			if h.State != Healthy {
-				fmt.Fprintf(w, "shard %d: %s consec_errs=%d last_error=%q\n", i, h.StateName, h.ConsecErrs, h.LastError)
+			if h.State != Healthy || h.Promotions > 0 {
+				fmt.Fprintf(w, "shard %d: %s slot=%d promotions=%d consec_errs=%d last_error=%q\n",
+					i, h.StateName, s.c.PrimarySlot(i), h.Promotions, h.ConsecErrs, h.LastError)
 			}
 		}
 	})
@@ -603,11 +618,15 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	reply := make(chan sreply, len(s.queues))
-	expect, synth, shedded := s.routeIn(ev, 0, reply)
+	expect, synth, sick, shedded := s.routeIn(ev, 0, reply)
 	if shedded {
 		serve.PutDecoder(d)
 		s.shed.Add(1)
-		s.unavailable(w, "admission queue full or draining")
+		if sick >= 0 {
+			s.unavailableShard(w, sick, ErrShardFailed.Error())
+		} else {
+			s.unavailable(w, "admission queue full or draining")
+		}
 		return
 	}
 	if synth != nil {
@@ -641,7 +660,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(got.err, ErrShardFailed) {
 		// The owning shard exhausted its containment budget mid-request:
 		// retryable partition-scoped failure, not a server error.
-		s.unavailable(w, got.err.Error())
+		s.unavailableShard(w, got.shard, got.err.Error())
 		return
 	}
 	if got.err != nil && !runtime.IsStaleRequest(got.err) {
@@ -695,11 +714,18 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: err.Error()}
 			continue
 		}
-		n, synth, shedded := s.routeIn(evs[i], i, reply)
+		n, synth, sick, shedded := s.routeIn(evs[i], i, reply)
 		switch {
 		case shedded:
 			s.shed.Add(1)
-			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: "load shed: queue full or draining"}
+			msg := "load shed: queue full or draining"
+			if sick >= 0 {
+				// Partition-scoped: tell the client how long the fenced
+				// shard's own containment machinery will wait.
+				msg = fmt.Sprintf("load shed: %v; retry after %dms",
+					ErrShardFailed, s.c.RetryAfterHint(sick).Milliseconds())
+			}
+			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: msg}
 		case synth != nil:
 			s.rejected.Add(1)
 			out.Decisions[i] = decisionEntry{Shard: -1, Decision: synth.dec, Error: synth.err.Error()}
@@ -757,6 +783,30 @@ func (s *Server) unavailable(w http.ResponseWriter, msg string) {
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	httpError(w, http.StatusServiceUnavailable, msg)
+}
+
+// unavailableShard sheds with Retry-After derived from shard si's live
+// containment state (Cluster.RetryAfterHint): the deterministic delay the
+// retry loop itself would wait before the shard's next attempt, so
+// clients back off in step with the recovery machinery instead of a fixed
+// constant. The HTTP header has 1-second resolution, so the sub-second
+// truth rides in Retry-After-Ms and the JSON body's retry_after_ms.
+func (s *Server) unavailableShard(w http.ResponseWriter, si int, msg string) {
+	hint := s.opt.RetryAfter
+	if si >= 0 {
+		if h := s.c.RetryAfterHint(si); h > 0 {
+			hint = h
+		}
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After-Ms", strconv.FormatInt(hint.Milliseconds(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg, "retry_after_ms": hint.Milliseconds()})
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

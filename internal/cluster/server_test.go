@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nprt/internal/cluster"
+	"nprt/internal/journal"
 	schedrt "nprt/internal/runtime"
 	"nprt/internal/sim"
 	"nprt/internal/task"
@@ -409,5 +410,123 @@ func TestServerNameReuseConsistency(t *testing.T) {
 		} else if oi != si {
 			t.Errorf("partition map says %s is on shard %d, store says %d", name, oi, si)
 		}
+	}
+}
+
+// TestServerReplicationSurface: the serve layer over a replicated cluster.
+// /state carries per-shard replica rows, a primary wedge promotes without
+// a single 503 (zero-shed), /readyz reports the failover, and once every
+// drive of a partition is dead the 503s carry a Retry-After derived from
+// that shard's live containment backoff instead of the fixed default.
+func TestServerReplicationSurface(t *testing.T) {
+	prim, fol := &flakyInjector{}, &flakyInjector{}
+	c, err := cluster.Open(t.TempDir(), cluster.Options{
+		Shards: 2, Replicas: 1, Placement: "round-robin",
+		Store:       schedrt.StoreOptions{NoSync: true},
+		RelaxedMeta: true,
+		Inject: func(si int) journal.Injector {
+			if si == 0 {
+				return prim
+			}
+			return nil
+		},
+		InjectReplica: func(si, slot int) journal.Injector {
+			if si == 0 && slot == 1 {
+				return fol
+			}
+			return nil
+		},
+		Retry: cluster.RetryOptions{MaxAttempts: 2, Sleep: noSleep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cluster.NewServer(cluster.ServeOptions{})
+	s.Attach(c)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+		c.Close()
+	})
+
+	for i := 0; i < 4; i++ {
+		if resp, body := post(t, ts.URL+"/admit", addEventJSON(t, fmt.Sprintf("t%d", i), 8)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("admit t%d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	var st cluster.ClusterState
+	if _, body := get(t, ts.URL+"/state"); json.Unmarshal([]byte(body), &st) != nil || len(st.PerShard) != 2 {
+		t.Fatalf("state: %s", body)
+	}
+	for _, row := range st.PerShard {
+		if row.PrimarySlot != 0 || len(row.Replicas) != 1 ||
+			row.Replicas[0].Slot != 1 || !row.Replicas[0].InSync {
+			t.Fatalf("shard %d replica row before failover: %+v", row.Shard, row)
+		}
+	}
+
+	// Kill the shard-0 primary drive: admissions keep succeeding through
+	// the promoted follower — the zero-shed path.
+	prim.wedged = true
+	for i := 0; i < 4; i++ {
+		if resp, body := post(t, ts.URL+"/admit", addEventJSON(t, fmt.Sprintf("w%d", i), 8)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("admit w%d across failover: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if slot := c.PrimarySlot(0); slot != 1 {
+		t.Fatalf("shard 0 primary slot after wedge: %d, want 1", slot)
+	}
+	resp, body := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after failover: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains([]byte(body), []byte("promotions=1")) {
+		t.Fatalf("readyz does not report the failover: %s", body)
+	}
+	if _, body := get(t, ts.URL+"/state"); json.Unmarshal([]byte(body), &st) != nil ||
+		st.PerShard[0].PrimarySlot != 1 {
+		t.Fatalf("state after failover: %s", body)
+	}
+
+	// Now kill the promoted drive too: with no in-sync follower left the
+	// shard fails for real, and the 503 carries the shard's own backoff.
+	fol.wedged = true
+	saw503 := false
+	for i := 0; i < 6 && !saw503; i++ {
+		resp, body := post(t, ts.URL+"/admit", addEventJSON(t, fmt.Sprintf("x%d", i), 8))
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			saw503 = true
+			if resp.Header.Get("Retry-After") == "" || resp.Header.Get("Retry-After-Ms") == "" {
+				t.Fatalf("shed without backoff hint: %v: %s", resp.Header, body)
+			}
+			if !bytes.Contains([]byte(body), []byte("retry_after_ms")) {
+				t.Fatalf("shed body lacks retry_after_ms: %s", body)
+			}
+		default:
+			t.Fatalf("admit x%d with both drives dead: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if !saw503 {
+		t.Fatal("shard with every drive dead never shed")
+	}
+	// Route-time sheds (remove of a task owned by the fenced shard) carry
+	// the same shard-derived hint.
+	name := ""
+	for n, si := range c.Owners() {
+		if si == 0 {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no task owned by shard 0")
+	}
+	rm, _ := json.Marshal(schedrt.Event{Op: "remove", Name: name})
+	resp, body = post(t, ts.URL+"/admit", rm)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After-Ms") == "" {
+		t.Fatalf("route-time shed: %d %v: %s", resp.StatusCode, resp.Header, body)
 	}
 }

@@ -69,9 +69,16 @@ var chaosFaultRates = journal.FaultRates{
 	StallOps:     3,
 }
 
+// chaosFolRate is the replicated-mode per-tick probability of wedging a
+// follower drive (in addition to the primary wedges that reuse the
+// chaosEvacRate window): ship failures must demote followers and re-seeds
+// must restore them as routinely as primaries fail over.
+const chaosFolRate = 0.01
+
 const (
-	chaosTickSalt  = 0x9e3779b97f4a7c15
-	chaosShardSalt = 0xd1b54a32d192ed03
+	chaosTickSalt    = 0x9e3779b97f4a7c15
+	chaosShardSalt   = 0xd1b54a32d192ed03
+	chaosReplicaSalt = 0x94d049bb133111eb
 )
 
 // chaosDraw is the pure (seed, tick) action draw: two floats — one for the
@@ -107,6 +114,18 @@ type ChaosRow struct {
 	Lost     int `json:"lost"`
 	Orphans  int `json:"orphans"`
 
+	// Replicated-mode counters (zero when Replicas == 0). Wedges counts
+	// primary-drive kills absorbed by failover instead of shedding;
+	// FollowerWedges counts follower-drive kills absorbed by demotion.
+	// Promotions/Demotions/Reseeds sum the per-shard health counters: how
+	// much failover work the torment actually caused.
+	Replicas       int    `json:"replicas,omitempty"`
+	Wedges         int    `json:"wedges,omitempty"`
+	FollowerWedges int    `json:"follower_wedges,omitempty"`
+	Promotions     uint64 `json:"promotions,omitempty"`
+	Demotions      uint64 `json:"demotions,omitempty"`
+	Reseeds        uint64 `json:"reseeds,omitempty"`
+
 	Digests       []string `json:"digests"`
 	RepeatMatch   bool     `json:"repeat_match"`
 	ParallelMatch bool     `json:"parallel_match"`
@@ -114,10 +133,11 @@ type ChaosRow struct {
 
 // ChaosResult is the full artifact.
 type ChaosResult struct {
-	Events int        `json:"events"`
-	Seed   uint64     `json:"seed"`
-	Policy string     `json:"policy"`
-	Rows   []ChaosRow `json:"rows"`
+	Events   int        `json:"events"`
+	Seed     uint64     `json:"seed"`
+	Policy   string     `json:"policy"`
+	Replicas int        `json:"replicas,omitempty"`
+	Rows     []ChaosRow `json:"rows"`
 }
 
 // chaosOutcome is one drive's complete observable state.
@@ -129,22 +149,41 @@ type chaosOutcome struct {
 	metrics                                schedrt.Metrics
 	healths                                []cluster.ShardHealth
 	ticks, kills, evacs, migrated, evicted int
+	wedges, fwedges                        int
 }
 
 // driveChaos plays the tape on a fresh cluster under dir with the full
 // torment plan, in the given drive mode, and returns the outcome. The
 // cluster directory is removed before returning.
-func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed uint64, parallel bool) (*chaosOutcome, error) {
+//
+// With replicas > 0 the torment targets drives, not shards: a wedge lands
+// on the current primary slot's injector (the failover path must absorb
+// it with zero shed — any ErrShardFailed surfacing through record fails
+// the run) or on a follower slot (the ship must demote it). Wedged drives
+// heal at the tick's end — replaced, suspended for the verified re-seed,
+// resumed — so every failover is followed by redundancy restoration, and
+// the next wedge can target the new primary.
+func driveChaos(dir string, shards, replicas int, policy string, tp *schedrt.Tape, seed uint64, parallel bool) (*chaosOutcome, error) {
 	defer os.RemoveAll(dir)
-	fss := make([]*journal.FaultFS, shards)
-	for i := range fss {
-		fss[i] = journal.NewFaultFS(seed^uint64(i+1)*chaosShardSalt, chaosFaultRates)
+	// One deterministic fault plan per drive: injectors follow the slot
+	// directory, not the role, exactly as physical disks would.
+	rfss := make([][]*journal.FaultFS, shards)
+	for i := range rfss {
+		rfss[i] = make([]*journal.FaultFS, replicas+1)
+		for slot := range rfss[i] {
+			s := seed ^ uint64(i+1)*chaosShardSalt ^ uint64(slot)*chaosReplicaSalt
+			rfss[i][slot] = journal.NewFaultFS(s, chaosFaultRates)
+		}
 	}
 	c, err := cluster.Open(dir, cluster.Options{
 		Shards:    shards,
+		Replicas:  replicas,
 		Placement: policy,
 		Store:     schedrt.StoreOptions{NoSync: true, Runtime: schedrt.Options{Governor: churnGovernor}},
-		Inject:    func(si int) journal.Injector { return fss[si] },
+		Inject:    func(si int) journal.Injector { return rfss[si][0] },
+		InjectReplica: func(si, slot int) journal.Injector {
+			return rfss[si][slot]
+		},
 		Retry: cluster.RetryOptions{
 			MaxAttempts: 10,
 			Seed:        seed,
@@ -173,6 +212,9 @@ func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed ui
 		if si >= shards {
 			si = shards - 1
 		}
+		// wedged collects this tick's dead drives; each heals — and its
+		// shard's followers re-seed — at the tick's end.
+		var wedged []*journal.FaultFS
 		switch {
 		case action < chaosKillRate:
 			// Crash-restart at a quiescent boundary: close, recover from
@@ -181,6 +223,15 @@ func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed ui
 				return nil, fmt.Errorf("chaos kill shard %d at tick %d: %w", si, tick, err)
 			}
 			out.kills++
+		case action < chaosKillRate+chaosEvacRate && replicas > 0:
+			// Primary-drive wedge: the disk under the current primary dies
+			// mid-flight. No FailShard, no evacuation — the tick's own
+			// events and epoch run must drive the health machine through
+			// promotion, and any shed (ErrShardFailed reaching record)
+			// fails the soak. Zero-shed is the claim under test.
+			wedged = append(wedged, rfss[si][c.PrimarySlot(si)])
+			wedged[len(wedged)-1].Wedge()
+			out.wedges++
 		case action < chaosKillRate+chaosEvacRate && shards > 1:
 			// Wedge: the device dies mid-flight. Declare the shard Failed,
 			// heal the device, then drain every task through the checkpoint-
@@ -189,12 +240,13 @@ func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed ui
 			// the replacement disk); target-shard and meta writes during the
 			// handoff stay fully exposed to their own fault plans.
 			level := c.Epoch()
-			fss[si].Wedge()
+			fss := rfss[si][0]
+			fss.Wedge()
 			c.FailShard(si, fmt.Sprintf("chaos wedge at tick %d", tick))
-			fss[si].Heal()
-			fss[si].Suspend()
+			fss.Heal()
+			fss.Suspend()
 			rep, err := c.EvacuateShard(si)
-			fss[si].Resume()
+			fss.Resume()
 			if err != nil {
 				return nil, fmt.Errorf("chaos evacuate shard %d at tick %d: %w", si, tick, err)
 			}
@@ -217,6 +269,18 @@ func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed ui
 			for _, mv := range rep.Moves {
 				if mv.Evicted {
 					delete(out.expect, mv.Name)
+				}
+			}
+		case action < chaosKillRate+chaosEvacRate+chaosFolRate && replicas > 0:
+			// Follower-drive wedge: the next ship to it fails, demoting it;
+			// the primary keeps acking. Pick the first non-primary slot so
+			// the victim is a pure function of the role state.
+			for slot := 0; slot <= replicas; slot++ {
+				if slot != c.PrimarySlot(si) {
+					wedged = append(wedged, rfss[si][slot])
+					wedged[len(wedged)-1].Wedge()
+					out.fwedges++
+					break
 				}
 			}
 		}
@@ -276,9 +340,80 @@ func driveChaos(dir string, shards int, policy string, tp *schedrt.Tape, seed ui
 		if _, err := c.RunEpoch(parallel); err != nil {
 			return nil, err
 		}
+
+		// Tick-end maintenance: replaced drives come back, and every
+		// out-of-sync follower — the demoted old primary after a failover,
+		// a ship-failed or wedged follower — is re-seeded under a suspended
+		// fault schedule (the operator verified the new disk; suspension
+		// freezes the drive's op counter, so the schedule is untouched).
+		// This bounds the redundancy gap to within one tick: each wedge
+		// draw happens against a fully in-sync follower set.
+		for _, f := range wedged {
+			f.Heal()
+		}
+		if replicas > 0 {
+			for s2 := 0; s2 < shards; s2++ {
+				var susp []*journal.FaultFS
+				for _, ri := range c.Replicas(s2) {
+					if !ri.InSync {
+						f := rfss[s2][ri.Slot]
+						f.Suspend()
+						susp = append(susp, f)
+					}
+				}
+				if len(susp) == 0 {
+					continue
+				}
+				_, err := c.ReseedReplicas(s2)
+				for _, f := range susp {
+					f.Resume()
+				}
+				if err != nil {
+					return nil, fmt.Errorf("chaos reseed shard %d at tick %d: %w", s2, tick, err)
+				}
+			}
+		}
 		if (tick+1)%32 == 0 {
 			if err := c.Checkpoint(); err != nil {
 				return nil, err
+			}
+		}
+	}
+
+	if replicas > 0 {
+		// End-of-run redundancy audit: a final checkpoint byte-verifies
+		// every follower against its primary (the scrub demotes silent
+		// divergence), then one suspended-schedule re-seed pass restores
+		// anything the scrub itself demoted — the checkpoint's own ships
+		// and re-seeds are still fault-exposed, so a parting stall can
+		// legitimately demote. After that pass, anything still out of sync
+		// is a containment failure, not a data point.
+		if err := c.Checkpoint(); err != nil {
+			return nil, err
+		}
+		for si := 0; si < shards; si++ {
+			var susp []*journal.FaultFS
+			for _, ri := range c.Replicas(si) {
+				if !ri.InSync {
+					f := rfss[si][ri.Slot]
+					f.Suspend()
+					susp = append(susp, f)
+				}
+			}
+			if len(susp) > 0 {
+				_, err := c.ReseedReplicas(si)
+				for _, f := range susp {
+					f.Resume()
+				}
+				if err != nil {
+					return nil, fmt.Errorf("chaos: final reseed shard %d: %w", si, err)
+				}
+			}
+			for _, ri := range c.Replicas(si) {
+				if !ri.InSync {
+					return nil, fmt.Errorf("chaos: shard %d follower slot %d out of sync at end: %s",
+						si, ri.Slot, ri.LastError)
+				}
 			}
 		}
 	}
@@ -310,6 +445,17 @@ func sameChaosOutcome(a, b *chaosOutcome) bool {
 			return false
 		}
 	}
+	// Failover determinism: promotion is a pure function of (health state,
+	// replica high-water marks), so the drives must agree not just on final
+	// bytes but on how many promotions each shard took to get there.
+	if len(a.healths) != len(b.healths) {
+		return false
+	}
+	for i := range a.healths {
+		if a.healths[i].Promotions != b.healths[i].Promotions {
+			return false
+		}
+	}
 	return true
 }
 
@@ -319,7 +465,14 @@ func sameChaosOutcome(a, b *chaosOutcome) bool {
 // again, concurrent — and requires all three to agree exactly; a lost
 // task, an unexpected survivor, a clean miss, or any digest divergence is
 // an error, not a data point.
-func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy string) (*ChaosResult, error) {
+//
+// With replicas > 0 every shard carries that many synchronous followers
+// and the expect-model tightens to zero-shed: wedges land on primary and
+// follower drives alike, failures are absorbed by promotion and re-seed
+// instead of evacuation, and the run errors on ANY shed, eviction,
+// lingering out-of-sync follower, or promotion-count divergence between
+// the drives — on top of the unreplicated soak's lost/orphan/miss gates.
+func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy string, replicas int) (*ChaosResult, error) {
 	cfg = cfg.withDefaults()
 	if events <= 0 {
 		events = 1200
@@ -330,9 +483,12 @@ func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy str
 	if policy == "" {
 		policy = "first-fit"
 	}
+	if replicas < 0 {
+		replicas = 0
+	}
 	tp := GenerateChurnTape(cfg.Seed, events)
 
-	out := &ChaosResult{Events: events, Seed: cfg.Seed, Policy: policy}
+	out := &ChaosResult{Events: events, Seed: cfg.Seed, Policy: policy, Replicas: replicas}
 	for _, shards := range shardCounts {
 		var runs [3]*chaosOutcome
 		for r := 0; r < 3; r++ {
@@ -342,7 +498,7 @@ func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy str
 				mode = "parallel"
 			}
 			d := filepath.Join(dir, fmt.Sprintf("chaos-%d-%s-%d", shards, mode, r))
-			oc, err := driveChaos(d, shards, policy, tp, cfg.Seed, parallel)
+			oc, err := driveChaos(d, shards, replicas, policy, tp, cfg.Seed, parallel)
 			if err != nil {
 				return nil, fmt.Errorf("chaos soak: %d shards (%s run %d): %w", shards, mode, r, err)
 			}
@@ -350,22 +506,28 @@ func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy str
 		}
 		a := runs[0]
 		row := ChaosRow{
-			Shards:        shards,
-			Events:        len(tp.Events),
-			Ticks:         a.ticks,
-			Kills:         a.kills,
-			Evacs:         a.evacs,
-			Migrated:      a.migrated,
-			Evicted:       a.evicted,
-			Misses:        a.metrics.Misses,
-			MissesClean:   a.metrics.MissesClean,
-			Resident:      len(a.owners),
-			RepeatMatch:   sameChaosOutcome(a, runs[1]),
-			ParallelMatch: sameChaosOutcome(a, runs[2]),
+			Shards:         shards,
+			Events:         len(tp.Events),
+			Ticks:          a.ticks,
+			Kills:          a.kills,
+			Evacs:          a.evacs,
+			Migrated:       a.migrated,
+			Evicted:        a.evicted,
+			Misses:         a.metrics.Misses,
+			MissesClean:    a.metrics.MissesClean,
+			Resident:       len(a.owners),
+			Replicas:       replicas,
+			Wedges:         a.wedges,
+			FollowerWedges: a.fwedges,
+			RepeatMatch:    sameChaosOutcome(a, runs[1]),
+			ParallelMatch:  sameChaosOutcome(a, runs[2]),
 		}
 		for _, h := range a.healths {
 			row.Reopens += h.Reopens
 			row.StoreErrs += h.TotalErrs
+			row.Promotions += h.Promotions
+			row.Demotions += h.ReplicaDemotions
+			row.Reseeds += h.ReplicaReseeds
 		}
 		for _, d := range a.digests {
 			row.Digests = append(row.Digests, fmt.Sprintf("%016x", d))
@@ -401,6 +563,14 @@ func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy str
 			return nil, fmt.Errorf("chaos soak: %d shards: repeated serial drive diverged", shards)
 		case !row.ParallelMatch:
 			return nil, fmt.Errorf("chaos soak: %d shards: parallel drive diverged from serial", shards)
+		case replicas > 0 && row.Evacs+row.Evicted > 0:
+			// Replicated failure handling never evacuates or evicts: a dead
+			// drive is a failover, not a drain.
+			return nil, fmt.Errorf("chaos soak: %d shards: replicated run evacuated/evicted (%d/%d)",
+				shards, row.Evacs, row.Evicted)
+		case replicas > 0 && row.Wedges > 0 && row.Promotions == 0:
+			return nil, fmt.Errorf("chaos soak: %d shards: %d primary wedge(s) caused no promotion",
+				shards, row.Wedges)
 		}
 	}
 	return out, nil
@@ -409,14 +579,16 @@ func ChaosSoak(cfg Config, dir string, events int, shardCounts []int, policy str
 // FormatChaosSoak renders the soak summary.
 func FormatChaosSoak(r *ChaosResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "CHAOS SOAK. %d-EVENT CHURN TAPE UNDER STORAGE FAULTS, KILLS AND EVACUATIONS (policy %s, seed %d)\n",
-		r.Events, r.Policy, r.Seed)
-	fmt.Fprintf(&b, "%-7s %6s %6s %6s %9s %8s %8s %9s %6s %5s %7s %7s %8s\n",
-		"shards", "ticks", "kills", "evacs", "migrated", "evicted", "reopens", "storeerrs", "miss", "clean", "lost", "repeat", "par==ser")
+	fmt.Fprintf(&b, "CHAOS SOAK. %d-EVENT CHURN TAPE UNDER STORAGE FAULTS, KILLS AND EVACUATIONS (policy %s, seed %d, replicas %d)\n",
+		r.Events, r.Policy, r.Seed, r.Replicas)
+	fmt.Fprintf(&b, "%-7s %6s %6s %6s %9s %8s %8s %9s %7s %7s %7s %6s %5s %7s %7s %8s\n",
+		"shards", "ticks", "kills", "evacs", "migrated", "evicted", "reopens", "storeerrs",
+		"wedges", "promos", "reseeds", "miss", "clean", "lost", "repeat", "par==ser")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-7d %6d %6d %6d %9d %8d %8d %9d %6d %5d %7d %7v %8v\n",
+		fmt.Fprintf(&b, "%-7d %6d %6d %6d %9d %8d %8d %9d %7d %7d %7d %6d %5d %7d %7v %8v\n",
 			row.Shards, row.Ticks, row.Kills, row.Evacs, row.Migrated, row.Evicted,
-			row.Reopens, row.StoreErrs, row.Misses, row.MissesClean, row.Lost,
+			row.Reopens, row.StoreErrs, row.Wedges+row.FollowerWedges, row.Promotions,
+			row.Reseeds, row.Misses, row.MissesClean, row.Lost,
 			row.RepeatMatch, row.ParallelMatch)
 	}
 	return b.String()
@@ -427,7 +599,8 @@ func WriteChaosSoakCSV(w io.Writer, r *ChaosResult) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"shards", "events", "ticks", "kills", "evacs", "migrated",
 		"evicted", "reopens", "store_errs", "misses", "misses_clean", "resident",
-		"lost", "orphans", "repeat_match", "parallel_match"}); err != nil {
+		"lost", "orphans", "replicas", "wedges", "follower_wedges", "promotions",
+		"demotions", "reseeds", "repeat_match", "parallel_match"}); err != nil {
 		return err
 	}
 	for _, row := range r.Rows {
@@ -446,6 +619,12 @@ func WriteChaosSoakCSV(w io.Writer, r *ChaosResult) error {
 			strconv.Itoa(row.Resident),
 			strconv.Itoa(row.Lost),
 			strconv.Itoa(row.Orphans),
+			strconv.Itoa(row.Replicas),
+			strconv.Itoa(row.Wedges),
+			strconv.Itoa(row.FollowerWedges),
+			strconv.FormatUint(row.Promotions, 10),
+			strconv.FormatUint(row.Demotions, 10),
+			strconv.FormatUint(row.Reseeds, 10),
 			strconv.FormatBool(row.RepeatMatch),
 			strconv.FormatBool(row.ParallelMatch),
 		}

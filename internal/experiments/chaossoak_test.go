@@ -10,7 +10,7 @@ import (
 // width, requiring digest reproducibility and zero lost tasks. The full-
 // scale sweep (8/64 shards, 1200 events) runs from paperbench and CI.
 func TestChaosSoak(t *testing.T) {
-	res, err := ChaosSoak(Config{Seed: 11}, t.TempDir(), 320, []int{3}, "")
+	res, err := ChaosSoak(Config{Seed: 11}, t.TempDir(), 320, []int{3}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,5 +46,38 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if lines := strings.Count(sb.String(), "\n"); lines != 2 {
 		t.Errorf("csv has %d lines, want header + 1 row", lines)
+	}
+}
+
+// TestReplicatedChaosSoak is the zero-shed variant: every shard carries a
+// synchronous follower, wedges land on primary and follower drives alike,
+// and the run itself errors on any shed, lost, orphaned, evicted, or
+// clean-missed task — so beyond the soak's own gates the test checks that
+// the torment actually exercised the failover machinery and that the
+// three drives agreed on every promotion.
+func TestReplicatedChaosSoak(t *testing.T) {
+	res, err := ChaosSoak(Config{Seed: 11}, t.TempDir(), 320, []int{3}, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Wedges == 0 || row.Kills == 0 {
+		t.Fatalf("torment plan too quiet: %d wedges, %d kills", row.Wedges, row.Kills)
+	}
+	if row.Promotions == 0 {
+		t.Fatal("primary wedges caused no promotions — failover never ran")
+	}
+	if row.Demotions == 0 || row.Reseeds == 0 {
+		t.Fatalf("no demotion/re-seed traffic (%d/%d) — follower torment missed", row.Demotions, row.Reseeds)
+	}
+	// Zero-shed failure handling: nothing evacuated, nothing evicted.
+	if row.Evacs != 0 || row.Evicted != 0 {
+		t.Fatalf("replicated run drained tasks: evacs=%d evicted=%d", row.Evacs, row.Evicted)
+	}
+	if row.Lost != 0 || row.Orphans != 0 || row.MissesClean != 0 {
+		t.Fatalf("lost=%d orphans=%d clean misses=%d", row.Lost, row.Orphans, row.MissesClean)
+	}
+	if !row.RepeatMatch || !row.ParallelMatch {
+		t.Fatalf("drives diverged: repeat=%v parallel=%v", row.RepeatMatch, row.ParallelMatch)
 	}
 }

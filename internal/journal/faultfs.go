@@ -66,6 +66,7 @@ type FaultStats struct {
 	Stalls     uint64 `json:"stalls"` // stall windows opened
 	StallOps   uint64 `json:"stall_ops"`
 	WedgeFails uint64 `json:"wedge_fails"`
+	BitFlips   uint64 `json:"bit_flips"` // armed silent corruptions delivered
 }
 
 // FaultFS is a seeded, deterministic Injector. The op counter is owned by
@@ -81,6 +82,7 @@ type FaultFS struct {
 	stallLeft int    // remaining ops in an open stall window
 	wedged    bool
 	suspended bool
+	flipArmed bool
 	stats     FaultStats
 }
 
@@ -210,6 +212,34 @@ func (f *FaultFS) Resume() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.suspended = false
+}
+
+// ArmFlip arms a one-shot silent bit flip: the next non-empty write
+// through this injector has one bit of its middle byte inverted before
+// the bytes land, and the write still reports success. This is the
+// bit-rot model the replica digest check exists for — unlike every
+// Injector fault above, nothing errors at write time. The flip is
+// deliberately not part of the seeded rate schedule: silent corruption
+// must land at a test-chosen boundary, and consuming a draw for it would
+// shift every later fault in the (seed, op) stream.
+func (f *FaultFS) ArmFlip() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flipArmed = true
+}
+
+// CorruptWrite implements Corrupter: it mutates p in place when a flip is
+// armed. Runs even under Suspend — bit rot does not honor maintenance
+// windows — and consumes no op index.
+func (f *FaultFS) CorruptWrite(p []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.flipArmed || len(p) == 0 {
+		return
+	}
+	f.flipArmed = false
+	p[len(p)/2] ^= 0x40
+	f.stats.BitFlips++
 }
 
 // Wedged reports whether the device is currently wedged.

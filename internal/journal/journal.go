@@ -316,21 +316,37 @@ func (w *Writer) check() error {
 	return nil
 }
 
-// write sends buf to f through the injector (when set). A short injected
-// count writes only the prefix — the torn-write model — before reporting
-// the injected error. Returns the byte count that reached the file so the
-// caller can keep size accounting honest even on a torn write.
-func (w *Writer) write(f *os.File, buf []byte) (int, error) {
+// Corrupter is an optional Injector extension for silent-corruption
+// tests: when the injector implements it, every injected write passes its
+// buffer through CorruptWrite before the bytes reach the file, and the
+// implementation may mutate them in place (the journal and mirror always
+// hand freshly allocated buffers to the write path). Unlike the Injector
+// faults, a corrupting write returns success — that is the point: the
+// damage is silent until a CRC check or replica digest catches it.
+type Corrupter interface {
+	CorruptWrite(p []byte)
+}
+
+// injectedWrite sends buf to f through the injector (when set). A short
+// injected count writes only the prefix — the torn-write model — before
+// reporting the injected error. Returns the byte count that reached the
+// file so the caller can keep size accounting honest even on a torn
+// write. Shared by the Writer and the replication Mirror so both ends of
+// a shipping stream see identical device semantics.
+func injectedWrite(inj Injector, f *os.File, buf []byte) (int, error) {
 	n := len(buf)
 	var ierr error
-	if w.opt.Inject != nil {
-		in, e := w.opt.Inject.Write(len(buf))
+	if inj != nil {
+		in, e := inj.Write(len(buf))
 		ierr = e
 		if in < n {
 			n = in
 		}
 		if n < 0 {
 			n = 0
+		}
+		if c, ok := inj.(Corrupter); ok && n > 0 {
+			c.CorruptWrite(buf[:n])
 		}
 	}
 	if n > 0 {
@@ -345,6 +361,10 @@ func (w *Writer) write(f *os.File, buf []byte) (int, error) {
 		return n, io.ErrShortWrite
 	}
 	return n, nil
+}
+
+func (w *Writer) write(f *os.File, buf []byte) (int, error) {
+	return injectedWrite(w.opt.Inject, f, buf)
 }
 
 // Open recovers the journal in dir (creating it if empty) and returns a

@@ -1,0 +1,443 @@
+// Mirror is the journal-level record-shipping stream behind shard
+// replication: it keeps a follower store directory byte-identical to the
+// primary's by shipping WAL frames verbatim and copying checkpoint files
+// wholesale. Because the WAL is CRC32C-framed with contiguous indices,
+// "replicate" degenerates to "append the primary's newly valid frame
+// bytes" — there is no follower-side apply logic to get wrong, and
+// byte-equality (DirDigest/Verify) is the whole correctness check: a
+// follower that digests equal to its primary recovers to the identical
+// runtime state, because recovery is a pure function of the bytes.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrReplicaDiverged reports a follower whose on-disk bytes are not a
+// shipped prefix of the primary's — external interference, silent
+// corruption, or a stale promotion survivor. The only safe repair is a
+// re-seed from the primary.
+var ErrReplicaDiverged = errors.New("journal: replica diverged from primary")
+
+// MirrorOptions parameterizes the follower's physical I/O, mirroring the
+// Writer's own knobs: the follower sits on its own (possibly faulty)
+// device.
+type MirrorOptions struct {
+	// Inject, when non-nil, intercepts every follower write and fsync —
+	// the follower drive's deterministic fault plan.
+	Inject Injector
+	// NoSync disables follower fsyncs (tests that only care about bytes).
+	NoSync bool
+	// AfterSync runs after every successful follower fsync, so crash
+	// sweeps can count replication barriers alongside the primary's.
+	AfterSync func()
+}
+
+// walCursor caches how far into one source segment the mirror has already
+// validated frames, so a steady-state ship is O(delta), not O(segment).
+// The cached prefix can never be invalidated: the mirror only advances it
+// over durable acked frames, and torn-tail repair truncates strictly
+// after the acked prefix.
+type walCursor struct {
+	off  int64  // end of the validated frame prefix
+	next uint64 // index the frame at off must carry
+}
+
+// Mirror incrementally replicates one store directory (top-level
+// checkpoint files + wal/ segment journal) into another. Not safe for
+// concurrent use; the cluster serializes ships per shard.
+type Mirror struct {
+	src, dst string
+	opt      MirrorOptions
+	cursors  map[uint64]*walCursor // per-segment scan cache, by base
+	shipped  map[string]int64      // bytes this mirror knows are at dst, by rel path
+}
+
+// NewMirror builds a mirror from src to dst. Neither directory needs to
+// exist yet; Sync creates the destination and adopts an existing one that
+// is a valid shipped prefix.
+func NewMirror(src, dst string, opt MirrorOptions) *Mirror {
+	return &Mirror{src: src, dst: dst, opt: opt,
+		cursors: make(map[uint64]*walCursor), shipped: make(map[string]int64)}
+}
+
+// Src and Dst expose the endpoints for diagnostics.
+func (m *Mirror) Src() string { return m.src }
+func (m *Mirror) Dst() string { return m.dst }
+
+// write routes buf to f through the follower injector with the Writer's
+// exact semantics: a short injected count lands only the prefix before the
+// injected error surfaces.
+func (m *Mirror) write(f *os.File, buf []byte) (int, error) {
+	return injectedWrite(m.opt.Inject, f, buf)
+}
+
+// fsync is the follower-side durability barrier; injected sync faults
+// fire even under NoSync (the injector models the disk).
+func (m *Mirror) fsync(f *os.File) error {
+	if m.opt.Inject != nil {
+		if err := m.opt.Inject.Sync(); err != nil {
+			return err
+		}
+	}
+	if !m.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if m.opt.AfterSync != nil {
+		m.opt.AfterSync()
+	}
+	return nil
+}
+
+func (m *Mirror) fsyncDir(dir string) error {
+	if m.opt.Inject != nil {
+		if err := m.opt.Inject.Sync(); err != nil {
+			return err
+		}
+	}
+	if !m.opt.NoSync {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	if m.opt.AfterSync != nil {
+		m.opt.AfterSync()
+	}
+	return nil
+}
+
+// validPrefix walks the segment's frames from the cached cursor and
+// returns the end of the valid prefix. checkOff, when > 0, asks the walk
+// to report whether that offset is a frame boundary (needed when adopting
+// a pre-existing follower file whose length the mirror has not shipped).
+func (m *Mirror) validPrefix(base uint64, data []byte, checkOff int64) (end int64, boundary bool, err error) {
+	cur := m.cursors[base]
+	if cur == nil {
+		if len(data) < headerSize {
+			return 0, checkOff == 0, fmt.Errorf("segment %s: truncated header", segName(base))
+		}
+		got, ok := decodeHeader(data[:headerSize])
+		if !ok || got != base {
+			return 0, false, fmt.Errorf("segment %s: bad header", segName(base))
+		}
+		cur = &walCursor{off: headerSize, next: base}
+		m.cursors[base] = cur
+	}
+	if int64(len(data)) < cur.off {
+		return 0, false, fmt.Errorf("segment %s: shrank below shipped prefix (%d < %d)", segName(base), len(data), cur.off)
+	}
+	boundary = checkOff == cur.off || checkOff == 0 || checkOff == headerSize
+	off := int(cur.off)
+	next := cur.next
+	for off < len(data) {
+		_, n, ok := decodeRecord(data, off, next)
+		if !ok {
+			break // torn tail: the valid prefix ends here
+		}
+		off, next = n, next+1
+		if int64(off) == checkOff {
+			boundary = true
+		}
+	}
+	cur.off, cur.next = int64(off), next
+	return int64(off), boundary, nil
+}
+
+// shipSegment brings dst's copy of one WAL segment up to the source's
+// valid frame prefix by appending exactly the missing bytes.
+func (m *Mirror) shipSegment(base uint64) error {
+	rel := filepath.Join("wal", segName(base))
+	data, err := os.ReadFile(filepath.Join(m.src, "wal", segName(base)))
+	if err != nil {
+		return err
+	}
+	dstPath := filepath.Join(m.dst, rel)
+	var dstSize int64
+	known, tracked := m.shipped[rel]
+	if st, err := os.Stat(dstPath); err == nil {
+		dstSize = st.Size()
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return err
+	} else if tracked {
+		return fmt.Errorf("%w: follower segment %s vanished", ErrReplicaDiverged, rel)
+	}
+	if tracked && dstSize != known {
+		return fmt.Errorf("%w: follower segment %s is %d bytes, mirror shipped %d", ErrReplicaDiverged, rel, dstSize, known)
+	}
+	end, boundary, err := m.validPrefix(base, data, dstSize)
+	if err != nil {
+		return err
+	}
+	switch {
+	case dstSize == end:
+		m.shipped[rel] = end
+		return nil
+	case dstSize > end:
+		return fmt.Errorf("%w: follower segment %s is ahead of primary (%d > %d)", ErrReplicaDiverged, rel, dstSize, end)
+	case !boundary:
+		return fmt.Errorf("%w: follower segment %s ends mid-frame at %d", ErrReplicaDiverged, rel, dstSize)
+	}
+	f, err := os.OpenFile(dstPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// Fresh buffer: injected corruption (Corrupter) may mutate it in place.
+	delta := append([]byte(nil), data[dstSize:end]...)
+	_, werr := m.write(f, delta)
+	if werr == nil {
+		werr = m.fsync(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// The follower file is now an unknown prefix; forget it so the
+		// caller's demote/re-seed path is the only way forward.
+		delete(m.shipped, rel)
+		return werr
+	}
+	m.shipped[rel] = end
+	return nil
+}
+
+// copyFile ships one non-WAL file (checkpoints) wholesale. Checkpoint
+// files are immutable once renamed into place on the primary, so "same
+// length" means "same file" for an honest follower; Verify backstops
+// dishonest ones.
+func (m *Mirror) copyFile(name string) error {
+	data, err := os.ReadFile(filepath.Join(m.src, name))
+	if err != nil {
+		return err
+	}
+	dstPath := filepath.Join(m.dst, name)
+	if st, err := os.Stat(dstPath); err == nil && st.Size() == int64(len(data)) {
+		m.shipped[name] = st.Size()
+		return nil
+	}
+	f, err := os.OpenFile(dstPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	buf := append([]byte(nil), data...)
+	_, werr := m.write(f, buf)
+	if werr == nil {
+		werr = m.fsync(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		delete(m.shipped, name)
+		return werr
+	}
+	m.shipped[name] = int64(len(data))
+	return nil
+}
+
+// Sync brings dst up to src: ships new WAL frame bytes, copies new
+// checkpoint files, and deletes follower files the primary has pruned
+// (compaction, checkpoint GC). On success the follower holds exactly the
+// primary's durable prefix. On error the follower is suspect and the
+// caller must demote it until a re-seed.
+func (m *Mirror) Sync() error {
+	if err := os.MkdirAll(filepath.Join(m.dst, "wal"), 0o755); err != nil {
+		return err
+	}
+	srcBases, err := listSegments(filepath.Join(m.src, "wal"))
+	if err != nil {
+		return err
+	}
+	dstBases, err := listSegments(filepath.Join(m.dst, "wal"))
+	if err != nil {
+		return err
+	}
+	have := make(map[uint64]bool, len(srcBases))
+	for _, b := range srcBases {
+		have[b] = true
+	}
+	walDirty := false
+	for _, b := range dstBases {
+		if !have[b] {
+			if err := os.Remove(filepath.Join(m.dst, "wal", segName(b))); err != nil {
+				return err
+			}
+			delete(m.shipped, filepath.Join("wal", segName(b)))
+			delete(m.cursors, b)
+			walDirty = true
+		}
+	}
+	for _, b := range srcBases {
+		if _, err := os.Stat(filepath.Join(m.dst, "wal", segName(b))); errors.Is(err, fs.ErrNotExist) {
+			walDirty = true
+		}
+		if err := m.shipSegment(b); err != nil {
+			return err
+		}
+	}
+	// Drop cursors for segments the primary pruned.
+	for b := range m.cursors {
+		if !have[b] {
+			delete(m.cursors, b)
+		}
+	}
+	if walDirty {
+		if err := m.fsyncDir(filepath.Join(m.dst, "wal")); err != nil {
+			return err
+		}
+	}
+
+	ents, err := os.ReadDir(m.src)
+	if err != nil {
+		return err
+	}
+	topDirty := false
+	keep := make(map[string]bool)
+	for _, e := range ents {
+		if e.IsDir() || strings.Contains(e.Name(), ".tmp") {
+			continue
+		}
+		keep[e.Name()] = true
+		if _, err := os.Stat(filepath.Join(m.dst, e.Name())); errors.Is(err, fs.ErrNotExist) {
+			topDirty = true
+		}
+		if err := m.copyFile(e.Name()); err != nil {
+			return err
+		}
+	}
+	dents, err := os.ReadDir(m.dst)
+	if err != nil {
+		return err
+	}
+	for _, e := range dents {
+		if e.IsDir() || strings.Contains(e.Name(), ".tmp") || keep[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(m.dst, e.Name())); err != nil {
+			return err
+		}
+		delete(m.shipped, e.Name())
+		topDirty = true
+	}
+	if topDirty {
+		if err := m.fsyncDir(m.dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify proves byte-identity: the follower holds exactly the primary's
+// files with exactly the primary's bytes. Any difference — content, a
+// missing file, an extra file — is ErrReplicaDiverged naming the first
+// offender.
+func (m *Mirror) Verify() error {
+	return VerifyReplica(m.src, m.dst)
+}
+
+// replicaFiles lists a store directory's replicated file set: relative
+// paths of all regular files, recursively, skipping in-flight temp files.
+func replicaFiles(dir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if path == dir && errors.Is(err, fs.ErrNotExist) {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() || strings.Contains(d.Name(), ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, rel)
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// VerifyReplica byte-compares two store directories.
+func VerifyReplica(src, dst string) error {
+	sf, err := replicaFiles(src)
+	if err != nil {
+		return err
+	}
+	df, err := replicaFiles(dst)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, len(df))
+	for _, f := range df {
+		seen[f] = true
+	}
+	for _, f := range sf {
+		if !seen[f] {
+			return fmt.Errorf("%w: follower missing %s", ErrReplicaDiverged, f)
+		}
+		delete(seen, f)
+		a, err := os.ReadFile(filepath.Join(src, f))
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(filepath.Join(dst, f))
+		if err != nil {
+			return err
+		}
+		if string(a) != string(b) {
+			return fmt.Errorf("%w: %s differs (%d vs %d bytes)", ErrReplicaDiverged, f, len(a), len(b))
+		}
+	}
+	for f := range seen {
+		return fmt.Errorf("%w: follower has extra file %s", ErrReplicaDiverged, f)
+	}
+	return nil
+}
+
+// DirDigest folds a store directory's entire replicated byte content into
+// one FNV-1a identity: sorted relative paths, each followed by its bytes.
+// A missing directory digests as empty, so a never-seeded follower
+// compares unequal to any non-empty primary rather than erroring.
+func DirDigest(dir string) (uint64, error) {
+	files, err := replicaFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	for _, f := range files {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			return 0, err
+		}
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	return h.Sum64(), nil
+}
+
+// HighWater returns the follower's replicated WAL high-water mark: the
+// index of the last contiguous valid record in dir's journal (0 when
+// empty). Promotion uses it to rank candidates without opening a store.
+func HighWater(dir string) (uint64, error) {
+	st, err := Replay(filepath.Join(dir, "wal"), 0, func(Record) error { return nil })
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return st.Last, nil
+}

@@ -8,23 +8,31 @@
 # and the run fails if any task is silently lost, any clean-window
 # deadline is missed, or any drive's digests/owner map diverge.
 #
-# usage: scripts/chaos_soak.sh [outdir] [events]
+# With replicas > 0 every shard carries that many synchronous followers
+# and the expect-model tightens to zero shed: wedges land on primary and
+# follower drives, failover must absorb every one (promotions instead of
+# evacuations), and the run fails on any shed, lost, orphaned or
+# clean-missed task.
 #
-#   outdir  artifact directory        (default: chaossoak)
-#   events  churn events per tape     (default: 1200 — the CI soak;
-#           raise for a denser torment schedule)
+# usage: scripts/chaos_soak.sh [outdir] [events] [replicas]
+#
+#   outdir    artifact directory        (default: chaossoak)
+#   events    churn events per tape     (default: 1200 — the CI soak;
+#             raise for a denser torment schedule)
+#   replicas  synchronous followers per shard (default: 0 — unreplicated)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 outdir="${1:-chaossoak}"
 events="${2:-1200}"
+replicas="${3:-0}"
 
 # Stage into a temp dir so a failed run never leaves a partial artifact
 # where CI (or a human) might mistake it for a finished one.
 staging="$(mktemp -d "${TMPDIR:-/tmp}/chaos_soak.XXXXXX")"
 trap 'rm -rf "$staging"' EXIT INT TERM
 
-go run ./cmd/paperbench chaos -events "$events" -csv "$staging"
+go run ./cmd/paperbench chaos -events "$events" -replicas "$replicas" -csv "$staging"
 
 mkdir -p "$outdir"
 mv "$staging"/chaos.json "$staging"/chaos.csv "$outdir"/
