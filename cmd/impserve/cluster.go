@@ -101,10 +101,12 @@ func runDurableCluster(fs flags) int {
 
 	fsyncs := 0
 	c, err := cluster.Open(*fs.dir, cluster.Options{
-		Shards:    *fs.shards,
-		Replicas:  *fs.replicas,
-		Placement: *fs.placement,
-		Store:     clusterStoreOptions(fs, opts, &fsyncs),
+		Shards:        *fs.shards,
+		Replicas:      *fs.replicas,
+		Placement:     *fs.placement,
+		Store:         clusterStoreOptions(fs, opts, &fsyncs),
+		LatencySLO:    *fs.latencySLO,
+		AdmitDeadline: *fs.deadline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "impserve: opening cluster %s: %v\n", *fs.dir, err)
@@ -248,11 +250,13 @@ func runServeCluster(fs flags) int {
 	}
 	err = sup.Run(ctx, func(ctx context.Context) error {
 		c, err := cluster.Open(*fs.dir, cluster.Options{
-			Shards:      *fs.shards,
-			Replicas:    *fs.replicas,
-			Placement:   *fs.placement,
-			Store:       clusterStoreOptions(fs, opts, &fsyncs),
-			RelaxedMeta: true,
+			Shards:        *fs.shards,
+			Replicas:      *fs.replicas,
+			Placement:     *fs.placement,
+			Store:         clusterStoreOptions(fs, opts, &fsyncs),
+			RelaxedMeta:   true,
+			LatencySLO:    *fs.latencySLO,
+			AdmitDeadline: *fs.deadline,
 		})
 		if err != nil {
 			return err
@@ -264,6 +268,8 @@ func runServeCluster(fs flags) int {
 			QueueDepth:      *fs.queue,
 			EpochInterval:   *fs.epochEvery,
 			CheckpointEvery: *fs.ckptEvery,
+			CoDelTarget:     *fs.codelTarget,
+			StuckOpAfter:    *fs.watchdog,
 			Logf:            func(f string, a ...any) { fmt.Fprintf(os.Stderr, "impserve: "+f+"\n", a...) },
 		})
 		h := srv.Handler()

@@ -358,6 +358,7 @@ func runServe(fs flags) int {
 			QueueDepth:      *fs.queue,
 			EpochInterval:   *fs.epochEvery,
 			CheckpointEvery: *fs.ckptEvery,
+			CoDelTarget:     *fs.codelTarget,
 			Logf:            func(f string, a ...any) { fmt.Fprintf(os.Stderr, "impserve: "+f+"\n", a...) },
 		})
 		h := srv.Handler()
@@ -619,6 +620,11 @@ type flags struct {
 	rebalanceEvery *int
 	restartReset   *time.Duration
 	fsck           *bool
+
+	latencySLO  *time.Duration
+	deadline    *time.Duration
+	codelTarget *time.Duration
+	watchdog    *time.Duration
 }
 
 func newFlagSet() flags {
@@ -657,6 +663,11 @@ func newFlagSet() flags {
 		rebalanceEvery: fs.Int("rebalance-every", 0, "cluster tape mode: run the skew-triggered rebalancer every N epochs (0 disables)"),
 		restartReset:   fs.Duration("restart-reset", 0, "serve mode: forgive the restart budget after an incarnation stays up this long (0 disables)"),
 		fsck:           fs.Bool("fsck", false, "scrub every checkpoint and WAL segment under -dir offline and exit (6 on corruption)"),
+
+		latencySLO:  fs.Duration("latency-slo", 0, "cluster modes: fence a shard from placement when its windowed WAL-sojourn p99 exceeds this; with replicas, proactively promote away from the slow primary (0 disables)"),
+		deadline:    fs.Duration("deadline", 0, "cluster modes: default admission deadline — shed routes to over-SLO shards instead of blowing it (0 disables; per-request X-Deadline-Ms still honored)"),
+		codelTarget: fs.Duration("codel-target", 0, "serve modes: CoDel sojourn target for adaptive admission-queue shedding (0 disables; deadline sheds and drain-rate Retry-After hints stay on)"),
+		watchdog:    fs.Duration("watchdog", 0, "cluster serve mode: flag a shard Slow when its engine sits inside one store op longer than this (0 disables)"),
 	}
 }
 

@@ -41,6 +41,13 @@
 // the report separates *admitted* adds (the capacity headline) from
 // feasibility rejections.
 //
+// With -deadline-ms every request carries an X-Deadline-Ms header — the
+// server's admission gate sheds up front when its predicted queue wait
+// already exceeds the deadline, instead of accepting work whose answer
+// will arrive too late. The report then splits goodput (replies that made
+// the deadline) from deadline misses (late replies), the number that
+// actually matters to a real-time client.
+//
 // Latencies land in an HDR-style histogram (log2 buckets, 64 sub-buckets:
 // ≤1.6% relative error), from which the report takes p50/p90/p99/p999.
 // The report is JSON on stdout (or -out), ending with a scrape of each
@@ -200,16 +207,18 @@ type latencyReport struct {
 
 // targetReport is one endpoint's slice of a multi-target run.
 type targetReport struct {
-	URL       string        `json:"url"`
-	Requests  uint64        `json:"requests"`
-	OK        uint64        `json:"ok"`
-	Stale     uint64        `json:"stale"`
-	Shed      uint64        `json:"shed"`
-	Errors    uint64        `json:"errors"`
-	Admits    uint64        `json:"admits"`
-	Retried   uint64        `json:"retried"`
-	Recovered uint64        `json:"recovered"`
-	Latency   latencyReport `json:"latency"`
+	URL            string        `json:"url"`
+	Requests       uint64        `json:"requests"`
+	OK             uint64        `json:"ok"`
+	Stale          uint64        `json:"stale"`
+	Shed           uint64        `json:"shed"`
+	Errors         uint64        `json:"errors"`
+	Admits         uint64        `json:"admits"`
+	Retried        uint64        `json:"retried"`
+	Recovered      uint64        `json:"recovered"`
+	Goodput        uint64        `json:"goodput,omitempty"`
+	DeadlineMisses uint64        `json:"deadline_misses,omitempty"`
+	Latency        latencyReport `json:"latency"`
 }
 
 type report struct {
@@ -237,6 +246,13 @@ type report struct {
 	Retried   uint64 `json:"retried"`
 	Recovered uint64 `json:"recovered"`
 
+	// With -deadline-ms set, Goodput counts OK replies that arrived within
+	// the deadline and DeadlineMisses counts late ones — a reply a real-
+	// time client could no longer use, even though the server said 200.
+	DeadlineMs     int64  `json:"deadline_ms,omitempty"`
+	Goodput        uint64 `json:"goodput,omitempty"`
+	DeadlineMisses uint64 `json:"deadline_misses,omitempty"`
+
 	// Admits counts add events whose decision came back admitted (either
 	// profile); AddRejects counts feasibility rejections. Their split is
 	// what distinguishes a saturated scheduler (flat Admits, climbing
@@ -247,6 +263,7 @@ type report struct {
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AdmitsPerSec   float64 `json:"admits_per_sec"`
+	GoodputPerSec  float64 `json:"goodput_per_sec,omitempty"`
 
 	Latency latencyReport  `json:"latency"`
 	Targets []targetReport `json:"targets,omitempty"`
@@ -331,6 +348,8 @@ type tstat struct {
 	addRejects uint64
 	retried    uint64
 	recovered  uint64
+	good       uint64
+	dmiss      uint64
 }
 
 type worker struct {
@@ -404,15 +423,27 @@ func backoffHint(resp *http.Response) time.Duration {
 // Only a request that exhausts the budget counts as shed; one that lands
 // on a retry counts as recovered. Retry sleeps stay inside the measured
 // latency, so backoff cost is charged to the request that paid it.
-func (w *worker) send(client *http.Client, ti int, url string, batch int, payload []byte, retries int, retryMax time.Duration) {
+// deadline > 0 is stamped as X-Deadline-Ms so the server's admission gate
+// can shed instead of serving an answer that would arrive too late.
+// Returns whether the request landed (200).
+func (w *worker) send(client *http.Client, ti int, url string, batch int, payload []byte, retries int, retryMax, deadline time.Duration) bool {
 	s := &w.per[ti]
 	s.reqs++
 	s.events += uint64(batch)
 	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
 		if err != nil {
 			s.errs++
-			return
+			return false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if deadline > 0 {
+			req.Header.Set("X-Deadline-Ms", strconv.FormatInt(deadline.Milliseconds(), 10))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			s.errs++
+			return false
 		}
 		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		io.Copy(io.Discard, resp.Body)
@@ -426,10 +457,10 @@ func (w *worker) send(client *http.Client, ti int, url string, batch int, payloa
 			if rerr == nil {
 				s.countVerdicts(body)
 			}
-			return
+			return true
 		case resp.StatusCode == http.StatusConflict:
 			s.stale++
-			return
+			return false
 		case resp.StatusCode == http.StatusServiceUnavailable:
 			if attempt < retries {
 				d := backoffHint(resp)
@@ -445,10 +476,10 @@ func (w *worker) send(client *http.Client, ti int, url string, batch int, payloa
 			}
 			s.shed++
 			s.errs++
-			return
+			return false
 		default:
 			s.errs++
-			return
+			return false
 		}
 	}
 }
@@ -470,6 +501,7 @@ func run() int {
 	names := fs.Int("names", 16, "distinct task names in the event stream (widen to raise offered admission load)")
 	retries := fs.Int("retries", 3, "retry budget per request for 503 sheds (0 disables; sleeps honor the server's Retry-After)")
 	retryMax := fs.Duration("retry-max", time.Second, "cap on a single Retry-After backoff sleep")
+	deadlineMs := fs.Int64("deadline-ms", 0, "per-request deadline stamped as X-Deadline-Ms (0: none); replies later than this count as deadline misses, not goodput")
 	seed := fs.Uint64("seed", 1, "event-stream seed")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	p99Max := fs.Duration("p99-max", 0, "exit 3 if p99 latency exceeds this")
@@ -489,6 +521,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "loadgen: open mode needs -rate > 0")
 		return exitInvalidInput
 	}
+	if *deadlineMs < 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -deadline-ms must be >= 0")
+		return exitInvalidInput
+	}
+	deadline := time.Duration(*deadlineMs) * time.Millisecond
 	if len(targets) == 0 {
 		targets = []string{*url}
 	}
@@ -559,9 +596,17 @@ func run() int {
 					}
 				}
 				ti := int(n % uint64(len(targets)))
-				w.send(client, ti, endpoints[ti], *batch, payloads[n%uint64(len(payloads))], *retries, *retryMax)
+				landed := w.send(client, ti, endpoints[ti], *batch, payloads[n%uint64(len(payloads))], *retries, *retryMax, deadline)
+				lat := time.Since(sched)
 				if sched.After(measureFrom) {
-					w.per[ti].h.record(time.Since(sched))
+					w.per[ti].h.record(lat)
+				}
+				if landed && deadline > 0 {
+					if lat <= deadline {
+						w.per[ti].good++
+					} else {
+						w.per[ti].dmiss++
+					}
 				}
 			}
 		}()
@@ -575,6 +620,7 @@ func run() int {
 	rep := report{
 		Mode: *mode, URLs: targets, Conns: *conns, Batch: *batch, Names: *names,
 		TargetRate: *rate, Seed: *seed, DurationS: elapsed.Seconds(),
+		DeadlineMs: *deadlineMs,
 	}
 	h := newHist()
 	for ti, t := range targets {
@@ -591,6 +637,8 @@ func run() int {
 			tr.Admits += s.admits
 			tr.Retried += s.retried
 			tr.Recovered += s.recovered
+			tr.Goodput += s.good
+			tr.DeadlineMisses += s.dmiss
 			rep.Requests += s.reqs
 			rep.Events += s.events
 			rep.OK += s.ok
@@ -601,6 +649,8 @@ func run() int {
 			rep.AddRejects += s.addRejects
 			rep.Retried += s.retried
 			rep.Recovered += s.recovered
+			rep.Goodput += s.good
+			rep.DeadlineMisses += s.dmiss
 		}
 		tr.Latency = latencyOf(th)
 		h.merge(th)
@@ -611,6 +661,9 @@ func run() int {
 	rep.RequestsPerSec = float64(rep.Requests) / elapsed.Seconds()
 	rep.EventsPerSec = float64(rep.Events) / elapsed.Seconds()
 	rep.AdmitsPerSec = float64(rep.Admits) / elapsed.Seconds()
+	if deadline > 0 {
+		rep.GoodputPerSec = float64(rep.Goodput) / elapsed.Seconds()
+	}
 	rep.Latency = latencyOf(h)
 	for _, t := range targets {
 		if resp, err := client.Get(t + "/state"); err == nil {

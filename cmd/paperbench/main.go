@@ -281,6 +281,25 @@ func emit(what string, cfg experiments.Config, csvDir string) error {
 		return writeCSV(csvDir, "chaos.csv", func(f *os.File) error {
 			return experiments.WriteChaosSoakCSV(f, r)
 		})
+	case "gray":
+		dir, err := os.MkdirTemp("", "paperbench-gray-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r, err := experiments.GraySoak(cfg, dir, churnEvents, nil, "", chaosReplicas)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatGraySoak(r))
+		if err := writeCSV(csvDir, "gray.json", func(f *os.File) error {
+			return experiments.WriteJSON(f, r)
+		}); err != nil {
+			return err
+		}
+		return writeCSV(csvDir, "gray.csv", func(f *os.File) error {
+			return experiments.WriteGraySoakCSV(f, r)
+		})
 	case "energy":
 		rows, err := experiments.Energy("Rnd8", cfg)
 		if err != nil {
@@ -320,7 +339,11 @@ artifacts:
   chaos    cluster chaos soak (-events churn events under seeded shard
            kills, wedge-evacuations and storage faults; zero-lost-task,
            zero-clean-miss and digest-reproducibility checks)
-  all      everything above (except ilp, faults, churn and chaos)
+  gray     cluster gray-failure soak (-events churn events under seeded
+           drive brownouts; latency-SLO detection, deadline sheds and
+           proactive promotion versus a blind control drive, with
+           zero-lost-task and digest-reproducibility checks)
+  all      everything above (except ilp, faults, churn, chaos and gray)
 
 SIGINT/SIGTERM finishes the artifact in flight, keeps the CSVs already
 written, and exits with code 4; a second signal aborts immediately.

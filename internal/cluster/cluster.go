@@ -32,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"nprt/internal/feasibility"
 	"nprt/internal/journal"
@@ -101,6 +102,28 @@ type Options struct {
 	InjectReplica func(shard, slot int) journal.Injector
 	// Retry bounds the per-shard transient-failure containment loop.
 	Retry RetryOptions
+
+	// LatencySLO, when > 0, arms the gray-failure health machine: each
+	// shard's WAL write/fsync sojourns feed a windowed p99 tracker, and a
+	// shard whose p99 breaches the SLO transitions to Slow — fenced from
+	// placement, and (when replicas exist) proactively failed over via the
+	// promotion path.
+	LatencySLO time.Duration
+	// LatencyWindow is the tracker's sliding window in epochs (default 4;
+	// 1 means "current epoch only" — the deterministic-soak setting).
+	LatencyWindow int
+	// LatencyMinSamples gates the SLO evaluation: fewer samples in the
+	// window than this and the check abstains (default 2).
+	LatencyMinSamples int
+	// AdmitDeadline, when > 0 with LatencySLO armed, sheds events routed
+	// to a Slow shard with ErrShardSlow when no fast candidate exists —
+	// the cluster-level deadline propagation for drivers that bypass the
+	// serve layer.
+	AdmitDeadline time.Duration
+	// Clock, when non-nil, supplies the per-shard journal clock
+	// (runtime.StoreOptions.Clock) so deterministic soaks share one
+	// virtual clock between a shard's injectors and its WAL writer.
+	Clock func(shard int) journal.Clock
 }
 
 // Recovery reports what Open rebuilt.
@@ -160,6 +183,12 @@ type Cluster struct {
 	retry  RetryOptions
 	health []ShardHealth // containment state, by shard index (under mu)
 	failed int           // shards currently in the Failed state (under mu)
+	slow   int           // shards currently in the Slow state (under mu)
+
+	// lat[si] tracks shard si's WAL sojourn p99 (nil when LatencySLO is
+	// unset). The trackers are internally locked: Record fires from the
+	// journal Observe hook on whatever goroutine drives the shard.
+	lat []*LatencyTracker
 
 	// primary[si] is the slot directory currently holding shard si's
 	// primary store (0 until a promotion moves it); replicas[si] is its
@@ -263,6 +292,18 @@ func Open(dir string, opt Options) (*Cluster, error) {
 		health:   make([]ShardHealth, opt.Shards),
 		primary:  make([]int, opt.Shards),
 		replicas: make([][]*replica, opt.Shards),
+	}
+	// Latency trackers exist BEFORE the shard stores open: the stores'
+	// Observe hooks (wired in slotStoreOptions) capture recovery I/O too.
+	if opt.LatencySLO > 0 {
+		win := opt.LatencyWindow
+		if win <= 0 {
+			win = 4
+		}
+		c.lat = make([]*LatencyTracker, opt.Shards)
+		for i := range c.lat {
+			c.lat[i] = NewLatencyTracker(win)
+		}
 	}
 	closeAll := func() {
 		for _, sh := range c.shards {
@@ -611,11 +652,21 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 			return ticket{shard: -1, op: "add", name: name, err: runtime.ErrDuplicateTask}, false
 		}
 		// Failed shards are fenced from placement: the policy sees only the
-		// alive subset (indices mapped back through Shard.ID). With no
-		// shard alive the event is shed, not silently dropped.
+		// alive subset (indices mapped back through Shard.ID). Slow shards
+		// are fenced too — placements prefer shards meeting the SLO — but
+		// fall back into candidacy when nothing fast remains, unless an
+		// admit deadline says a slow placement is worse than a shed. With
+		// no shard alive the event is shed, not silently dropped.
 		candidates := c.shards
-		if c.failed > 0 {
-			candidates = c.aliveShardsLocked()
+		if c.failed > 0 || c.slow > 0 {
+			candidates = c.fastShardsLocked()
+			if len(candidates) == 0 {
+				if c.opt.AdmitDeadline > 0 && c.slow > 0 && len(c.aliveShardsLocked()) > 0 {
+					c.shedSlowLocked(-1)
+					return ticket{shard: -1, op: "add", name: name, err: ErrShardSlow, sick: -1}, false
+				}
+				candidates = c.aliveShardsLocked()
+			}
 			if len(candidates) == 0 {
 				return ticket{shard: -1, op: "add", name: name, err: ErrShardFailed, sick: -1}, false
 			}
@@ -656,6 +707,13 @@ func (c *Cluster) route(ev *runtime.Event, gate func(si int) bool) (tk ticket, s
 			// is retained for evacuation rather than silently dropped.
 			return ticket{shard: -1, op: "remove", name: name, err: ErrShardFailed, sick: si}, false
 		}
+		if c.health[si].State == Slow && c.opt.AdmitDeadline > 0 {
+			// Deadline propagation: the owner is over the latency SLO, so
+			// this op would miss the admit deadline — shed it now (nothing
+			// mutated; the client retries after promotion/recovery).
+			c.shedSlowLocked(si)
+			return ticket{shard: -1, op: "remove", name: name, err: ErrShardSlow, sick: si}, false
+		}
 		if gate != nil && !gate(si) {
 			return ticket{}, true
 		}
@@ -676,6 +734,35 @@ func (c *Cluster) aliveShardsLocked() []*Shard {
 		}
 	}
 	return alive
+}
+
+// fastShardsLocked returns the shards in neither Failed nor Slow state —
+// the placement candidates meeting the latency SLO.
+func (c *Cluster) fastShardsLocked() []*Shard {
+	fast := make([]*Shard, 0, len(c.shards))
+	for i, sh := range c.shards {
+		if c.health[i].State != Failed && c.health[i].State != Slow {
+			fast = append(fast, sh)
+		}
+	}
+	return fast
+}
+
+// shedSlowLocked accounts one deadline shed against shard si, or — for
+// placement sheds with no single culprit (si < 0) — against the first
+// Slow shard, deterministically.
+func (c *Cluster) shedSlowLocked(si int) {
+	if si < 0 {
+		for i := range c.health {
+			if c.health[i].State == Slow {
+				si = i
+				break
+			}
+		}
+	}
+	if si >= 0 {
+		c.health[si].DeadlineSheds++
+	}
 }
 
 // stamp assigns the next sequence number, or folds a pre-stamped one
@@ -984,6 +1071,7 @@ func (c *Cluster) RunEpoch(parallel bool) ([]ShardEpoch, error) {
 			}
 			reps[i] = ShardEpoch{Shard: sh.ID, Report: rep}
 		}
+		c.latencySweep(due, min+1)
 		return reps, nil
 	}
 	errs := make([]error, len(due))
@@ -1006,7 +1094,90 @@ func (c *Cluster) RunEpoch(parallel bool) ([]ShardEpoch, error) {
 			return nil, err
 		}
 	}
+	c.latencySweep(due, min+1)
 	return reps, nil
+}
+
+// latencySweep runs the latency-SLO check for every shard that just
+// ticked, in shard order under the cluster lock — AFTER the tick's I/O
+// completed in both serial and parallel drive modes, so health decisions
+// land at identical boundaries regardless of execution mode.
+func (c *Cluster) latencySweep(due []*Shard, epoch int64) {
+	if c.lat == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range due {
+		c.checkLatencyLocked(sh.ID, epoch)
+	}
+}
+
+// checkLatencyLocked evaluates shard si's windowed WAL p99 against the
+// SLO, drives the Healthy⇄Slow transitions, and — when replicas exist —
+// proactively promotes away from a slow primary. The tracker advances to
+// `epoch` afterwards, so the evaluation always covers the window ENDING at
+// the epoch that just ran.
+func (c *Cluster) checkLatencyLocked(si int, epoch int64) {
+	t := c.lat[si]
+	defer t.Advance(epoch)
+	h := &c.health[si]
+	minSamples := c.opt.LatencyMinSamples
+	if minSamples <= 0 {
+		minSamples = 2
+	}
+	if t.Count() < uint64(minSamples) {
+		return // abstain: not enough signal to judge the device
+	}
+	p99 := t.Quantile(0.99)
+	h.LatencyP99Ms = float64(p99) / float64(time.Millisecond)
+	if p99 <= c.opt.LatencySLO {
+		if h.State == Slow {
+			// The device recovered on its own (brownout ended, queue
+			// drained): lift the fence.
+			c.setHealthStateLocked(si, Healthy)
+			h.LastError = ""
+		}
+		return
+	}
+	if h.State == Healthy {
+		c.setHealthStateLocked(si, Slow)
+		h.SlowEvents++
+		h.LastError = fmt.Sprintf("WAL p99 %v over latency SLO %v", p99, c.opt.LatencySLO)
+	}
+	// Proactive failover: a slow primary with an in-sync follower is
+	// replaced now, before clients miss deadlines — the gray-failure
+	// counterpart of the exhausted-retry promotion in runShardOp.
+	if h.State == Slow && len(c.replicas[si]) > 0 && c.promoteShardLocked(si) {
+		t.Reset() // the samples described the demoted device
+		c.rebuildMirrorLocked(si)
+		c.setHealthStateLocked(si, Healthy)
+		h.ConsecErrs = 0
+	}
+}
+
+// CheckLatency runs the latency-SLO check for shard si at its current
+// epoch — the serve layer's per-engine hook, where each shard ticks on its
+// own clock instead of through RunEpoch.
+func (c *Cluster) CheckLatency(si int) {
+	if c.lat == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if si < 0 || si >= len(c.shards) {
+		return
+	}
+	c.checkLatencyLocked(si, c.shards[si].Store.Epoch())
+}
+
+// ShardLatencyP99 reports shard si's current windowed WAL p99 sojourn
+// (zero when latency tracking is off or the window is empty).
+func (c *Cluster) ShardLatencyP99(si int) time.Duration {
+	if c.lat == nil || si < 0 || si >= len(c.lat) {
+		return 0
+	}
+	return c.lat[si].Quantile(0.99)
 }
 
 // Checkpoint snapshots every shard store (compacting its WAL) and then the

@@ -43,6 +43,13 @@ const (
 	// Failed: the retry budget was exhausted (or the driver declared the
 	// shard dead). Fenced from routing until evacuated and re-imaged.
 	Failed
+	// Slow: the shard serves correctly but its WAL p99 sojourn breached
+	// the latency SLO (gray failure), or its engine is stuck inside one op
+	// (watchdog). Fenced from placement; existing tasks still served.
+	// Cleared by the latency check once p99 recovers or by a proactive
+	// promotion away from the slow primary. Appended after Failed so the
+	// numeric values of the original states are stable.
+	Slow
 )
 
 // String names the state.
@@ -54,6 +61,8 @@ func (s HealthState) String() string {
 		return "degraded"
 	case Failed:
 		return "failed"
+	case Slow:
+		return "slow"
 	}
 	return fmt.Sprintf("state%d", uint8(s))
 }
@@ -79,6 +88,15 @@ type ShardHealth struct {
 	// ReplicaReseeds counts followers rebuilt back into sync.
 	ReplicaDemotions uint64 `json:"replica_demotions,omitempty"`
 	ReplicaReseeds   uint64 `json:"replica_reseeds,omitempty"`
+	// SlowEvents counts latency-SLO breaches (and watchdog triggers) that
+	// transitioned the shard into Slow.
+	SlowEvents uint64 `json:"slow_events,omitempty"`
+	// DeadlineSheds counts events shed at routing because the shard was
+	// Slow and the cluster's admit deadline could not be met.
+	DeadlineSheds uint64 `json:"deadline_sheds,omitempty"`
+	// LatencyP99Ms is the last evaluated WAL p99 sojourn in milliseconds
+	// (0 until the latency tracker has enough samples).
+	LatencyP99Ms float64 `json:"latency_p99_ms,omitempty"`
 	// LastError is the most recent op error, "" when none.
 	LastError string `json:"last_error,omitempty"`
 }
@@ -87,6 +105,13 @@ type ShardHealth struct {
 // targeted) a shard in the Failed state. The serve layer maps it to
 // partition-scoped load shedding: 503 + Retry-After for this event only.
 var ErrShardFailed = errors.New("cluster: shard failed")
+
+// ErrShardSlow reports that an event targeting a Slow shard was shed
+// because the cluster's admit deadline could not be met at the shard's
+// current latency. Like ErrShardFailed, the serve layer maps it to a
+// partition-scoped 503 — but the shard is alive, so Retry-After hints at
+// the promotion/recovery horizon rather than evacuation.
+var ErrShardSlow = errors.New("cluster: shard over latency SLO")
 
 // RetryOptions bounds the transient-failure containment loop.
 type RetryOptions struct {
@@ -161,17 +186,52 @@ func (c *Cluster) healthLocked(si int) ShardHealth {
 	return h
 }
 
+// setHealthStateLocked transitions shard si to state s, maintaining the
+// fenced-shard counters (c.failed, c.slow) that route() consults. The only
+// legal way to change a shard's State field.
+func (c *Cluster) setHealthStateLocked(si int, s HealthState) {
+	h := &c.health[si]
+	if h.State == s {
+		return
+	}
+	switch h.State {
+	case Failed:
+		c.failed--
+	case Slow:
+		c.slow--
+	}
+	switch s {
+	case Failed:
+		c.failed++
+	case Slow:
+		c.slow++
+	}
+	h.State = s
+}
+
 // FailShard declares shard si Failed without consuming the retry budget —
 // the driver-side path for a failure detected outside an op (the chaos
 // soak wedging a device it owns, or an operator decision). Idempotent.
 func (c *Cluster) FailShard(si int, cause string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.setHealthStateLocked(si, Failed)
+	c.health[si].LastError = cause
+}
+
+// NoteStuck flags shard si as Slow from outside the op path — the serve
+// layer's per-shard watchdog calls it when an engine goroutine has been
+// inside a single store op longer than its stuck threshold. Idempotent
+// while already Slow or Failed.
+func (c *Cluster) NoteStuck(si int, cause string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	h := &c.health[si]
-	if h.State != Failed {
-		c.failed++
+	if h.State != Healthy && h.State != Degraded {
+		return
 	}
-	h.State = Failed
+	c.setHealthStateLocked(si, Slow)
+	h.SlowEvents++
 	h.LastError = cause
 }
 
@@ -227,8 +287,11 @@ func (c *Cluster) runShardOp(si int, locked bool, op func(st *runtime.Store) err
 		h := &c.health[si]
 		if err == nil {
 			h.ConsecErrs = 0
+			// Slow is NOT healed here: op success says nothing about
+			// latency; only the latency check (p99 back under SLO, or a
+			// promotion away from the slow device) clears it.
 			if h.State == Degraded {
-				h.State = Healthy
+				c.setHealthStateLocked(si, Healthy)
 			}
 			if rebuilt {
 				c.rebuildMirrorLocked(si)
@@ -244,8 +307,8 @@ func (c *Cluster) runShardOp(si int, locked bool, op func(st *runtime.Store) err
 		h.ConsecErrs++
 		h.TotalErrs++
 		h.LastError = err.Error()
-		if h.State == Healthy {
-			h.State = Degraded
+		if h.State == Healthy || h.State == Slow {
+			c.setHealthStateLocked(si, Degraded)
 		}
 		if attempt >= ro.MaxAttempts {
 			// Before declaring the shard Failed, try failover: promote an
@@ -259,10 +322,7 @@ func (c *Cluster) runShardOp(si int, locked bool, op func(st *runtime.Store) err
 				unlock()
 				continue
 			}
-			if h.State != Failed {
-				c.failed++
-			}
-			h.State = Failed
+			c.setHealthStateLocked(si, Failed)
 			if rebuilt {
 				c.rebuildMirrorLocked(si)
 			}

@@ -266,8 +266,7 @@ func (c *Cluster) EvacuateShard(si int) (EvacReport, error) {
 		return rep, fmt.Errorf("cluster: evacuate shard %d: single-shard cluster has nowhere to drain", si)
 	}
 	if c.health[si].State != Failed {
-		c.failed++
-		c.health[si].State = Failed
+		c.setHealthStateLocked(si, Failed)
 		if c.health[si].LastError == "" {
 			c.health[si].LastError = "evacuated by operator"
 		}
@@ -365,11 +364,8 @@ func (c *Cluster) reimageShardLocked(si int) error {
 	}
 	sh.Store, sh.closed = st, false
 	sh.inc.Reset(nil)
+	c.setHealthStateLocked(si, Healthy)
 	h := &c.health[si]
-	if h.State == Failed {
-		c.failed--
-	}
-	h.State = Healthy
 	h.ConsecErrs = 0
 	h.LastError = ""
 	h.Reimages++

@@ -349,6 +349,17 @@ func (c *Cluster) slotStoreOptions(si, slot int) runtime.StoreOptions {
 	if inj := c.slotInjector(si, slot); inj != nil {
 		so.Inject = inj
 	}
+	if c.opt.Clock != nil {
+		so.Clock = c.opt.Clock(si)
+	}
+	// Latency capture follows the primary ROLE, not the drive: only the
+	// primary's WAL writer is opened through this path, so after a
+	// promotion the tracker automatically samples the new device. Mirror
+	// ships never pass through here and never pollute the samples.
+	if c.lat != nil {
+		t := c.lat[si]
+		so.Observe = func(sync bool, d time.Duration) { t.Record(d) }
+	}
 	return so
 }
 

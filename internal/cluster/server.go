@@ -38,16 +38,26 @@ type Server struct {
 
 	queues []chan sticket
 	rows   []atomic.Pointer[ShardRow]
+	ctls   []*serve.QueueCtl // per-shard drain-rate + adaptive admission
+
+	// opStart[si] is the wall-clock nanos when shard si's engine entered
+	// its current store op (0 while idle) — the watchdog's heartbeat. An
+	// engine stuck inside ONE op (a device that neither errors nor
+	// returns) never trips the error-driven health machine; the watchdog
+	// flags it Slow from outside.
+	opStart []atomic.Int64
 
 	ready       atomic.Bool
 	stop        chan struct{}
 	enginesDone sync.WaitGroup
 	fatal       chan error
 
-	admitted atomic.Uint64
-	rejected atomic.Uint64
-	shed     atomic.Uint64
-	lastErr  atomic.Pointer[string]
+	admitted     atomic.Uint64
+	rejected     atomic.Uint64
+	shed         atomic.Uint64
+	deadlineShed atomic.Uint64
+	codelShed    atomic.Uint64
+	lastErr      atomic.Pointer[string]
 }
 
 // ServeOptions parameterizes NewServer.
@@ -68,6 +78,14 @@ type ServeOptions struct {
 	CheckpointEvery int
 	// MaxBatchEvents caps /admit/batch (default 256).
 	MaxBatchEvents int
+	// CoDelTarget/CoDelInterval arm per-shard CoDel-style adaptive queue
+	// control (see serve.Options; zero target disables).
+	CoDelTarget   time.Duration
+	CoDelInterval time.Duration
+	// StuckOpAfter, when positive, arms the per-shard watchdog: an engine
+	// goroutine inside a single store op longer than this is flagged Slow
+	// via Cluster.NoteStuck (0 = watchdog off).
+	StuckOpAfter time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +114,7 @@ type sticket struct {
 	tk    ticket
 	pos   int // caller's slot, echoed in the reply
 	reply chan sreply
+	enq   time.Time // when the sticket entered the shard queue
 }
 
 // sreply is one engine's answer for one sticket.
@@ -132,6 +151,13 @@ type ShardRow struct {
 	PrimarySlot int           `json:"primary_slot"`
 	Replicas    []ReplicaInfo `json:"replicas,omitempty"`
 
+	// WALP99Ms is the shard's windowed WAL p99 sojourn in milliseconds
+	// (0 when latency tracking is off); QueueWaitMs / DrainPerSec are the
+	// shard queue's last observed sojourn and measured drain rate.
+	WALP99Ms    float64 `json:"wal_p99_ms,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+	DrainPerSec float64 `json:"drain_per_sec,omitempty"`
+
 	Commit *serve.CommitState `json:"commit,omitempty"`
 }
 
@@ -151,11 +177,18 @@ type ClusterState struct {
 	// FailedShards counts shards currently fenced in the Failed state;
 	// their partitions shed (503) until evacuation while the rest serve.
 	FailedShards int `json:"failed_shards,omitempty"`
+	// SlowShards counts shards currently fenced in the Slow state (over
+	// the latency SLO); they serve removes but take no new placements.
+	SlowShards int `json:"slow_shards,omitempty"`
 
 	Admitted  uint64 `json:"admitted"`
 	Rejected  uint64 `json:"rejected"`
 	LoadShed  uint64 `json:"load_shed"`
 	LastError string `json:"last_error,omitempty"`
+
+	// DeadlineShed / CoDelShed break out the enqueue-gate sheds by cause.
+	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
+	CoDelShed    uint64 `json:"codel_shed,omitempty"`
 
 	PerShard []ShardRow `json:"per_shard"`
 }
@@ -178,14 +211,58 @@ func (s *Server) Attach(c *Cluster) {
 	n := len(c.shards)
 	s.queues = make([]chan sticket, n)
 	s.rows = make([]atomic.Pointer[ShardRow], n)
+	s.ctls = make([]*serve.QueueCtl, n)
+	s.opStart = make([]atomic.Int64, n)
 	for i := 0; i < n; i++ {
 		s.queues[i] = make(chan sticket, s.opt.QueueDepth)
+		s.ctls[i] = serve.NewQueueCtl(s.opt.CoDelTarget, s.opt.CoDelInterval)
 		s.publishShard(i)
 		s.enginesDone.Add(1)
 		go s.engine(i)
 	}
+	if s.opt.StuckOpAfter > 0 {
+		go s.watchdog()
+	}
 	s.ready.Store(true)
 }
+
+// watchdog periodically scans every shard engine's in-op heartbeat and
+// flags the ones stuck inside a single store op. It exits with the server.
+func (s *Server) watchdog() {
+	period := s.opt.StuckOpAfter / 2
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-tk.C:
+			s.scanStuck(time.Now())
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// scanStuck is one watchdog pass (split out for tests): any engine whose
+// current op began more than StuckOpAfter ago is reported to the health
+// machine as Slow.
+func (s *Server) scanStuck(now time.Time) {
+	for si := range s.opStart {
+		start := s.opStart[si].Load()
+		if start == 0 {
+			continue
+		}
+		if stuck := now.Sub(time.Unix(0, start)); stuck > s.opt.StuckOpAfter {
+			s.c.NoteStuck(si, fmt.Sprintf("engine stuck in one store op for %v", stuck))
+		}
+	}
+}
+
+// enterOp/leaveOp bracket a shard engine's store ops for the watchdog.
+func (s *Server) enterOp(si int) { s.opStart[si].Store(time.Now().UnixNano()) }
+func (s *Server) leaveOp(si int) { s.opStart[si].Store(0) }
 
 // Fatal delivers at most one unrecoverable engine error.
 func (s *Server) Fatal() <-chan error { return s.fatal }
@@ -236,7 +313,11 @@ func (s *Server) engine(si int) {
 				return
 			}
 		case <-tick:
-			if _, err := s.c.shardEpoch(si); err != nil {
+			s.enterOp(si)
+			_, err := s.c.shardEpoch(si)
+			s.leaveOp(si)
+			s.c.CheckLatency(si) // latency health rides the epoch cadence
+			if err != nil {
 				if errors.Is(err, ErrShardFailed) {
 					// Containment: this shard is fenced and sheds until an
 					// operator evacuates it; the other engines keep serving.
@@ -249,10 +330,12 @@ func (s *Server) engine(si int) {
 			}
 			epochs++
 			if s.opt.CheckpointEvery > 0 && epochs%s.opt.CheckpointEvery == 0 {
+				s.enterOp(si)
 				_, err := s.c.runShardOp(si, false, func(st *runtime.Store) error {
 					_, cerr := st.Checkpoint()
 					return cerr
 				})
+				s.leaveOp(si)
 				if err != nil && !errors.Is(err, ErrShardFailed) {
 					s.fail(fmt.Errorf("shard %d checkpoint: %w", si, err))
 					return
@@ -325,13 +408,18 @@ func (s *Server) gather(batch []sticket, t sticket, q chan sticket) []sticket {
 // cluster mutex), publishes, then replies. false = a genuinely fatal,
 // non-containable failure.
 func (s *Server) serveBatch(si int, batch []sticket) bool {
+	start := time.Now()
 	epoch := s.c.shards[si].Store.Epoch()
 	evs := make([]runtime.Event, len(batch))
 	for i := range batch {
 		evs[i] = batch[i].ev
 		evs[i].Epoch = epoch // journaled events replay at the live position
 	}
+	s.enterOp(si)
 	decs, errs, _, err := s.c.shardApplyBatch(si, evs)
+	s.leaveOp(si)
+	now := time.Now()
+	s.ctls[si].Observe(len(batch), now.Sub(start), start.Sub(batch[0].enq), now)
 	if err != nil && !errors.Is(err, ErrShardFailed) {
 		s.fail(fmt.Errorf("shard %d admit: %w", si, err))
 		for i := range batch {
@@ -411,6 +499,11 @@ func (s *Server) publishShard(si int) {
 		QueueCap:      cap(s.queues[si]),
 		Commit:        &serve.CommitState{GroupStats: cs, RecordsPerSync: cs.RecordsPerSync()},
 	}
+	if s.ctls != nil {
+		row.QueueWaitMs = float64(s.ctls[si].LastSojourn()) / float64(time.Millisecond)
+		row.DrainPerSec = s.ctls[si].DrainPerSec()
+	}
+	row.WALP99Ms = float64(s.c.ShardLatencyP99(si)) / float64(time.Millisecond)
 	// Mirror, health, and replica roles are router state: read them under
 	// the router lock.
 	s.c.mu.Lock()
@@ -448,6 +541,8 @@ func (s *Server) Snapshot() ClusterState {
 	st.Admitted = s.admitted.Load()
 	st.Rejected = s.rejected.Load()
 	st.LoadShed = s.shed.Load()
+	st.DeadlineShed = s.deadlineShed.Load()
+	st.CoDelShed = s.codelShed.Load()
 	if msg := s.lastErr.Load(); msg != nil {
 		st.LastError = *msg
 	}
@@ -462,6 +557,7 @@ func (s *Server) Snapshot() ClusterState {
 	st.RR = s.c.rr
 	st.Seq = s.c.seq
 	st.FailedShards = s.c.failed
+	st.SlowShards = s.c.slow
 	s.c.mu.Unlock()
 	first := true
 	for i := range s.rows {
@@ -479,60 +575,90 @@ func (s *Server) Snapshot() ClusterState {
 	return st
 }
 
+// errAdmitDeadline is the serve-layer deadline shed: the predicted queue
+// wait at the target shard already exceeds the client's X-Deadline-Ms.
+var errAdmitDeadline = errors.New("cluster: predicted queue wait exceeds request deadline")
+
+// errAdmitCoDel is the adaptive shed: the target shard's queue has been
+// standing over the CoDel target, and this arrival drew the paced drop.
+var errAdmitCoDel = errors.New("cluster: admission queue standing over target")
+
 // routeIn routes one decoded event under the router locks and fans it out
 // to the shard queues. Returns the reply channel and how many replies to
 // expect; synthesized results come back immediately in synth. shed=true
-// means a queue was full or the server is draining; sick is the fenced
-// shard when the shed is partition-scoped (-1 otherwise), so the handler
-// can derive Retry-After from that shard's containment state.
-func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply) (expect int, synth *sreply, sick int, shed bool) {
+// means the event was not accepted: sick names the fenced shard when the
+// shed is partition-scoped (-1 otherwise), and shedErr distinguishes the
+// cause (ErrShardFailed / ErrShardSlow / errAdmitDeadline / errAdmitCoDel;
+// nil for queue-full-or-draining), so the handler can derive the right
+// Retry-After. deadline is the client's propagated budget (0 = none): the
+// enqueue gate sheds when the target shard's predicted queue wait
+// (measured drain rate × depth) already exceeds it.
+func (s *Server) routeIn(ev runtime.Event, pos int, reply chan sreply, deadline time.Duration) (expect int, synth *sreply, sick int, shedErr error, shed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return 0, nil, -1, true
+		return 0, nil, -1, nil, true
 	}
+	now := time.Now()
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
 	if ev.Op == "overload" {
 		// Failed shards are fenced from the fan-out (broadcastLocked skips
-		// them too — they rejoin empty after evacuation).
+		// them too — they rejoin empty after evacuation). Broadcasts carry
+		// no deadline gate: they are control events, not client admissions.
 		targets := make([]int, 0, len(s.queues))
 		for si, q := range s.queues {
 			if s.c.health[si].State == Failed {
 				continue
 			}
 			if len(q) == cap(q) {
-				return 0, nil, -1, true
+				return 0, nil, -1, nil, true
 			}
 			targets = append(targets, si)
 		}
 		if len(targets) == 0 {
-			return 0, nil, -1, true
+			return 0, nil, -1, nil, true
 		}
 		s.c.stamp(&ev)
 		for _, si := range targets {
-			s.queues[si] <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply}
+			s.queues[si] <- sticket{ev: ev, tk: ticket{shard: si, op: "overload"}, pos: pos, reply: reply, enq: now}
 		}
 		s.admitted.Add(1)
-		return len(targets), nil, -1, false
+		return len(targets), nil, -1, nil, false
 	}
-	tk, routeShed := s.c.route(&ev, func(si int) bool { return len(s.queues[si]) < cap(s.queues[si]) })
+	var gateErr error
+	gate := func(si int) bool {
+		if len(s.queues[si]) >= cap(s.queues[si]) {
+			return false
+		}
+		reason, _ := s.ctls[si].Admit(now, len(s.queues[si]), deadline)
+		switch reason {
+		case "deadline":
+			gateErr = errAdmitDeadline
+			return false
+		case "codel":
+			gateErr = errAdmitCoDel
+			return false
+		}
+		return true
+	}
+	tk, routeShed := s.c.route(&ev, gate)
 	if routeShed {
-		return 0, nil, -1, true
+		return 0, nil, -1, gateErr, true
 	}
 	if tk.shard < 0 {
-		if errors.Is(tk.err, ErrShardFailed) {
+		if errors.Is(tk.err, ErrShardFailed) || errors.Is(tk.err, ErrShardSlow) {
 			// Partition-scoped load shedding: only events routed to a sick
-			// shard are shed (503 + Retry-After); the rest keep serving.
-			return 0, nil, tk.sick, true
+			// (dead or over-SLO) shard are shed; the rest keep serving.
+			return 0, nil, tk.sick, tk.err, true
 		}
 		res := synthResult(&ev, tk)
-		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, -1, false
+		return 0, &sreply{pos: pos, shard: -1, dec: res.Decision, err: tk.err}, -1, nil, false
 	}
 	// Space was gated above and only lock-holders enqueue, so this send
 	// cannot block.
-	s.queues[tk.shard] <- sticket{ev: ev, tk: tk, pos: pos, reply: reply}
-	return 1, nil, -1, false
+	s.queues[tk.shard] <- sticket{ev: ev, tk: tk, pos: pos, reply: reply, enq: now}
+	return 1, nil, -1, nil, false
 }
 
 // Handler returns the control-plane mux — the same surface as the
@@ -617,14 +743,24 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline := serve.DeadlineMs(r)
 	reply := make(chan sreply, len(s.queues))
-	expect, synth, sick, shedded := s.routeIn(ev, 0, reply)
+	expect, synth, sick, shedErr, shedded := s.routeIn(ev, 0, reply, deadline)
 	if shedded {
 		serve.PutDecoder(d)
 		s.shed.Add(1)
-		if sick >= 0 {
-			s.unavailableShard(w, sick, ErrShardFailed.Error())
-		} else {
+		switch {
+		case sick >= 0:
+			s.unavailableShard(w, sick, shedErr.Error())
+		case errors.Is(shedErr, errAdmitDeadline):
+			s.deadlineShed.Add(1)
+			s.unavailable(w, shedErr.Error())
+		case errors.Is(shedErr, errAdmitCoDel):
+			s.codelShed.Add(1)
+			s.unavailable(w, shedErr.Error())
+		case shedErr != nil:
+			s.unavailable(w, shedErr.Error())
+		default:
 			s.unavailable(w, "admission queue full or draining")
 		}
 		return
@@ -636,7 +772,11 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	wait := s.opt.RequestTimeout
+	if deadline > 0 && deadline < wait {
+		wait = deadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 	var got sreply
 	for i := 0; i < expect; i++ {
@@ -657,9 +797,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	serve.PutDecoder(d)
-	if errors.Is(got.err, ErrShardFailed) {
-		// The owning shard exhausted its containment budget mid-request:
-		// retryable partition-scoped failure, not a server error.
+	if errors.Is(got.err, ErrShardFailed) || errors.Is(got.err, ErrShardSlow) {
+		// The owning shard exhausted its containment budget (or fell over
+		// the latency SLO) mid-request: retryable partition-scoped
+		// failure, not a server error.
 		s.unavailableShard(w, got.shard, got.err.Error())
 		return
 	}
@@ -706,6 +847,7 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline := serve.DeadlineMs(r)
 	reply := make(chan sreply, len(evs)*maxInt2(1, len(s.queues)))
 	expect := 0
 	for i := range evs {
@@ -714,16 +856,25 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: err.Error()}
 			continue
 		}
-		n, synth, sick, shedded := s.routeIn(evs[i], i, reply)
+		n, synth, sick, shedErr, shedded := s.routeIn(evs[i], i, reply, deadline)
 		switch {
 		case shedded:
 			s.shed.Add(1)
 			msg := "load shed: queue full or draining"
-			if sick >= 0 {
+			switch {
+			case sick >= 0:
 				// Partition-scoped: tell the client how long the fenced
 				// shard's own containment machinery will wait.
 				msg = fmt.Sprintf("load shed: %v; retry after %dms",
-					ErrShardFailed, s.c.RetryAfterHint(sick).Milliseconds())
+					shedErr, s.c.RetryAfterHint(sick).Milliseconds())
+			case errors.Is(shedErr, errAdmitDeadline):
+				s.deadlineShed.Add(1)
+				msg = "load shed: " + shedErr.Error()
+			case errors.Is(shedErr, errAdmitCoDel):
+				s.codelShed.Add(1)
+				msg = "load shed: " + shedErr.Error()
+			case shedErr != nil:
+				msg = "load shed: " + shedErr.Error()
 			}
 			out.Decisions[i] = decisionEntry{Shard: -1, Decision: runtime.Decision{Op: evs[i].Op}, Error: msg}
 		case synth != nil:
@@ -734,7 +885,11 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	wait := s.opt.RequestTimeout
+	if deadline > 0 && deadline < wait {
+		wait = deadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 	seen := make(map[int]bool)
 	for got := 0; got < expect; got++ {
@@ -776,12 +931,21 @@ func writeEntry(w http.ResponseWriter, status int, e decisionEntry) {
 	enc.Encode(e)
 }
 
+// unavailable writes a generic load-shedding 503: Retry-After in whole
+// seconds (ceiling, minimum 1 — a sub-second hint must never round down
+// to "retry immediately") plus Retry-After-Ms with the real value.
 func (s *Server) unavailable(w http.ResponseWriter, msg string) {
-	secs := int(s.opt.RetryAfter.Round(time.Second) / time.Second)
+	hint := s.opt.RetryAfter
+	secs := int((hint + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	ms := hint.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After-Ms", strconv.FormatInt(ms, 10))
 	httpError(w, http.StatusServiceUnavailable, msg)
 }
 

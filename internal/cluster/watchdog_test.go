@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	schedrt "nprt/internal/runtime"
+)
+
+// TestWatchdogFlagsStuckEngine pins the scan itself (white-box, no timer):
+// an engine whose current store op started longer than StuckOpAfter ago is
+// reported Slow via NoteStuck; idle engines and fresh ops are left alone,
+// and a second scan over the same stuck op does not double-count.
+func TestWatchdogFlagsStuckEngine(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{
+		Shards: 2,
+		Store:  schedrt.StoreOptions{NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// White-box server: wire the watchdog's inputs without starting the
+	// engines — opStart is exactly the heartbeat the engines would bump.
+	s := NewServer(ServeOptions{StuckOpAfter: 50 * time.Millisecond})
+	s.c = c
+	s.opStart = make([]atomic.Int64, 2)
+
+	now := time.Now()
+	s.opStart[0].Store(now.Add(-time.Second).UnixNano()) // stuck for 1s
+	s.opStart[1].Store(now.Add(-time.Millisecond).UnixNano())
+
+	s.scanStuck(now)
+	h := c.Health(0)
+	if h.State != Slow || h.SlowEvents != 1 {
+		t.Fatalf("stuck engine not flagged: %+v", h)
+	}
+	if !strings.Contains(h.LastError, "stuck") {
+		t.Fatalf("cause does not name the watchdog: %q", h.LastError)
+	}
+	if h := c.Health(1); h.State != Healthy || h.SlowEvents != 0 {
+		t.Fatalf("fresh op misflagged: %+v", h)
+	}
+
+	// Shard 1's op completes normally before the next pass.
+	s.opStart[1].Store(0)
+
+	// Re-scan while still stuck: NoteStuck is idempotent on a Slow shard.
+	s.scanStuck(now.Add(time.Second))
+	if h := c.Health(0); h.SlowEvents != 1 {
+		t.Fatalf("re-scan double-counted: %+v", h)
+	}
+
+	// The op returns; the next scan sees an idle engine and flags nothing
+	// new (healing is the latency check's job, not the watchdog's).
+	s.opStart[0].Store(0)
+	s.scanStuck(now.Add(2 * time.Second))
+	if h := c.Health(1); h.State != Healthy {
+		t.Fatalf("idle engine flagged: %+v", h)
+	}
+}

@@ -1,0 +1,59 @@
+package journal
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the journal layer. Production code uses
+// WallClock; deterministic tests and soaks substitute a VirtualClock so
+// injected drive delays advance time instantly and replay bit-identically.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time        { return time.Now() }
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a deterministic clock: Sleep advances Now instantly
+// without blocking the caller. Safe for concurrent use; each Sleep is an
+// atomic advance, so concurrent sleepers accumulate rather than overlap.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a VirtualClock starting at the Unix epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: time.Unix(0, 0)}
+}
+
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward without a sleeper, e.g. to model
+// background time passing between operations.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

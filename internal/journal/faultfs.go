@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"nprt/internal/rng"
 )
@@ -42,17 +43,30 @@ type FaultRates struct {
 	FullProb     float64 // P(write fails with disk-full) per write op
 	StallProb    float64 // P(a stall window opens) per write op
 	StallOps     int     // ops failed per stall window (default 3)
+
+	// Slow-op injection: with probability SlowProb, an op succeeds but
+	// sleeps a deterministic virtual delay drawn uniformly from
+	// [SlowMin, SlowMax] — the gray-failure model, distinct from the
+	// instant-error stall above. Delays are drawn on the same op index as
+	// the fault class (new salts), so enabling SlowProb does not shift the
+	// existing fault streams. SlowMax defaults to 2ms when SlowProb > 0.
+	SlowProb float64
+	SlowMin  time.Duration
+	SlowMax  time.Duration
 }
 
 // Validate rejects rates outside [0, 1] or summing past 1 per op class.
 func (r FaultRates) Validate() error {
-	for _, p := range []float64{r.SyncFailProb, r.TornProb, r.FullProb, r.StallProb} {
+	for _, p := range []float64{r.SyncFailProb, r.TornProb, r.FullProb, r.StallProb, r.SlowProb} {
 		if p < 0 || p > 1 {
 			return fmt.Errorf("journal: fault probability %v outside [0, 1]", p)
 		}
 	}
 	if s := r.TornProb + r.FullProb + r.StallProb; s > 1 {
 		return fmt.Errorf("journal: write fault probabilities sum to %v > 1", s)
+	}
+	if r.SlowMin < 0 || r.SlowMax < 0 || (r.SlowMax > 0 && r.SlowMin > r.SlowMax) {
+		return fmt.Errorf("journal: slow delay range [%v, %v] invalid", r.SlowMin, r.SlowMax)
 	}
 	return nil
 }
@@ -67,6 +81,7 @@ type FaultStats struct {
 	StallOps   uint64 `json:"stall_ops"`
 	WedgeFails uint64 `json:"wedge_fails"`
 	BitFlips   uint64 `json:"bit_flips"` // armed silent corruptions delivered
+	SlowOps    uint64 `json:"slow_ops"`  // ops delayed (seeded slow or brownout)
 }
 
 // FaultFS is a seeded, deterministic Injector. The op counter is owned by
@@ -83,6 +98,8 @@ type FaultFS struct {
 	wedged    bool
 	suspended bool
 	flipArmed bool
+	clock     Clock         // sleeps injected delays; defaults to WallClock
+	brown     time.Duration // driver-initiated persistent per-op delay
 	stats     FaultStats
 }
 
@@ -96,7 +113,36 @@ func NewFaultFS(seed uint64, rates FaultRates) *FaultFS {
 	if rates.StallOps <= 0 {
 		rates.StallOps = 3
 	}
-	return &FaultFS{seed: seed, rates: rates}
+	if rates.SlowProb > 0 && rates.SlowMax <= 0 {
+		rates.SlowMax = 2 * time.Millisecond
+	}
+	return &FaultFS{seed: seed, rates: rates, clock: WallClock{}}
+}
+
+// SetClock substitutes the clock that serves injected delays. Deterministic
+// soaks share one VirtualClock between the injector and the journal writer
+// so the injected delay is exactly the observed sojourn.
+func (f *FaultFS) SetClock(c Clock) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c != nil {
+		f.clock = c
+	}
+}
+
+// slowDelay returns the injected delay for op, drawn on salts 4 (decision)
+// and 5 (magnitude) so the pre-existing fault streams (salts 1–3) are
+// unshifted, plus any active brownout. Caller holds f.mu.
+func (f *FaultFS) slowDelay(op uint64) time.Duration {
+	d := f.brown
+	if f.rates.SlowProb > 0 && f.draw(op, 4) < f.rates.SlowProb {
+		span := float64(f.rates.SlowMax - f.rates.SlowMin)
+		d += f.rates.SlowMin + time.Duration(f.draw(op, 5)*span)
+	}
+	if d > 0 {
+		f.stats.SlowOps++
+	}
+	return d
 }
 
 // draw returns the uniform sample for (op, salt) — pure in (seed, op,
@@ -106,56 +152,76 @@ func (f *FaultFS) draw(op, salt uint64) float64 {
 	return rng.New(key).Float64()
 }
 
-// Write implements Injector for one record write of n bytes.
+// Write implements Injector for one record write of n bytes. The fault
+// decision and any injected delay are computed under the mutex; the delay
+// itself is slept after unlocking so a slow op never blocks the fault
+// schedule of concurrent callers.
 func (f *FaultFS) Write(n int) (int, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.suspended {
+		// Maintenance window: no op index consumed, no delay served.
+		f.mu.Unlock()
 		return n, nil
 	}
 	op := f.ops
 	f.ops++
 	f.stats.Ops++
 	if f.wedged {
+		// A dead device errors instantly — slowness is the gray model,
+		// wedge the black one.
 		f.stats.WedgeFails++
+		f.mu.Unlock()
 		return 0, ErrInjectedWedge
 	}
-	if f.stallLeft > 0 {
+	var (
+		ret  = n
+		rerr error
+	)
+	switch {
+	case f.stallLeft > 0:
 		f.stallLeft--
 		f.stats.StallOps++
-		return 0, ErrInjectedStall
-	}
-	u := f.draw(op, 1)
-	switch {
-	case u < f.rates.TornProb:
-		f.stats.TornWrites++
-		// The landed prefix length is its own deterministic draw, in
-		// [0, n): at least one byte is always lost.
-		k := int(f.draw(op, 2) * float64(n))
-		if k >= n {
-			k = n - 1
+		ret, rerr = 0, ErrInjectedStall
+	default:
+		u := f.draw(op, 1)
+		switch {
+		case u < f.rates.TornProb:
+			f.stats.TornWrites++
+			// The landed prefix length is its own deterministic draw, in
+			// [0, n): at least one byte is always lost.
+			k := int(f.draw(op, 2) * float64(n))
+			if k >= n {
+				k = n - 1
+			}
+			if k < 0 {
+				k = 0
+			}
+			ret, rerr = k, ErrInjectedTorn
+		case u < f.rates.TornProb+f.rates.FullProb:
+			f.stats.FullWrites++
+			ret, rerr = 0, ErrInjectedFull
+		case u < f.rates.TornProb+f.rates.FullProb+f.rates.StallProb:
+			f.stats.Stalls++
+			f.stats.StallOps++
+			f.stallLeft = f.rates.StallOps - 1
+			ret, rerr = 0, ErrInjectedStall
 		}
-		if k < 0 {
-			k = 0
-		}
-		return k, ErrInjectedTorn
-	case u < f.rates.TornProb+f.rates.FullProb:
-		f.stats.FullWrites++
-		return 0, ErrInjectedFull
-	case u < f.rates.TornProb+f.rates.FullProb+f.rates.StallProb:
-		f.stats.Stalls++
-		f.stats.StallOps++
-		f.stallLeft = f.rates.StallOps - 1
-		return 0, ErrInjectedStall
 	}
-	return n, nil
+	delay := f.slowDelay(op)
+	clock := f.clock
+	f.mu.Unlock()
+	if delay > 0 {
+		clock.Sleep(delay)
+	}
+	return ret, rerr
 }
 
-// Sync implements Injector for one fsync (file or directory).
+// Sync implements Injector for one fsync (file or directory). Same
+// compute-under-lock, sleep-after-unlock discipline as Write.
 func (f *FaultFS) Sync() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.suspended {
+		f.mu.Unlock()
 		return nil
 	}
 	op := f.ops
@@ -163,18 +229,26 @@ func (f *FaultFS) Sync() error {
 	f.stats.Ops++
 	if f.wedged {
 		f.stats.WedgeFails++
+		f.mu.Unlock()
 		return ErrInjectedWedge
 	}
-	if f.stallLeft > 0 {
+	var rerr error
+	switch {
+	case f.stallLeft > 0:
 		f.stallLeft--
 		f.stats.StallOps++
-		return ErrInjectedStall
-	}
-	if f.draw(op, 3) < f.rates.SyncFailProb {
+		rerr = ErrInjectedStall
+	case f.draw(op, 3) < f.rates.SyncFailProb:
 		f.stats.SyncFails++
-		return ErrInjectedSync
+		rerr = ErrInjectedSync
 	}
-	return nil
+	delay := f.slowDelay(op)
+	clock := f.clock
+	f.mu.Unlock()
+	if delay > 0 {
+		clock.Sleep(delay)
+	}
+	return rerr
 }
 
 // Wedge fails every subsequent op until Heal — the model of a dead device.
@@ -187,12 +261,30 @@ func (f *FaultFS) Wedge() {
 	f.wedged = true
 }
 
-// Heal ends a wedge (and any open stall window): the disk was replaced.
+// Heal ends a wedge (and any open stall window or brownout): the disk was
+// replaced.
 func (f *FaultFS) Heal() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.wedged = false
 	f.stallLeft = 0
+	f.brown = 0
+}
+
+// Brownout sets a persistent per-op delay served on every subsequent op
+// until cleared (Brownout(0) or Heal) — the gray-failure model of a drive
+// that still completes every request, just slowly. Driver-initiated like
+// Wedge, for the same reason: the delay must start at a deterministic
+// boundary regardless of how many ops each drive mode happens to issue, so
+// comparison-gated soaks stay bit-identical across serial and parallel
+// execution.
+func (f *FaultFS) Brownout(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	f.brown = d
 }
 
 // Suspend makes the injector transparent until Resume: ops pass through

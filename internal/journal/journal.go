@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Type tags a record's payload. The journal itself is payload-agnostic;
@@ -149,11 +150,22 @@ type Options struct {
 	// Inject, when non-nil, intercepts every record write and fsync for
 	// deterministic storage-fault injection (see Injector, FaultFS).
 	Inject Injector
+	// Clock supplies time for per-op latency capture. Defaults to WallClock;
+	// deterministic soaks substitute a VirtualClock shared with the injector
+	// so injected delays are the only thing that advances it.
+	Clock Clock
+	// Observe, when non-nil, receives the sojourn of every write (sync=false)
+	// and fsync (sync=true) the writer issues, including time spent inside
+	// the injector. Feeds per-shard latency health tracking.
+	Observe func(sync bool, d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 1 << 20
+	}
+	if o.Clock == nil {
+		o.Clock = WallClock{}
 	}
 	return o
 }
@@ -364,7 +376,13 @@ func injectedWrite(inj Injector, f *os.File, buf []byte) (int, error) {
 }
 
 func (w *Writer) write(f *os.File, buf []byte) (int, error) {
-	return injectedWrite(w.opt.Inject, f, buf)
+	if w.opt.Observe == nil {
+		return injectedWrite(w.opt.Inject, f, buf)
+	}
+	start := w.opt.Clock.Now()
+	n, err := injectedWrite(w.opt.Inject, f, buf)
+	w.opt.Observe(false, w.opt.Clock.Now().Sub(start))
+	return n, err
 }
 
 // Open recovers the journal in dir (creating it if empty) and returns a
@@ -495,6 +513,10 @@ func (w *Writer) newSegment(base uint64) error {
 // the disk dropping the barrier, independent of whether the test elides
 // real fsync syscalls for speed.
 func (w *Writer) fsync(f *os.File) error {
+	if w.opt.Observe != nil {
+		start := w.opt.Clock.Now()
+		defer func() { w.opt.Observe(true, w.opt.Clock.Now().Sub(start)) }()
+	}
 	if w.opt.Inject != nil {
 		if err := w.opt.Inject.Sync(); err != nil {
 			return err
@@ -514,6 +536,10 @@ func (w *Writer) fsync(f *os.File) error {
 
 // fsyncDir syncs the journal directory and fires the crash hook.
 func (w *Writer) fsyncDir() error {
+	if w.opt.Observe != nil {
+		start := w.opt.Clock.Now()
+		defer func() { w.opt.Observe(true, w.opt.Clock.Now().Sub(start)) }()
+	}
 	if w.opt.Inject != nil {
 		if err := w.opt.Inject.Sync(); err != nil {
 			return err

@@ -1,0 +1,235 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// delayOf runs one op against f and returns how far it advanced the
+// virtual clock — the injected delay, exactly (VirtualClock.Sleep
+// advances instead of spending).
+func delayOf(c *VirtualClock, op func()) time.Duration {
+	start := c.Now()
+	op()
+	return c.Now().Sub(start)
+}
+
+// TestFaultFSSlowDeterminism: seeded slow-op delays are a pure function
+// of (seed, op index) — two same-seed replays produce the identical
+// delay sequence, a different seed diverges, and SlowOps counts what
+// actually slept.
+func TestFaultFSSlowDeterminism(t *testing.T) {
+	rates := FaultRates{SlowProb: 0.5, SlowMin: time.Millisecond, SlowMax: 8 * time.Millisecond}
+	run := func(seed uint64) []time.Duration {
+		f := NewFaultFS(seed, rates)
+		c := NewVirtualClock()
+		f.SetClock(c)
+		var out []time.Duration
+		for i := 0; i < 100; i++ {
+			if i%3 == 0 {
+				out = append(out, delayOf(c, func() { f.Sync() }))
+			} else {
+				out = append(out, delayOf(c, func() { f.Write(64) }))
+			}
+		}
+		return out
+	}
+	a, b, other := run(5), run(5), run(6)
+	slowed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] > 0 {
+			slowed++
+			if a[i] < rates.SlowMin || a[i] > rates.SlowMax {
+				t.Fatalf("op %d: delay %v outside [%v, %v]", i, a[i], rates.SlowMin, rates.SlowMax)
+			}
+		}
+	}
+	if slowed == 0 || slowed == len(a) {
+		t.Fatalf("slowed %d/%d ops at SlowProb 0.5: schedule degenerate", slowed, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay schedules")
+	}
+	f := NewFaultFS(5, rates)
+	c := NewVirtualClock()
+	f.SetClock(c)
+	for i := 0; i < 100; i++ {
+		if i%3 == 0 {
+			f.Sync()
+		} else {
+			f.Write(64)
+		}
+	}
+	if got := f.Stats().SlowOps; got != uint64(slowed) {
+		t.Fatalf("SlowOps = %d, want %d", got, slowed)
+	}
+}
+
+// TestFaultFSBrownout: Brownout(d) delays EVERY op by exactly d —
+// success, no error, pure latency (the gray-failure model) — stacking
+// on top of any seeded slow draw; Brownout(0) and Heal both clear it.
+func TestFaultFSBrownout(t *testing.T) {
+	f := NewFaultFS(1, FaultRates{})
+	c := NewVirtualClock()
+	f.SetClock(c)
+	f.Brownout(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if d := delayOf(c, func() {
+			if _, err := f.Write(64); err != nil {
+				t.Fatalf("browned write %d errored: %v", i, err)
+			}
+		}); d != 10*time.Millisecond {
+			t.Fatalf("browned write %d delayed %v, want 10ms", i, d)
+		}
+	}
+	if d := delayOf(c, func() {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("browned sync errored: %v", err)
+		}
+	}); d != 10*time.Millisecond {
+		t.Fatalf("browned sync delayed %v, want 10ms", d)
+	}
+	f.Brownout(0)
+	if d := delayOf(c, func() { f.Write(64) }); d != 0 {
+		t.Fatalf("write after Brownout(0) delayed %v", d)
+	}
+	f.Brownout(7 * time.Millisecond)
+	f.Heal()
+	if d := delayOf(c, func() { f.Write(64) }); d != 0 {
+		t.Fatalf("write after Heal delayed %v", d)
+	}
+	if got := f.Stats().SlowOps; got != 6 {
+		t.Fatalf("SlowOps = %d, want 6 (5 writes + 1 sync browned)", got)
+	}
+}
+
+// TestFaultFSSlowWindowSuspendResume pins the maintenance-window
+// contract for the delay stream: Suspend consumes no op indices and
+// sleeps nothing, so the slow schedule FREEZES — ops after Resume draw
+// exactly the delays the uninterrupted run drew, not a reroll.
+func TestFaultFSSlowWindowSuspendResume(t *testing.T) {
+	rates := FaultRates{SlowProb: 0.5, SlowMin: time.Millisecond, SlowMax: 8 * time.Millisecond}
+	base := NewFaultFS(3, rates)
+	bc := NewVirtualClock()
+	base.SetClock(bc)
+	var want []time.Duration
+	for i := 0; i < 40; i++ {
+		want = append(want, delayOf(bc, func() { base.Write(64) }))
+	}
+
+	f := NewFaultFS(3, rates)
+	c := NewVirtualClock()
+	f.SetClock(c)
+	var got []time.Duration
+	for i := 0; i < 15; i++ {
+		got = append(got, delayOf(c, func() { f.Write(64) }))
+	}
+	f.Suspend()
+	for i := 0; i < 10; i++ {
+		if d := delayOf(c, func() {
+			if _, err := f.Write(64); err != nil {
+				t.Fatalf("suspended write errored: %v", err)
+			}
+		}); d != 0 {
+			t.Fatalf("suspended write %d slept %v; suspension must not sleep", i, d)
+		}
+	}
+	f.Resume()
+	for i := 15; i < 40; i++ {
+		got = append(got, delayOf(c, func() { f.Write(64) }))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: delay %v after suspend window, want %v (schedule rerolled)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFaultFSStallWindowSuspendResume: same freeze contract for the
+// stall (instant-error) window — suspension pauses mid-window and the
+// remaining failures land after Resume.
+func TestFaultFSStallWindowSuspendResume(t *testing.T) {
+	f := NewFaultFS(9, FaultRates{StallProb: 1, StallOps: 4})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write(10); !errors.Is(err, ErrInjectedStall) {
+			t.Fatalf("op %d: got %v, want stall", i, err)
+		}
+	}
+	f.Suspend()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Write(10); err != nil {
+			t.Fatalf("suspended write %d errored: %v", i, err)
+		}
+	}
+	f.Resume()
+	for i := 2; i < 4; i++ {
+		if _, err := f.Write(10); !errors.Is(err, ErrInjectedStall) {
+			t.Fatalf("op %d after resume: got %v, want the frozen window's stall", i, err)
+		}
+	}
+	if got := f.Stats(); got.Stalls != 1 || got.StallOps != 4 {
+		t.Fatalf("stats: %+v, want exactly the one 4-op window", got)
+	}
+}
+
+// TestWriterObservesInjectedDelay closes the capture loop end to end: a
+// real Writer on a browned FaultFS, with the same VirtualClock wired to
+// Options.Clock, reports the injected delay through Options.Observe —
+// the sojourn the cluster's latency tracker will see is exactly the
+// delay the drive imposed.
+func TestWriterObservesInjectedDelay(t *testing.T) {
+	f := NewFaultFS(1, FaultRates{})
+	c := NewVirtualClock()
+	f.SetClock(c)
+	var writes, syncs []time.Duration
+	w, err := Open(t.TempDir(), Options{
+		Inject: f,
+		Clock:  c,
+		Observe: func(sync bool, d time.Duration) {
+			if sync {
+				syncs = append(syncs, d)
+			} else {
+				writes = append(writes, d)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer w.Close()
+
+	// Open's own header writes ran un-browned; only the browned ops below
+	// are under test.
+	writes, syncs = nil, nil
+	f.Brownout(10 * time.Millisecond)
+	if _, err := w.Append(TypeEvent, []byte("x")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if len(writes) == 0 || len(syncs) == 0 {
+		t.Fatalf("observe fired %d writes / %d syncs, want both", len(writes), len(syncs))
+	}
+	for _, d := range writes {
+		if d != 10*time.Millisecond {
+			t.Fatalf("observed write sojourn %v, want exactly 10ms", d)
+		}
+	}
+	for _, d := range syncs {
+		if d != 10*time.Millisecond {
+			t.Fatalf("observed sync sojourn %v, want exactly 10ms", d)
+		}
+	}
+}

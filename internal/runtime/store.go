@@ -83,6 +83,12 @@ type StoreOptions struct {
 	// (journal.GroupOptions.MaxDelay; 0 defaults to 500µs, negative
 	// disables the stall).
 	CommitDelay time.Duration
+	// Clock supplies time for the journal's per-op latency capture
+	// (journal.Options.Clock). Defaults to the wall clock.
+	Clock journal.Clock
+	// Observe, when non-nil, receives the sojourn of every WAL write
+	// (sync=false) and fsync (sync=true) — the latency-health feed.
+	Observe func(sync bool, d time.Duration)
 }
 
 func (o StoreOptions) withDefaults() StoreOptions {
@@ -207,6 +213,8 @@ func OpenStore(dir string, opt StoreOptions) (*Store, error) {
 		AfterSync:    opt.AfterSync,
 		NoSync:       opt.NoSync,
 		Inject:       opt.Inject,
+		Clock:        opt.Clock,
+		Observe:      opt.Observe,
 	})
 	if err != nil {
 		return nil, err

@@ -42,6 +42,12 @@ type Server struct {
 	admitted atomic.Uint64
 	rejected atomic.Uint64 // admission ran, verdict or stale error against it
 	shed     atomic.Uint64 // load-shed at the door: queue full or draining
+
+	deadlineShed atomic.Uint64 // shed at enqueue: predicted wait > client deadline
+	codelShed    atomic.Uint64 // shed at enqueue: CoDel standing-queue control
+
+	ctlMu sync.Mutex
+	ctl   *queueCtl // drain-rate estimate + adaptive admission (always present)
 }
 
 // Options parameterizes New.
@@ -62,6 +68,15 @@ type Options struct {
 	// MaxBatchEvents caps how many events one /admit/batch request may
 	// carry (default 256).
 	MaxBatchEvents int
+	// CoDelTarget, when positive, arms CoDel-style adaptive queue control:
+	// once queue sojourn stands above this target for CoDelInterval, new
+	// arrivals are shed with sqrt-spaced pacing until it dips back under.
+	// Zero leaves adaptive shedding off (deadline shedding and drain-rate
+	// Retry-After hints still work — they only need the rate estimate).
+	CoDelTarget time.Duration
+	// CoDelInterval is the standing-queue grace period (default 100ms
+	// when CoDelTarget is set).
+	CoDelInterval time.Duration
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +118,16 @@ type State struct {
 	LoadShed  uint64 `json:"load_shed"`
 	LastError string `json:"last_error,omitempty"`
 
+	// DeadlineShed / CoDelShed break LoadShed's enqueue-gate component out
+	// by cause: predicted wait past the client deadline, or the CoDel
+	// standing-queue controller.
+	DeadlineShed uint64 `json:"deadline_shed,omitempty"`
+	CoDelShed    uint64 `json:"codel_shed,omitempty"`
+	// DrainPerSec is the measured engine drain rate (tickets/s, EWMA);
+	// QueueWaitMs is the last observed head-of-queue sojourn.
+	DrainPerSec float64 `json:"drain_per_sec,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms,omitempty"`
+
 	Recovery *runtimepkg.RecoveryInfo `json:"recovery,omitempty"`
 	Commit   *CommitState             `json:"commit,omitempty"`
 }
@@ -121,6 +146,7 @@ type CommitState struct {
 type ticket struct {
 	evs   []runtimepkg.Event
 	reply chan admitReply // buffered(1): the engine never blocks on it
+	enq   time.Time       // when the ticket entered the queue (sojourn base)
 }
 
 // admitReply carries per-event results positionally (decs[i]/errs[i] for
@@ -143,6 +169,7 @@ func New(opt Options) *Server {
 		stop:       make(chan struct{}),
 		engineDone: make(chan struct{}),
 		fatal:      make(chan error, 1),
+		ctl:        newQueueCtl(opt.CoDelTarget, opt.CoDelInterval),
 	}
 	s.state.Store(&State{QueueCap: opt.QueueDepth})
 	return s
@@ -290,6 +317,7 @@ func (s *Server) gather(tickets []ticket, t ticket) []ticket {
 // rejected counters identically. false means the store failed at the
 // journal level and the engine must exit.
 func (s *Server) serveBatch(tickets []ticket) bool {
+	start := time.Now()
 	// Live admissions carry the store's current epoch so the journaled
 	// events replay at the same position.
 	epoch := s.store.Epoch()
@@ -311,6 +339,10 @@ func (s *Server) serveBatch(tickets []ticket) bool {
 	}
 
 	decs, errs, err := s.store.ApplyBatch(evs)
+	now := time.Now()
+	s.ctlMu.Lock()
+	s.ctl.observe(len(tickets), now.Sub(start), start.Sub(tickets[0].enq), now)
+	s.ctlMu.Unlock()
 	if err != nil {
 		// Journal-level failure: the store can no longer promise
 		// durability. Take the engine down, then tell the handlers.
@@ -362,7 +394,16 @@ func (s *Server) publish(lastErr string) {
 		Rejected:   s.rejected.Load(),
 		LoadShed:   s.shed.Load(),
 		LastError:  lastErr,
+
+		DeadlineShed: s.deadlineShed.Load(),
+		CoDelShed:    s.codelShed.Load(),
 	}
+	s.ctlMu.Lock()
+	if s.ctl.svcEWMA > 0 {
+		st.DrainPerSec = float64(time.Second) / float64(s.ctl.svcEWMA)
+	}
+	st.QueueWaitMs = float64(s.ctl.lastSojourn) / float64(time.Millisecond)
+	s.ctlMu.Unlock()
 	if lastErr == "" && prev != nil {
 		st.LastError = prev.LastError
 	}
@@ -393,12 +434,60 @@ func (s *Server) tryEnqueue(t ticket) (ok, full bool) {
 	if s.draining {
 		return false, false
 	}
+	t.enq = time.Now()
 	select {
 	case s.queue <- t:
 		return true, false
 	default:
 		return false, true
 	}
+}
+
+// admitGate is the pre-enqueue adaptive check: deadline-aware shedding
+// (predicted queue wait vs the client's X-Deadline-Ms) and CoDel pacing.
+// reason "" admits; otherwise the request is shed before it consumes
+// queue space, with retry as the drain-rate-derived backoff hint.
+func (s *Server) admitGate(deadline time.Duration) (reason string, retry time.Duration) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	return s.ctl.admit(time.Now(), len(s.queue), deadline)
+}
+
+// shedAdaptive accounts and answers one admitGate shed.
+func (s *Server) shedAdaptive(w http.ResponseWriter, reason string, retry time.Duration) {
+	s.shed.Add(1)
+	msg := "admission queue standing over target"
+	if reason == "deadline" {
+		s.deadlineShed.Add(1)
+		msg = "predicted queue wait exceeds request deadline"
+	} else {
+		s.codelShed.Add(1)
+	}
+	s.unavailableHint(w, msg, retry)
+}
+
+// DeadlineMs parses the X-Deadline-Ms request header (0 when absent or
+// malformed — a bad hint must not reject the request itself). Exported
+// for the cluster serving layer, which propagates the same header.
+func DeadlineMs(r *http.Request) time.Duration {
+	v := r.Header.Get("X-Deadline-Ms")
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// replyWait bounds a handler's wait for the engine: the request timeout,
+// tightened to the client's own deadline when one was propagated.
+func (s *Server) replyWait(deadline time.Duration) time.Duration {
+	if deadline > 0 && deadline < s.opt.RequestTimeout {
+		return deadline
+	}
+	return s.opt.RequestTimeout
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -473,6 +562,12 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	deadline := DeadlineMs(r)
+	if reason, retry := s.admitGate(deadline); reason != "" {
+		putDecoder(d)
+		s.shedAdaptive(w, reason, retry)
+		return
+	}
 	t := ticket{evs: evs, reply: make(chan admitReply, 1)}
 	ok, full := s.tryEnqueue(t)
 	if !ok {
@@ -486,7 +581,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.replyWait(deadline))
 	defer cancel()
 	select {
 	case rep := <-t.reply:
@@ -553,6 +648,11 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		evs[i].Epoch = 0 // the engine stamps the live epoch
 	}
 
+	deadline := DeadlineMs(r)
+	if reason, retry := s.admitGate(deadline); reason != "" {
+		s.shedAdaptive(w, reason, retry)
+		return
+	}
 	t := ticket{evs: evs, reply: make(chan admitReply, 1)}
 	ok, full := s.tryEnqueue(t)
 	if !ok {
@@ -565,7 +665,7 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.replyWait(deadline))
 	defer cancel()
 	select {
 	case rep := <-t.reply:
@@ -590,13 +690,42 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// unavailable writes the load-shedding 503 with the Retry-After hint.
+// unavailable writes the load-shedding 503 with a Retry-After hint
+// derived from the live drain rate (falling back to the static option
+// before the first batch has been measured).
 func (s *Server) unavailable(w http.ResponseWriter, msg string) {
-	secs := int(s.opt.RetryAfter.Round(time.Second) / time.Second)
+	s.unavailableHint(w, msg, s.retryHint())
+}
+
+// retryHint predicts how long the standing queue takes to drain — the
+// honest backoff for a client shed at the door.
+func (s *Server) retryHint() time.Duration {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if wait := s.ctl.predictWait(len(s.queue) + 1); wait > 0 {
+		return wait
+	}
+	return s.opt.RetryAfter
+}
+
+// unavailableHint writes the 503 with an explicit hint: Retry-After in
+// whole seconds (ceiling, minimum 1 — sub-second hints must never round
+// to "retry immediately") plus Retry-After-Ms carrying the real value for
+// clients that can honor milliseconds.
+func (s *Server) unavailableHint(w http.ResponseWriter, msg string, hint time.Duration) {
+	if hint <= 0 {
+		hint = s.opt.RetryAfter
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
+	ms := int(hint / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Retry-After-Ms", strconv.Itoa(ms))
 	httpError(w, http.StatusServiceUnavailable, msg)
 }
 
